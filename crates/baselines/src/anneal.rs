@@ -1,0 +1,244 @@
+//! Simulated-annealing ratio-cut baseline.
+//!
+//! Paper §1.1 lists stochastic hill-climbing ("the annealing approach of
+//! Kirkpatrick et al., Sechen, and others") as the other major family of
+//! iterative partitioners. This module provides a standard
+//! single-module-move annealer over the ratio-cut objective so the
+//! spectral methods can be compared against the stochastic class too.
+//!
+//! The schedule is geometric; acceptance uses the Metropolis criterion on
+//! the *relative* ratio-cut change (the objective spans orders of
+//! magnitude, so absolute deltas would make temperature scale-dependent).
+
+use np_netlist::partition::CutTracker;
+use np_netlist::rng::Rng64;
+use np_netlist::{Bipartition, CutStats, Hypergraph, ModuleId};
+
+/// Options for [`anneal`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnnealOptions {
+    /// Initial temperature (relative-change units; ~1.0 accepts most
+    /// uphill moves, ~0.01 almost none).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per sweep (`0 < alpha < 1`).
+    pub cooling: f64,
+    /// Number of cooling sweeps; each sweep proposes `n` random moves.
+    pub sweeps: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealOptions {
+    fn default() -> Self {
+        AnnealOptions {
+            initial_temperature: 0.5,
+            cooling: 0.92,
+            sweeps: 120,
+            seed: 0x5A_1983,
+        }
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnnealResult {
+    /// The best partition seen during the run.
+    pub partition: Bipartition,
+    /// Cut statistics of `partition`.
+    pub stats: CutStats,
+    /// Moves accepted across the run.
+    pub accepted_moves: usize,
+}
+
+impl AnnealResult {
+    /// The ratio-cut value of the best partition.
+    pub fn ratio(&self) -> f64 {
+        self.stats.ratio()
+    }
+}
+
+/// Anneals the ratio cut of `hg` starting from a random balanced
+/// partition. Deterministic for a fixed seed.
+///
+/// # Panics
+///
+/// Panics if `hg` has fewer than 2 modules, `opts.sweeps == 0`, or the
+/// cooling factor is outside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use np_baselines::{anneal, AnnealOptions};
+/// use np_netlist::hypergraph_from_nets;
+///
+/// let hg = hypergraph_from_nets(
+///     6,
+///     &[vec![0, 1], vec![1, 2], vec![0, 2], vec![3, 4], vec![4, 5], vec![3, 5], vec![2, 3]],
+/// );
+/// let r = anneal(&hg, &AnnealOptions::default());
+/// assert_eq!(r.stats.cut_nets, 1);
+/// ```
+pub fn anneal(hg: &Hypergraph, opts: &AnnealOptions) -> AnnealResult {
+    let n = hg.num_modules();
+    assert!(n >= 2, "need at least 2 modules");
+    assert!(opts.sweeps > 0, "need at least one sweep");
+    assert!(
+        opts.cooling > 0.0 && opts.cooling < 1.0,
+        "cooling factor must be in (0, 1)"
+    );
+    let mut rng = Rng64::new(opts.seed);
+
+    // random balanced start
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut order);
+    let start =
+        Bipartition::from_left_set(n, order[..n / 2].iter().copied().map(ModuleId));
+    let mut tracker = CutTracker::from_partition(hg, &start);
+
+    let mut best_partition = tracker.to_partition();
+    let mut best_ratio = tracker.ratio();
+    let mut accepted = 0usize;
+    let mut temperature = opts.initial_temperature;
+
+    for _ in 0..opts.sweeps {
+        for _ in 0..n {
+            let m = ModuleId(rng.gen_range(n) as u32);
+            let stats = tracker.stats();
+            // never empty a side
+            let from_left = tracker.side(m) == np_netlist::Side::Left;
+            if (from_left && stats.left == 1) || (!from_left && stats.right == 1) {
+                continue;
+            }
+            let before = tracker.ratio();
+            let side = tracker.side(m);
+            tracker.move_module(m, side.flip());
+            let after = tracker.ratio();
+            // relative change; accept improving moves always, uphill with
+            // Metropolis probability
+            let delta = (after - before) / before.max(f64::MIN_POSITIVE);
+            let accept = delta <= 0.0 || rng.gen_f64() < (-delta / temperature).exp();
+            if accept {
+                accepted += 1;
+                if after < best_ratio {
+                    best_ratio = after;
+                    best_partition = tracker.to_partition();
+                }
+            } else {
+                tracker.move_module(m, side); // revert
+            }
+        }
+        temperature *= opts.cooling;
+    }
+
+    let stats = best_partition.cut_stats(hg);
+    AnnealResult {
+        partition: best_partition,
+        stats,
+        accepted_moves: accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::hypergraph_from_nets;
+
+    fn two_triangles() -> Hypergraph {
+        hypergraph_from_nets(
+            6,
+            &[
+                vec![0, 1],
+                vec![1, 2],
+                vec![0, 2],
+                vec![3, 4],
+                vec![4, 5],
+                vec![3, 5],
+                vec![2, 3],
+            ],
+        )
+    }
+
+    #[test]
+    fn finds_bridge_cut() {
+        let r = anneal(&two_triangles(), &AnnealOptions::default());
+        assert_eq!(r.stats.cut_nets, 1);
+        assert_eq!(r.stats.areas(), "3:3");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let hg = two_triangles();
+        let a = anneal(&hg, &AnnealOptions::default());
+        let b = anneal(&hg, &AnnealOptions::default());
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.accepted_moves, b.accepted_moves);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_stay_valid() {
+        let hg = two_triangles();
+        for seed in 0..5 {
+            let r = anneal(
+                &hg,
+                &AnnealOptions {
+                    seed,
+                    sweeps: 30,
+                    ..Default::default()
+                },
+            );
+            let s = r.partition.cut_stats(&hg);
+            assert!(s.left > 0 && s.right > 0);
+            assert_eq!(s, r.stats);
+        }
+    }
+
+    #[test]
+    fn stats_match_partition() {
+        let hg = two_triangles();
+        let r = anneal(&hg, &AnnealOptions::default());
+        assert_eq!(r.stats, r.partition.cut_stats(&hg));
+    }
+
+    #[test]
+    fn cold_annealer_is_greedy_descent() {
+        let hg = two_triangles();
+        let r = anneal(
+            &hg,
+            &AnnealOptions {
+                initial_temperature: 1e-9,
+                sweeps: 50,
+                ..Default::default()
+            },
+        );
+        // pure descent still finds a decent local optimum here
+        assert!(r.stats.cut_nets <= 3);
+    }
+
+    #[test]
+    fn accepts_some_uphill_when_hot() {
+        let hg = two_triangles();
+        let hot = anneal(
+            &hg,
+            &AnnealOptions {
+                initial_temperature: 10.0,
+                cooling: 0.99,
+                sweeps: 10,
+                ..Default::default()
+            },
+        );
+        // with high temperature nearly every proposal is accepted
+        assert!(hot.accepted_moves > 30, "{}", hot.accepted_moves);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn bad_cooling_panics() {
+        anneal(
+            &two_triangles(),
+            &AnnealOptions {
+                cooling: 1.5,
+                ..Default::default()
+            },
+        );
+    }
+}

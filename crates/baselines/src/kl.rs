@@ -1,0 +1,265 @@
+//! Kernighan–Lin pairwise-exchange bisection on a weighted graph.
+//!
+//! The historical baseline of paper §1.1 \[19\]. KL operates on *graphs*,
+//! so a netlist must first be mapped through a net model (e.g. the clique
+//! model in `np-core`); this module takes the weighted adjacency matrix
+//! directly.
+//!
+//! Each pass greedily selects swap pairs by the classic `D`-value
+//! heuristic (`gain(a, b) = D_a + D_b − 2·w(a, b)`, choosing the best `a`
+//! and `b` by individual `D` values rather than scanning all pairs), locks
+//! them, and rewinds to the best prefix. Passes repeat until no
+//! improvement.
+
+use np_netlist::rng::Rng64;
+use np_sparse::{CsrMatrix, LinearOperator};
+
+/// Options for [`kl_bisect`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KlOptions {
+    /// Upper bound on improvement passes.
+    pub max_passes: usize,
+    /// Number of random starting bisections; the best result wins.
+    pub runs: usize,
+    /// PRNG seed for the starts.
+    pub seed: u64,
+}
+
+impl Default for KlOptions {
+    fn default() -> Self {
+        KlOptions {
+            max_passes: 10,
+            runs: 4,
+            seed: 0x4B4C_1970,
+        }
+    }
+}
+
+/// Result of a KL run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KlResult {
+    /// `true` for vertices in the left block.
+    pub left: Vec<bool>,
+    /// Total weight of edges crossing the bisection.
+    pub cut_weight: f64,
+}
+
+/// Bisects the graph with Kernighan–Lin from `opts.runs` random balanced
+/// starts, returning the best result. For odd `n` the extra vertex sits on
+/// the right.
+///
+/// Deterministic for a fixed seed.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 2 vertices.
+///
+/// # Example
+///
+/// ```
+/// use np_baselines::{kl_bisect, KlOptions};
+/// use np_sparse::TripletBuilder;
+///
+/// // two triangles + weak bridge
+/// let mut b = TripletBuilder::new(6);
+/// for &(i, j) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+///     b.push_sym(i, j, 1.0);
+/// }
+/// b.push_sym(2, 3, 0.5);
+/// let r = kl_bisect(&b.into_csr(), &KlOptions::default());
+/// assert!((r.cut_weight - 0.5).abs() < 1e-12);
+/// ```
+pub fn kl_bisect(graph: &CsrMatrix, opts: &KlOptions) -> KlResult {
+    let n = graph.dim();
+    assert!(n >= 2, "need at least 2 vertices");
+    let mut rng = Rng64::new(opts.seed);
+    let mut best: Option<KlResult> = None;
+    for _ in 0..opts.runs.max(1) {
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        rng.shuffle(&mut order);
+        let mut left = vec![false; n];
+        for &v in &order[..n / 2] {
+            left[v as usize] = true;
+        }
+        let result = kl_from(graph, left, opts.max_passes);
+        if best
+            .as_ref()
+            .is_none_or(|b| result.cut_weight < b.cut_weight)
+        {
+            best = Some(result);
+        }
+    }
+    best.expect("runs >= 1")
+}
+
+fn cut_weight(graph: &CsrMatrix, left: &[bool]) -> f64 {
+    let mut cut = 0.0;
+    for i in 0..graph.dim() {
+        let (cols, vals) = graph.row(i);
+        for (&j, &w) in cols.iter().zip(vals) {
+            if (j as usize) > i && left[i] != left[j as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+fn kl_from(graph: &CsrMatrix, mut left: Vec<bool>, max_passes: usize) -> KlResult {
+    let n = graph.dim();
+    // D[v] = external − internal connection weight
+    let compute_d = |left: &[bool]| -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let (cols, vals) = graph.row(i);
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&j, &w)| if left[i] != left[j as usize] { w } else { -w })
+                    .sum()
+            })
+            .collect()
+    };
+
+    for _ in 0..max_passes {
+        let mut d = compute_d(&left);
+        let mut locked = vec![false; n];
+        let mut swaps: Vec<(usize, usize)> = Vec::new();
+        let mut gains: Vec<f64> = Vec::new();
+        let pairs = n / 2;
+        for _ in 0..pairs {
+            // best unlocked vertex on each side by D value
+            let pick = |want_left: bool, d: &[f64], locked: &[bool], left: &[bool]| -> Option<usize> {
+                let mut best: Option<usize> = None;
+                for v in 0..n {
+                    if locked[v] || left[v] != want_left {
+                        continue;
+                    }
+                    if best.is_none_or(|b| d[v] > d[b]) {
+                        best = Some(v);
+                    }
+                }
+                best
+            };
+            let (Some(a), Some(b)) = (
+                pick(true, &d, &locked, &left),
+                pick(false, &d, &locked, &left),
+            ) else {
+                break;
+            };
+            let gain = d[a] + d[b] - 2.0 * graph.get(a, b);
+            swaps.push((a, b));
+            gains.push(gain);
+            locked[a] = true;
+            locked[b] = true;
+            // tentative swap, then refresh D of unlocked neighbors
+            left[a] = false;
+            left[b] = true;
+            for v in [a, b] {
+                let (cols, _) = graph.row(v);
+                for &u in cols {
+                    let u = u as usize;
+                    if locked[u] {
+                        continue;
+                    }
+                    let (ucols, uvals) = graph.row(u);
+                    d[u] = ucols
+                        .iter()
+                        .zip(uvals)
+                        .map(|(&j, &wj)| if left[u] != left[j as usize] { wj } else { -wj })
+                        .sum();
+                }
+            }
+        }
+        // best prefix of cumulative gains
+        let mut cum = 0.0;
+        let mut best_cum = 0.0;
+        let mut best_k = 0usize;
+        for (k, g) in gains.iter().enumerate() {
+            cum += g;
+            if cum > best_cum + 1e-12 {
+                best_cum = cum;
+                best_k = k + 1;
+            }
+        }
+        // undo swaps beyond the best prefix
+        for &(a, b) in swaps[best_k..].iter().rev() {
+            left[a] = true;
+            left[b] = false;
+        }
+        if best_k == 0 {
+            break;
+        }
+    }
+    let cut = cut_weight(graph, &left);
+    KlResult {
+        left,
+        cut_weight: cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_sparse::TripletBuilder;
+
+    fn dumbbell() -> CsrMatrix {
+        let mut b = TripletBuilder::new(6);
+        for &(i, j) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.push_sym(i, j, 1.0);
+        }
+        b.push_sym(2, 3, 0.5);
+        b.into_csr()
+    }
+
+    #[test]
+    fn finds_weak_bridge() {
+        let r = kl_bisect(&dumbbell(), &KlOptions::default());
+        assert!((r.cut_weight - 0.5).abs() < 1e-12);
+        // blocks are the two triangles
+        assert_eq!(r.left[0], r.left[1]);
+        assert_eq!(r.left[1], r.left[2]);
+        assert_ne!(r.left[2], r.left[3]);
+    }
+
+    #[test]
+    fn preserves_balance() {
+        let r = kl_bisect(&dumbbell(), &KlOptions::default());
+        let l = r.left.iter().filter(|&&x| x).count();
+        assert_eq!(l, 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = dumbbell();
+        let a = kl_bisect(&g, &KlOptions::default());
+        let b = kl_bisect(&g, &KlOptions::default());
+        assert_eq!(a.left, b.left);
+    }
+
+    #[test]
+    fn cut_weight_helper_consistent() {
+        let g = dumbbell();
+        let r = kl_bisect(&g, &KlOptions::default());
+        assert!((cut_weight(&g, &r.left) - r.cut_weight).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_bisection_cut_two() {
+        let n = 16;
+        let mut b = TripletBuilder::new(n);
+        for i in 0..n {
+            b.push_sym(i, (i + 1) % n, 1.0);
+        }
+        let r = kl_bisect(&b.into_csr(), &KlOptions::default());
+        assert!((r.cut_weight - 2.0).abs() < 1e-9, "cut {}", r.cut_weight);
+    }
+
+    #[test]
+    fn two_vertex_graph() {
+        let mut b = TripletBuilder::new(2);
+        b.push_sym(0, 1, 3.0);
+        let r = kl_bisect(&b.into_csr(), &KlOptions::default());
+        assert_eq!(r.cut_weight, 3.0);
+        assert_ne!(r.left[0], r.left[1]);
+    }
+}

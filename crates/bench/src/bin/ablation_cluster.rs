@@ -1,0 +1,54 @@
+//! Ablation for the §5 clustering hybrid: coarsen with heavy-edge
+//! matching, partition the condensed netlist, project back — trading
+//! quality for eigensolve speed on a smaller instance.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_cluster
+//! ```
+
+use bench::{fmt_ratio, suite, timed};
+use np_core::cluster::{clustered_ig_match, ClusterOptions};
+use np_core::{ig_match, IgMatchOptions};
+
+fn main() {
+    println!(
+        "{:<8} {:>12} {:>10} | {:>12} {:>10} | {:>12} {:>10}",
+        "Test", "flat ratio", "time", "1-lvl ratio", "time", "2-lvl ratio", "time"
+    );
+    for b in suite() {
+        let hg = &b.hypergraph;
+        let (flat, t_flat) = timed(|| ig_match(hg, &IgMatchOptions::default()));
+        let flat = flat.unwrap_or_else(|e| panic!("flat failed on {}: {e}", b.name));
+        let (one, t_one) = timed(|| {
+            clustered_ig_match(
+                hg,
+                &ClusterOptions {
+                    levels: 1,
+                    ..Default::default()
+                },
+            )
+        });
+        let one = one.unwrap_or_else(|e| panic!("1-level failed on {}: {e}", b.name));
+        let (two, t_two) = timed(|| {
+            clustered_ig_match(
+                hg,
+                &ClusterOptions {
+                    levels: 2,
+                    ..Default::default()
+                },
+            )
+        });
+        let two = two.unwrap_or_else(|e| panic!("2-level failed on {}: {e}", b.name));
+        println!(
+            "{:<8} {:>12} {:>10.2?} | {:>12} {:>10.2?} | {:>12} {:>10.2?}",
+            b.name,
+            fmt_ratio(flat.result.ratio()),
+            t_flat,
+            fmt_ratio(one.ratio()),
+            t_one,
+            fmt_ratio(two.ratio()),
+            t_two
+        );
+    }
+    println!("\n(condensation trades solution quality for time on the smaller instance)");
+}

@@ -1,0 +1,62 @@
+//! Ablation for the §5 thresholding speedup: sparsify the intersection
+//! graph before the eigensolve and measure both the eigensolve time and
+//! the quality of the final IG-Match partition.
+//!
+//! The paper's footnote 2 warns that "standard thresholding methods for
+//! sparsifying the input ... may actually be discarding useful
+//! partitioning information"; this binary quantifies that trade-off.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_threshold
+//! ```
+
+use bench::{fmt_ratio, timed};
+use np_core::igmatch::ig_match_with_ordering;
+use np_core::models::{intersection_adjacency, IgWeighting};
+use np_core::ordering::spectral_net_ordering_thresholded;
+use np_netlist::generate::mcnc_benchmark;
+
+fn main() {
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "Test", "thresh", "nnz kept", "dropped", "eig time", "ratio cut"
+    );
+    for name in ["Prim2", "Test05"] {
+        let b = mcnc_benchmark(name).expect("suite benchmark");
+        let hg = &b.hypergraph;
+        // quantiles of the weight distribution as thresholds
+        let adj = intersection_adjacency(hg, IgWeighting::Paper);
+        let mut weights: Vec<f64> = (0..hg.num_nets())
+            .flat_map(|r| adj.row(r).1.to_vec())
+            .collect();
+        weights.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+        let quantile = |q: f64| weights[((weights.len() - 1) as f64 * q) as usize];
+        for (label, threshold) in [
+            ("0", 0.0),
+            ("q25", quantile(0.25)),
+            ("q50", quantile(0.50)),
+            ("q75", quantile(0.75)),
+        ] {
+            let ((order, dropped), t_eig) = timed(|| {
+                spectral_net_ordering_thresholded(
+                    hg,
+                    IgWeighting::Paper,
+                    threshold,
+                    &Default::default(),
+                )
+                .unwrap_or_else(|e| panic!("eigensolve failed on {name}@{label}: {e}"))
+            });
+            let out = ig_match_with_ordering(hg, &order, false)
+                .unwrap_or_else(|e| panic!("IG-Match failed on {name}@{label}: {e}"));
+            println!(
+                "{:<8} {:>10} {:>10} {:>10} {:>12.2?} {:>12}",
+                name,
+                label,
+                adj.nnz() - dropped,
+                dropped,
+                t_eig,
+                fmt_ratio(out.result.ratio())
+            );
+        }
+    }
+}

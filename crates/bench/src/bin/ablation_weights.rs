@@ -1,0 +1,49 @@
+//! Ablation for the §2.2 robustness claim: "We have tried several
+//! approaches [to intersection-graph edge weighting], most of which lead
+//! to extremely similar, high-quality partitioning results."
+//!
+//! Runs IG-Match under every implemented weighting and reports the ratio
+//! cuts side by side.
+//!
+//! ```text
+//! cargo run --release -p bench --bin ablation_weights
+//! ```
+
+use bench::{fmt_ratio, suite};
+use np_core::{ig_match, IgMatchOptions, IgWeighting};
+
+fn main() {
+    print!("{:<8}", "Test");
+    for w in IgWeighting::ALL {
+        print!(" {:>14}", w.name());
+    }
+    println!();
+    let mut sums = [0.0f64; IgWeighting::ALL.len()];
+    let mut count = 0usize;
+    for b in suite() {
+        let hg = &b.hypergraph;
+        print!("{:<8}", b.name);
+        for (i, w) in IgWeighting::ALL.into_iter().enumerate() {
+            let out = ig_match(
+                hg,
+                &IgMatchOptions {
+                    weighting: w,
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("IG-Match({}) failed on {}: {e}", w.name(), b.name));
+            sums[i] += out.result.ratio().ln();
+            print!(" {:>14}", fmt_ratio(out.result.ratio()));
+        }
+        count += 1;
+        println!();
+    }
+    println!("\ngeometric-mean ratio cut by weighting:");
+    for (i, w) in IgWeighting::ALL.into_iter().enumerate() {
+        println!(
+            "  {:<14} {}",
+            w.name(),
+            fmt_ratio((sums[i] / count as f64).exp())
+        );
+    }
+}

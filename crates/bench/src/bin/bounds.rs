@@ -1,0 +1,40 @@
+//! The Theorem-1 "provability" experiment: the spectral lower bound
+//! `λ₂/n` versus the ratio cut IG-Match actually achieves, per circuit —
+//! a per-instance optimality certificate no iterative heuristic provides.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bounds
+//! ```
+
+use bench::{fmt_ratio, suite};
+use np_core::bounds::ratio_cut_lower_bound;
+use np_core::{ig_match, IgMatchOptions};
+
+fn main() {
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "Test", "λ2/n bound", "IG-Match", "gap"
+    );
+    for b in suite() {
+        let hg = &b.hypergraph;
+        let bound = ratio_cut_lower_bound(hg, &Default::default())
+            .unwrap_or_else(|e| panic!("bound failed on {}: {e}", b.name));
+        let achieved = ig_match(hg, &IgMatchOptions::default())
+            .unwrap_or_else(|e| panic!("IG-Match failed on {}: {e}", b.name))
+            .result
+            .ratio();
+        assert!(
+            achieved >= bound.bound - 1e-12,
+            "{}: Theorem 1 violated",
+            b.name
+        );
+        println!(
+            "{:<8} {:>12} {:>12} {:>9.1}x",
+            b.name,
+            fmt_ratio(bound.bound),
+            fmt_ratio(achieved),
+            bound.gap(achieved)
+        );
+    }
+    println!("\n(gap = achieved/bound; the bound certifies how far any heuristic can possibly improve)");
+}

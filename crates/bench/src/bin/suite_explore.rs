@@ -1,0 +1,60 @@
+//! Developer harness: sweep generator parameters and watch how strongly
+//! the four algorithms differentiate — used to calibrate the synthetic
+//! suite so its difficulty profile resembles the paper's (where the
+//! algorithms disagree on most circuits).
+//!
+//! ```text
+//! cargo run --release -p bench --bin suite_explore [modules] [nets]
+//! ```
+
+use bench::fmt_ratio;
+use np_baselines::{rcut, RcutOptions};
+use np_core::{eig1, ig_match, ig_vote, Eig1Options, IgMatchOptions, IgVoteOptions};
+use np_netlist::generate::{generate, GeneratorConfig};
+
+fn main() {
+    let modules: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1600);
+    let nets: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1700);
+    println!(
+        "{:<28} {:>10} {:>10} {:>10} {:>10}",
+        "config", "RCut", "EIG1", "IG-Vote", "IG-Match"
+    );
+    for (label, wide, loc, seed) in [
+        ("narrow loc=.68 s=1", false, 0.68, 1u64),
+        ("widecross loc=.68 s=1", true, 0.68, 1),
+        ("widecross loc=.75 s=1", true, 0.75, 1),
+        ("widecross loc=.80 s=1", true, 0.80, 1),
+        ("widecross loc=.75 s=2", true, 0.75, 2),
+        ("widecross loc=.75 s=3", true, 0.75, 3),
+        ("widecross loc=.75 s=4", true, 0.75, 4),
+        ("widecross loc=.80 s=2", true, 0.80, 2),
+        ("widecross loc=.80 s=3", true, 0.80, 3),
+    ] {
+        let mut cfg = GeneratorConfig::new(modules, nets, seed)
+            .with_locality(loc)
+            .with_satellite_straddled(0.18, 25, (3, 8))
+            .with_global_nets(12, (50, 100));
+        if wide {
+            cfg = cfg.with_wide_crossings();
+        }
+        let hg = generate(&cfg);
+        let rc = rcut(&hg, &RcutOptions::default());
+        let e1 = eig1(&hg, &Eig1Options::default()).expect("eig1");
+        let iv = ig_vote(&hg, &IgVoteOptions::default()).expect("igvote");
+        let im = ig_match(&hg, &IgMatchOptions::default()).expect("igmatch");
+        println!(
+            "{:<28} {:>10} {:>10} {:>10} {:>10}",
+            label,
+            fmt_ratio(rc.ratio()),
+            fmt_ratio(e1.ratio()),
+            fmt_ratio(iv.ratio()),
+            fmt_ratio(im.result.ratio())
+        );
+    }
+}

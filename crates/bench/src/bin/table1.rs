@@ -1,0 +1,37 @@
+//! Regenerates paper Table 1: cut statistics for k-pin nets in a locally
+//! minimum ratio cut of the Primary2 stand-in.
+//!
+//! The paper's point: the probability that a net is cut does *not* grow
+//! monotonically with its size, contrary to the random-partition
+//! intuition — evidence that nets carry partitioning structure.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1
+//! ```
+
+use np_baselines::{rcut, RcutOptions};
+use np_netlist::generate::mcnc_benchmark;
+use np_netlist::stats::CutBySize;
+
+fn main() {
+    let b = mcnc_benchmark("Prim2").expect("Prim2 exists in the suite");
+    let hg = &b.hypergraph;
+    // a locally minimum ratio cut, as in the paper (RCut-style optimized
+    // partition)
+    let rc = rcut(hg, &RcutOptions::default());
+    let table = CutBySize::compute(hg, &rc.partition);
+    println!(
+        "Cut statistics for k-pin nets of {} ({} modules, {} nets), \
+         locally-minimum ratio cut ({} nets cut):\n",
+        b.name,
+        hg.num_modules(),
+        hg.num_nets(),
+        rc.stats.cut_nets
+    );
+    print!("{table}");
+    println!(
+        "\ncut probability monotone in net size (classes with >= 10 nets): {}",
+        table.cut_probability_monotone(10)
+    );
+    println!("(the paper's observation is that this is typically NOT monotone)");
+}

@@ -1,0 +1,40 @@
+//! Regenerates paper Table 2: IG-Match vs the RCut1.0 stand-in on the
+//! nine-circuit suite.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table2
+//! ```
+
+use bench::{print_comparison, suite, timed, ComparisonRow};
+use np_baselines::{rcut, RcutOptions};
+use np_core::{ig_match, IgMatchOptions};
+
+fn main() {
+    let mut rows = Vec::new();
+    for b in suite() {
+        let hg = &b.hypergraph;
+        let (rc, t_rcut) = timed(|| rcut(hg, &RcutOptions::default()));
+        let (igm, t_igm) = timed(|| ig_match(hg, &IgMatchOptions::default()));
+        let igm = igm.unwrap_or_else(|e| panic!("IG-Match failed on {}: {e}", b.name));
+        eprintln!(
+            "{:<8} rcut(10 runs) {:>8.2?}  ig-match {:>8.2?}  (mm bound {} >= cut {})",
+            b.name,
+            t_rcut,
+            t_igm,
+            igm.matching_size,
+            igm.result.stats.cut_nets
+        );
+        rows.push(ComparisonRow {
+            name: b.name.clone(),
+            elements: hg.num_modules(),
+            baseline: rc.stats,
+            contender: igm.result.stats,
+        });
+    }
+    print_comparison(
+        "Table 2: IG-Match vs Wei-Cheng RCut1.0 (stand-in, best of 10 runs)",
+        "RCut",
+        "IG-Match",
+        &rows,
+    );
+}

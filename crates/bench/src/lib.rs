@@ -1,0 +1,166 @@
+//! Shared machinery for the table-regeneration binaries and Criterion
+//! benches.
+//!
+//! Every table and figure of the paper's evaluation (§4) has a binary in
+//! `src/bin/` that regenerates it against the synthetic MCNC stand-in
+//! suite (see `DESIGN.md` §3 for the experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — cut statistics by net size (Primary2) |
+//! | `table2` | Table 2 — IG-Match vs RCut1.0 |
+//! | `table3` | Table 3 — IG-Match vs IG-Vote |
+//! | `eig1_compare` | §4 text — IG-Match vs EIG1 (22% claim) |
+//! | `sparsity` | §1.2/§2.1 — intersection-graph vs clique nonzeros |
+//! | `timing` | §4 text — spectral vs multi-start FM CPU time |
+//! | `ablation_weights` | §2.2 — IG weighting robustness |
+//! | `ablation_recursive` | §3 — free-module refinement extension |
+//! | `ablation_threshold` | §5 — input sparsification by thresholding |
+//! | `ablation_cluster` | §5 — clustering condensation hybrid |
+//! | `ablation_block` | §1.1 fn.1 — block vs single-vector Lanczos |
+//! | `ablation_areas` | §4 — area-oblivious spectral vs area-aware RCut |
+//! | `hybrid` | §5 — IG-Match + ratio-FM post-refinement |
+//! | `bounds` | Theorem 1 — per-instance optimality certificates |
+//! | `suite_explore` | developer harness for calibrating the suite |
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use np_netlist::generate::{mcnc_suite, Benchmark};
+use np_netlist::CutStats;
+use std::time::{Duration, Instant};
+
+/// One comparison row: a circuit name plus the two contestants' stats.
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    /// Benchmark name (paper's "Test problem" column).
+    pub name: String,
+    /// Number of modules (paper's "Number of elements").
+    pub elements: usize,
+    /// Baseline cut statistics.
+    pub baseline: CutStats,
+    /// Contender (IG-Match etc.) cut statistics.
+    pub contender: CutStats,
+}
+
+impl ComparisonRow {
+    /// Percent improvement of the contender's ratio cut over the
+    /// baseline's, as the paper computes it:
+    /// `(baseline − contender) / baseline · 100`.
+    pub fn improvement_percent(&self) -> f64 {
+        let b = self.baseline.ratio();
+        let c = self.contender.ratio();
+        if !b.is_finite() || b == 0.0 {
+            0.0
+        } else {
+            (b - c) / b * 100.0
+        }
+    }
+}
+
+/// Formats a ratio the way the paper's tables do (e.g. `5.53e-5`).
+pub fn fmt_ratio(r: f64) -> String {
+    if r.is_finite() {
+        format!("{r:.2e}")
+    } else {
+        "inf".into()
+    }
+}
+
+/// Prints a paper-style comparison table and returns the average
+/// improvement.
+pub fn print_comparison(
+    title: &str,
+    baseline_name: &str,
+    contender_name: &str,
+    rows: &[ComparisonRow],
+) -> f64 {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<8} {:>9} | {:>11} {:>8} {:>10} | {:>11} {:>8} {:>10} | {:>7}",
+        "Test", "elements", "areas", "cut", baseline_name, "areas", "cut", contender_name, "impr %"
+    );
+    let mut sum = 0.0;
+    for r in rows {
+        println!(
+            "{:<8} {:>9} | {:>11} {:>8} {:>10} | {:>11} {:>8} {:>10} | {:>7.0}",
+            r.name,
+            r.elements,
+            r.baseline.areas(),
+            r.baseline.cut_nets,
+            fmt_ratio(r.baseline.ratio()),
+            r.contender.areas(),
+            r.contender.cut_nets,
+            fmt_ratio(r.contender.ratio()),
+            r.improvement_percent()
+        );
+        sum += r.improvement_percent();
+    }
+    let avg = sum / rows.len().max(1) as f64;
+    println!(
+        "average ratio-cut improvement of {contender_name} over {baseline_name}: {avg:.1}%"
+    );
+    avg
+}
+
+/// The benchmark suite used by all experiment binaries.
+pub fn suite() -> Vec<Benchmark> {
+    mcnc_suite()
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_matches_paper_arithmetic() {
+        // bm1 row of Table 2: 12.73e-5 -> 5.53e-5 is a 57% improvement
+        let row = ComparisonRow {
+            name: "bm1".into(),
+            elements: 882,
+            baseline: CutStats {
+                cut_nets: 1,
+                left: 9,
+                right: 873,
+            },
+            contender: CutStats {
+                cut_nets: 1,
+                left: 21,
+                right: 861,
+            },
+        };
+        assert!((row.improvement_percent() - 57.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn fmt_ratio_forms() {
+        assert_eq!(fmt_ratio(5.53e-5), "5.53e-5");
+        assert_eq!(fmt_ratio(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn negative_improvement_possible() {
+        let row = ComparisonRow {
+            name: "19ks".into(),
+            elements: 2844,
+            baseline: CutStats {
+                cut_nets: 10,
+                left: 100,
+                right: 100,
+            },
+            contender: CutStats {
+                cut_nets: 11,
+                left: 100,
+                right: 100,
+            },
+        };
+        assert!(row.improvement_percent() < 0.0);
+    }
+}

@@ -1,0 +1,303 @@
+//! Clustering condensation — the §5 hybrid suggestion: "A hybrid
+//! algorithm which uses clustering to condense the input before applying
+//! the partitioning algorithm (such an approach is discussed by Bui et
+//! al. and by Lengauer) is also promising."
+//!
+//! Coarsening is heavy-edge matching on the clique-model graph: each
+//! module is paired with its strongest unmatched neighbor, roughly
+//! halving the instance per level. Nets are projected onto clusters
+//! (dropping nets that become internal to one cluster, which no partition
+//! of clusters can cut), the condensed netlist is partitioned with
+//! IG-Match, and the result is projected back to the flat modules.
+//!
+//! The condensed ratio-cut denominator counts clusters rather than
+//! modules, so the condensed optimum is only an approximation of the flat
+//! one; the final statistics are always evaluated on the flat netlist, and
+//! the `hybrid` module of the facade crate adds FM polish on top.
+
+use crate::{ig_match, IgMatchOptions, PartitionError, PartitionResult};
+use np_netlist::{Bipartition, Hypergraph, HypergraphBuilder, ModuleId, Side};
+
+/// One level of coarsening: the condensed netlist plus the module →
+/// cluster projection.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// The condensed hypergraph (one vertex per cluster).
+    pub condensed: Hypergraph,
+    /// `cluster_of[module]` = cluster index in the condensed netlist.
+    pub cluster_of: Vec<u32>,
+}
+
+/// Coarsens `hg` by one level of heavy-edge matching on the clique-model
+/// graph. Deterministic: modules are visited in index order and ties
+/// break toward the smaller neighbor index.
+///
+/// Nets whose pins collapse into a single cluster are dropped (they can
+/// never be cut by a cluster-respecting partition); all other nets
+/// survive with their pins mapped to clusters, so the cut of a condensed
+/// partition equals the cut of its flat projection.
+///
+/// # Panics
+///
+/// Panics if `hg` has no modules.
+///
+/// # Example
+///
+/// ```
+/// use np_core::cluster::coarsen;
+/// use np_netlist::hypergraph_from_nets;
+///
+/// let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]);
+/// let c = coarsen(&hg);
+/// assert!(c.condensed.num_modules() <= 2);
+/// ```
+pub fn coarsen(hg: &Hypergraph) -> Coarsening {
+    let n = hg.num_modules();
+    assert!(n > 0, "cannot coarsen an empty hypergraph");
+    let adjacency = crate::models::clique_adjacency(hg);
+
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    for v in 0..n {
+        if mate[v] != UNMATCHED {
+            continue;
+        }
+        let (cols, vals) = adjacency.row(v);
+        let mut best: Option<(u32, f64)> = None;
+        for (&u, &w) in cols.iter().zip(vals) {
+            if mate[u as usize] != UNMATCHED || u as usize == v {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bu, bw)) => w > bw || (w == bw && u < bu),
+            };
+            if better {
+                best = Some((u, w));
+            }
+        }
+        if let Some((u, _)) = best {
+            mate[v] = u;
+            mate[u as usize] = v as u32;
+        }
+    }
+
+    // assign cluster ids: pairs share one id, singletons get their own
+    let mut cluster_of = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        if cluster_of[v] != UNMATCHED {
+            continue;
+        }
+        cluster_of[v] = next;
+        if mate[v] != UNMATCHED {
+            cluster_of[mate[v] as usize] = next;
+        }
+        next += 1;
+    }
+
+    let mut builder = HypergraphBuilder::new(next as usize);
+    for net in hg.nets() {
+        let pins: Vec<ModuleId> = hg
+            .pins(net)
+            .iter()
+            .map(|m| ModuleId(cluster_of[m.index()]))
+            .collect();
+        // builder dedups; skip nets collapsing to a single cluster
+        let first = pins[0];
+        if pins[1..].iter().any(|&p| p != first) {
+            builder.add_net(pins).expect("condensed net valid");
+        }
+    }
+    Coarsening {
+        condensed: builder.finish().expect("condensed hypergraph valid"),
+        cluster_of,
+    }
+}
+
+/// Options for [`clustered_ig_match`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterOptions {
+    /// Number of coarsening levels (each roughly halves the instance).
+    pub levels: usize,
+    /// Options for the IG-Match run on the condensed netlist.
+    pub ig_match: IgMatchOptions,
+}
+
+impl Default for ClusterOptions {
+    fn default() -> Self {
+        ClusterOptions {
+            levels: 1,
+            ig_match: IgMatchOptions::default(),
+        }
+    }
+}
+
+/// Coarsens the netlist `opts.levels` times, partitions the condensed
+/// instance with IG-Match, and projects the result back to the flat
+/// modules.
+///
+/// # Errors
+///
+/// Propagates IG-Match errors on the condensed instance.
+///
+/// # Example
+///
+/// ```
+/// use np_core::cluster::{clustered_ig_match, ClusterOptions};
+/// use np_netlist::generate::{generate, GeneratorConfig};
+///
+/// let hg = generate(&GeneratorConfig::new(200, 220, 11));
+/// let r = clustered_ig_match(&hg, &ClusterOptions::default())?;
+/// assert!(r.ratio().is_finite());
+/// # Ok::<(), np_core::PartitionError>(())
+/// ```
+pub fn clustered_ig_match(
+    hg: &Hypergraph,
+    opts: &ClusterOptions,
+) -> Result<PartitionResult, PartitionError> {
+    // compose the coarsening maps
+    let mut current = hg.clone();
+    let mut flat_to_coarse: Vec<u32> = (0..hg.num_modules() as u32).collect();
+    for _ in 0..opts.levels {
+        if current.num_modules() <= 4 {
+            break;
+        }
+        let c = coarsen(&current);
+        for f in flat_to_coarse.iter_mut() {
+            *f = c.cluster_of[*f as usize];
+        }
+        current = c.condensed;
+    }
+    let out = ig_match(&current, &opts.ig_match)?;
+    let sides = flat_to_coarse
+        .iter()
+        .map(|&c| out.result.partition.side(ModuleId(c)))
+        .collect();
+    let partition = Bipartition::from_sides(sides);
+    Ok(PartitionResult::evaluate(
+        hg,
+        partition,
+        "IG-Match/clustered",
+        out.result.split_rank,
+    ))
+}
+
+/// Checks that a flat partition respects a clustering (all modules of a
+/// cluster on one side) — test helper exposed for the ablation binaries.
+pub fn respects_clustering(partition: &Bipartition, cluster_of: &[u32]) -> bool {
+    let mut side_of_cluster: Vec<Option<Side>> = vec![None; cluster_of.len()];
+    for (m, &c) in cluster_of.iter().enumerate() {
+        let s = partition.side(ModuleId(m as u32));
+        match side_of_cluster[c as usize] {
+            None => side_of_cluster[c as usize] = Some(s),
+            Some(prev) if prev != s => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::generate::{generate, GeneratorConfig};
+    use np_netlist::hypergraph_from_nets;
+
+    #[test]
+    fn coarsen_halves_a_chain() {
+        let hg = hypergraph_from_nets(6, &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]]);
+        let c = coarsen(&hg);
+        assert_eq!(c.condensed.num_modules(), 3);
+        // every module mapped
+        assert!(c.cluster_of.iter().all(|&x| (x as usize) < 3));
+    }
+
+    #[test]
+    fn internal_nets_dropped() {
+        // net {0,1} collapses when 0 and 1 merge (they are each other's
+        // heaviest neighbors)
+        let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let c = coarsen(&hg);
+        assert!(c.condensed.num_nets() < hg.num_nets());
+    }
+
+    #[test]
+    fn condensed_cut_equals_flat_cut_for_respecting_partitions() {
+        let hg = generate(&GeneratorConfig::new(120, 130, 21));
+        let c = coarsen(&hg);
+        // partition condensed clusters by parity, project to flat
+        let flat = Bipartition::from_sides(
+            c.cluster_of
+                .iter()
+                .map(|&cl| if cl % 2 == 0 { Side::Left } else { Side::Right })
+                .collect(),
+        );
+        let condensed = Bipartition::from_sides(
+            (0..c.condensed.num_modules() as u32)
+                .map(|cl| if cl % 2 == 0 { Side::Left } else { Side::Right })
+                .collect(),
+        );
+        assert_eq!(
+            flat.cut_stats(&hg).cut_nets,
+            condensed.cut_stats(&c.condensed).cut_nets
+        );
+    }
+
+    #[test]
+    fn clustered_partition_respects_clusters() {
+        let hg = generate(&GeneratorConfig::new(150, 160, 5));
+        let c = coarsen(&hg);
+        let r = clustered_ig_match(
+            &hg,
+            &ClusterOptions {
+                levels: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(respects_clustering(&r.partition, &c.cluster_of));
+        assert_eq!(r.stats, r.partition.cut_stats(&hg));
+    }
+
+    #[test]
+    fn multi_level_coarsening_shrinks_more() {
+        let hg = generate(&GeneratorConfig::new(400, 420, 7));
+        let one = coarsen(&hg);
+        let two = coarsen(&one.condensed);
+        assert!(two.condensed.num_modules() < one.condensed.num_modules());
+        assert!(two.condensed.num_modules() >= hg.num_modules() / 5);
+    }
+
+    #[test]
+    fn clustered_quality_reasonable_on_planted_instance() {
+        // satellite instance: even after condensation the natural cut
+        // should be found within 2x of the flat one
+        let hg = generate(&GeneratorConfig::new(300, 320, 13).with_satellite(0.1, 3));
+        let flat = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+        let clustered = clustered_ig_match(&hg, &ClusterOptions::default()).unwrap();
+        assert!(
+            clustered.ratio() <= flat.result.ratio() * 4.0 + 1e-9,
+            "clustered {} vs flat {}",
+            clustered.ratio(),
+            flat.result.ratio()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let hg = generate(&GeneratorConfig::new(200, 210, 3));
+        let a = clustered_ig_match(&hg, &ClusterOptions::default()).unwrap();
+        let b = clustered_ig_match(&hg, &ClusterOptions::default()).unwrap();
+        assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    fn respects_clustering_detects_violation() {
+        let cluster_of = vec![0u32, 0, 1, 1];
+        let good = Bipartition::from_sides(vec![Side::Left, Side::Left, Side::Right, Side::Right]);
+        let bad = Bipartition::from_sides(vec![Side::Left, Side::Right, Side::Right, Side::Right]);
+        assert!(respects_clustering(&good, &cluster_of));
+        assert!(!respects_clustering(&bad, &cluster_of));
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the partitioning algorithms.
+
+use np_eigen::EigenError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the spectral partitioning algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// The underlying eigensolve failed.
+    Eigen(EigenError),
+    /// The instance is too small to bipartition (fewer than 2 modules or
+    /// fewer than 2 nets where a net ordering is required).
+    TooSmall {
+        /// Number of modules in the instance.
+        modules: usize,
+        /// Number of nets in the instance.
+        nets: usize,
+    },
+    /// No split of the spectral ordering produced a partition with two
+    /// non-empty sides (e.g. a single net containing every module).
+    Degenerate,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::Eigen(e) => write!(f, "eigensolve failed: {e}"),
+            PartitionError::TooSmall { modules, nets } => write!(
+                f,
+                "instance too small to bipartition ({modules} modules, {nets} nets)"
+            ),
+            PartitionError::Degenerate => {
+                write!(f, "no split yields two non-empty sides")
+            }
+        }
+    }
+}
+
+impl Error for PartitionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PartitionError::Eigen(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EigenError> for PartitionError {
+    fn from(e: EigenError) -> Self {
+        PartitionError::Eigen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PartitionError::from(EigenError::TooSmall { dim: 1 });
+        assert!(e.to_string().contains("eigensolve failed"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&PartitionError::Degenerate).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PartitionError>();
+    }
+}

@@ -1,0 +1,546 @@
+//! Incremental maximum matching in the bipartite conflict graph of a
+//! sliding net-ordering split (paper §3, Figures 3 and 5).
+//!
+//! As the split point slides along the sorted eigenvector, nets move one
+//! at a time from `L` to `R`. The bipartite graph `B(L, R, E_B)` — whose
+//! edges are the intersection-graph edges crossing the split — changes
+//! only locally per move, so a maximum matching can be *maintained* rather
+//! than recomputed: unmatch the moving net, try one augmenting path from
+//! its exposed ex-partner, then one from the moved net itself. Each repair
+//! is a single `O(|V| + |E|)` alternating BFS, giving the paper's
+//! `O(|V|·(|V|+|E|))` bound over all splits (Theorem 6).
+
+use np_netlist::Side;
+
+const NONE: u32 = u32::MAX;
+
+/// Status labels from the alternating-path classification
+/// (paper Figure 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Not reached from any unmatched vertex (member of `B'`).
+    Unreached,
+    /// `Even(L)`: an `L` vertex at even distance from an unmatched `L`
+    /// vertex — a winner.
+    EvenL,
+    /// `Odd(L)`: an `R` vertex at odd distance from an unmatched `L`
+    /// vertex — a loser.
+    OddL,
+    /// `Even(R)`: an `R` vertex at even distance from an unmatched `R`
+    /// vertex — a winner.
+    EvenR,
+    /// `Odd(R)`: an `L` vertex at odd distance from an unmatched `R`
+    /// vertex — a loser.
+    OddR,
+}
+
+/// Result of classifying the vertices of `B` given a maximum matching:
+/// the winner sets, the forced losers (the *critical set* of Hasan–Liu),
+/// and the residual subgraph `B'` whose orientation Phase II decides.
+///
+/// All vertex lists hold net indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SplitClassification {
+    /// `Even(L)` — winner nets on the `L` side.
+    pub winners_l: Vec<u32>,
+    /// `Even(R)` — winner nets on the `R` side.
+    pub winners_r: Vec<u32>,
+    /// `Odd(L) ∪ Odd(R)` — nets every minimum vertex cover must contain.
+    pub losers: Vec<u32>,
+    /// `L ∩ B'` — matched, unreached `L` vertices.
+    pub bprime_l: Vec<u32>,
+    /// `R ∩ B'` — matched, unreached `R` vertices.
+    pub bprime_r: Vec<u32>,
+}
+
+impl SplitClassification {
+    fn clear(&mut self) {
+        self.winners_l.clear();
+        self.winners_r.clear();
+        self.losers.clear();
+        self.bprime_l.clear();
+        self.bprime_r.clear();
+    }
+}
+
+/// Maximum-matching maintenance over the crossing edges of an ordered
+/// split of the intersection graph.
+///
+/// All nets start on the `L` side; [`move_to_r`](Self::move_to_r) slides
+/// one net across and repairs the matching incrementally.
+///
+/// # Example
+///
+/// ```
+/// use np_core::igmatch::SplitMatcher;
+///
+/// // intersection graph: 0-1, 1-2 (a path of three nets)
+/// let neighbors = vec![vec![1], vec![0, 2], vec![1]];
+/// let mut m = SplitMatcher::new(&neighbors);
+/// assert_eq!(m.matching_size(), 0); // R empty, B empty
+/// m.move_to_r(1);
+/// assert_eq!(m.matching_size(), 1); // net 1 conflicts with 0 and 2
+/// let c = m.classify();
+/// assert_eq!(c.winners_l.len() + c.winners_r.len(), 2);
+/// assert_eq!(c.losers.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SplitMatcher<'a> {
+    neighbors: &'a [Vec<u32>],
+    side: Vec<Side>,
+    mate: Vec<u32>,
+    matching: usize,
+    // BFS scratch, epoch-stamped to avoid per-call clearing
+    seen: Vec<u32>,
+    prev: Vec<u32>,
+    epoch: u32,
+    queue: Vec<u32>,
+}
+
+impl<'a> SplitMatcher<'a> {
+    /// Creates a matcher with every net on the `L` side.
+    ///
+    /// `neighbors[v]` must list the intersection-graph neighbors of net
+    /// `v` (symmetric, no self-loops) — see
+    /// [`intersection_neighbors`](crate::models::intersection_neighbors).
+    pub fn new(neighbors: &'a [Vec<u32>]) -> Self {
+        let n = neighbors.len();
+        SplitMatcher {
+            neighbors,
+            side: vec![Side::Left; n],
+            mate: vec![NONE; n],
+            matching: 0,
+            seen: vec![0; n],
+            prev: vec![NONE; n],
+            epoch: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Number of nets.
+    pub fn len(&self) -> usize {
+        self.side.len()
+    }
+
+    /// Returns `true` if the matcher tracks zero nets.
+    pub fn is_empty(&self) -> bool {
+        self.side.is_empty()
+    }
+
+    /// Current size of the maintained maximum matching — by König's
+    /// theorem (paper Theorems 2–3) also the size of a minimum vertex
+    /// cover of `B`, i.e. the best achievable loser count for this split.
+    pub fn matching_size(&self) -> usize {
+        self.matching
+    }
+
+    /// The side net `v` is currently on.
+    pub fn side_of(&self, v: u32) -> Side {
+        self.side[v as usize]
+    }
+
+    /// Current partner of net `v`, if matched.
+    pub fn mate_of(&self, v: u32) -> Option<u32> {
+        let m = self.mate[v as usize];
+        (m != NONE).then_some(m)
+    }
+
+    /// Moves net `v` from `L` to `R`, repairing the matching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or already on the `R` side.
+    pub fn move_to_r(&mut self, v: u32) {
+        assert_eq!(
+            self.side[v as usize],
+            Side::Left,
+            "net {v} is already on the R side"
+        );
+        // detach v from its partner (an R vertex), if any
+        let exposed = self.mate[v as usize];
+        if exposed != NONE {
+            self.mate[v as usize] = NONE;
+            self.mate[exposed as usize] = NONE;
+            self.matching -= 1;
+        }
+        self.side[v as usize] = Side::Right;
+        // the exposed ex-partner may re-match through another L vertex
+        if exposed != NONE && self.augment_from_r(exposed) {
+            self.matching += 1;
+        }
+        // the moved net's edges to L are new in B; one augmentation
+        // attempt restores maximality
+        if self.augment_from_r(v) {
+            self.matching += 1;
+        }
+    }
+
+    /// Alternating BFS from the unmatched `R` vertex `start`; augments and
+    /// returns `true` if an augmenting path to an unmatched `L` vertex
+    /// exists.
+    fn augment_from_r(&mut self, start: u32) -> bool {
+        debug_assert_eq!(self.side[start as usize], Side::Right);
+        debug_assert_eq!(self.mate[start as usize], NONE);
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.queue.clear();
+        self.queue.push(start);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let y = self.queue[head];
+            head += 1;
+            for &x in &self.neighbors[y as usize] {
+                if self.side[x as usize] != Side::Left || self.seen[x as usize] == epoch {
+                    continue;
+                }
+                self.seen[x as usize] = epoch;
+                self.prev[x as usize] = y;
+                let next = self.mate[x as usize];
+                if next == NONE {
+                    // augment along the stored path
+                    let mut x = x;
+                    loop {
+                        let y = self.prev[x as usize];
+                        let continue_from = self.mate[y as usize];
+                        self.mate[x as usize] = y;
+                        self.mate[y as usize] = x;
+                        if continue_from == NONE {
+                            return true;
+                        }
+                        x = continue_from;
+                    }
+                }
+                self.queue.push(next);
+            }
+        }
+        false
+    }
+
+    /// Classifies all vertices into winners (`Even` sets), forced losers
+    /// (`Odd` sets) and the residual `B'` (paper §3, Figure 3), writing
+    /// into `out` (cleared first). `O(|V| + |E|)`.
+    ///
+    /// The classification is independent of which maximum matching is
+    /// maintained (Hasan–Liu \[17\], paper footnote 4).
+    pub fn classify_into(&mut self, out: &mut SplitClassification) {
+        out.clear();
+        let n = self.len();
+        let mut status = vec![Status::Unreached; n];
+
+        // BFS from unmatched L vertices: Even(L) winners, Odd(L) losers
+        self.queue.clear();
+        for v in 0..n as u32 {
+            if self.side[v as usize] == Side::Left && self.mate[v as usize] == NONE {
+                status[v as usize] = Status::EvenL;
+                self.queue.push(v);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let x = self.queue[head];
+            head += 1;
+            for &y in &self.neighbors[x as usize] {
+                if self.side[y as usize] != Side::Right {
+                    continue;
+                }
+                if status[y as usize] != Status::Unreached {
+                    continue;
+                }
+                status[y as usize] = Status::OddL;
+                let x2 = self.mate[y as usize];
+                debug_assert_ne!(
+                    x2, NONE,
+                    "unmatched R vertex reachable from unmatched L vertex: \
+                     matching was not maximum"
+                );
+                if status[x2 as usize] == Status::Unreached {
+                    status[x2 as usize] = Status::EvenL;
+                    self.queue.push(x2);
+                }
+            }
+        }
+
+        // BFS from unmatched R vertices: Even(R) winners, Odd(R) losers
+        self.queue.clear();
+        for v in 0..n as u32 {
+            if self.side[v as usize] == Side::Right && self.mate[v as usize] == NONE {
+                debug_assert_eq!(status[v as usize], Status::Unreached);
+                status[v as usize] = Status::EvenR;
+                self.queue.push(v);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let y = self.queue[head];
+            head += 1;
+            for &x in &self.neighbors[y as usize] {
+                if self.side[x as usize] != Side::Left {
+                    continue;
+                }
+                if status[x as usize] != Status::Unreached {
+                    debug_assert_ne!(
+                        status[x as usize],
+                        Status::EvenL,
+                        "L vertex reachable from both unmatched sides: \
+                         augmenting path missed"
+                    );
+                    continue;
+                }
+                status[x as usize] = Status::OddR;
+                let y2 = self.mate[x as usize];
+                debug_assert_ne!(y2, NONE);
+                if status[y2 as usize] == Status::Unreached {
+                    status[y2 as usize] = Status::EvenR;
+                    self.queue.push(y2);
+                }
+            }
+        }
+
+        for v in 0..n as u32 {
+            match status[v as usize] {
+                Status::EvenL => out.winners_l.push(v),
+                Status::EvenR => out.winners_r.push(v),
+                Status::OddL | Status::OddR => out.losers.push(v),
+                Status::Unreached => match self.side[v as usize] {
+                    Side::Left => out.bprime_l.push(v),
+                    Side::Right => out.bprime_r.push(v),
+                },
+            }
+        }
+    }
+
+    /// Convenience wrapper allocating a fresh [`SplitClassification`].
+    pub fn classify(&mut self) -> SplitClassification {
+        let mut out = SplitClassification::default();
+        self.classify_into(&mut out);
+        out
+    }
+
+    /// Checks that the maintained matching is a valid matching over the
+    /// current crossing edges (test/debug helper).
+    pub fn matching_is_valid(&self) -> bool {
+        let mut count = 0usize;
+        for v in 0..self.len() as u32 {
+            let m = self.mate[v as usize];
+            if m == NONE {
+                continue;
+            }
+            count += 1;
+            if self.mate[m as usize] != v {
+                return false;
+            }
+            if self.side[v as usize] == self.side[m as usize] {
+                return false;
+            }
+            if !self.neighbors[v as usize].contains(&m) {
+                return false;
+            }
+        }
+        count == 2 * self.matching
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force maximum matching size over the crossing edges, for
+    /// validating the incremental maintenance.
+    fn brute_force_mm(neighbors: &[Vec<u32>], in_r: &[bool]) -> usize {
+        fn try_kuhn(
+            x: u32,
+            neighbors: &[Vec<u32>],
+            in_r: &[bool],
+            seen: &mut [bool],
+            mate: &mut [u32],
+        ) -> bool {
+            for &y in &neighbors[x as usize] {
+                if !in_r[y as usize] || seen[y as usize] {
+                    continue;
+                }
+                seen[y as usize] = true;
+                if mate[y as usize] == NONE
+                    || try_kuhn(mate[y as usize], neighbors, in_r, seen, mate)
+                {
+                    mate[y as usize] = x;
+                    return true;
+                }
+            }
+            false
+        }
+        let n = neighbors.len();
+        let mut mate = vec![NONE; n];
+        let mut size = 0;
+        for x in 0..n as u32 {
+            if in_r[x as usize] {
+                continue;
+            }
+            let mut seen = vec![false; n];
+            if try_kuhn(x, neighbors, in_r, &mut seen, &mut mate) {
+                size += 1;
+            }
+        }
+        size
+    }
+
+    fn path_graph(n: usize) -> Vec<Vec<u32>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i as u32 - 1);
+                }
+                if i + 1 < n {
+                    v.push(i as u32 + 1);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_r_side_no_matching() {
+        let nb = path_graph(4);
+        let mut m = SplitMatcher::new(&nb);
+        assert_eq!(m.matching_size(), 0);
+        let c = m.classify();
+        assert_eq!(c.winners_l.len(), 4);
+        assert!(c.losers.is_empty());
+    }
+
+    #[test]
+    fn single_move_matches_crossing_edge() {
+        let nb = path_graph(3);
+        let mut m = SplitMatcher::new(&nb);
+        m.move_to_r(1);
+        assert_eq!(m.matching_size(), 1);
+        assert!(m.matching_is_valid());
+        // net 1 (R) is matched to 0 or 2; the other L net is a free winner
+        let c = m.classify();
+        assert_eq!(c.losers.len(), 1);
+        assert_eq!(c.winners_l.len() + c.winners_r.len(), 2);
+    }
+
+    #[test]
+    fn incremental_matches_brute_force_on_path() {
+        let nb = path_graph(9);
+        let mut m = SplitMatcher::new(&nb);
+        let mut in_r = vec![false; 9];
+        for v in [4u32, 1, 7, 0, 8, 3] {
+            m.move_to_r(v);
+            in_r[v as usize] = true;
+            assert!(m.matching_is_valid());
+            assert_eq!(
+                m.matching_size(),
+                brute_force_mm(&nb, &in_r),
+                "after moving {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_brute_force_on_dense_graph() {
+        // complete graph K7 as intersection graph
+        let n = 7;
+        let nb: Vec<Vec<u32>> = (0..n)
+            .map(|i| (0..n as u32).filter(|&j| j != i as u32).collect())
+            .collect();
+        let mut m = SplitMatcher::new(&nb);
+        let mut in_r = vec![false; n];
+        for v in 0..n as u32 - 1 {
+            m.move_to_r(v);
+            in_r[v as usize] = true;
+            assert!(m.matching_is_valid());
+            assert_eq!(m.matching_size(), brute_force_mm(&nb, &in_r));
+        }
+    }
+
+    #[test]
+    fn classification_winners_are_independent() {
+        // star: center 0 adjacent to 1..5
+        let mut nb = vec![vec![1, 2, 3, 4, 5]];
+        for _ in 0..5 {
+            nb.push(vec![0]);
+        }
+        let mut m = SplitMatcher::new(&nb);
+        m.move_to_r(0);
+        assert_eq!(m.matching_size(), 1);
+        let c = m.classify();
+        // center is the unique loser; all leaves are winners
+        assert_eq!(c.losers, vec![0]);
+        assert_eq!(c.winners_l.len(), 5);
+        assert!(c.winners_r.is_empty());
+    }
+
+    #[test]
+    fn bprime_appears_when_no_free_vertices_reach_pairs() {
+        // two disjoint crossing edges, all four vertices matched, no free
+        // vertices anywhere: everything matched lands in B'
+        let nb = vec![vec![1], vec![0], vec![3], vec![2]];
+        let mut m = SplitMatcher::new(&nb);
+        m.move_to_r(1);
+        m.move_to_r(3);
+        assert_eq!(m.matching_size(), 2);
+        let c = m.classify();
+        assert!(c.winners_l.is_empty());
+        assert!(c.winners_r.is_empty());
+        assert!(c.losers.is_empty());
+        assert_eq!(c.bprime_l, vec![0, 2]);
+        assert_eq!(c.bprime_r, vec![1, 3]);
+    }
+
+    #[test]
+    fn losers_bounded_by_matching() {
+        let nb = path_graph(12);
+        let mut m = SplitMatcher::new(&nb);
+        for v in [5u32, 2, 9, 0, 7, 11, 4] {
+            m.move_to_r(v);
+            let c = m.classify();
+            assert!(
+                c.losers.len() + c.bprime_l.len().min(c.bprime_r.len()) <= m.matching_size(),
+                "after {v}: losers {} bprime {}/{} mm {}",
+                c.losers.len(),
+                c.bprime_l.len(),
+                c.bprime_r.len(),
+                m.matching_size()
+            );
+        }
+    }
+
+    #[test]
+    fn classification_partitions_all_vertices() {
+        let nb = path_graph(10);
+        let mut m = SplitMatcher::new(&nb);
+        for v in [3u32, 6, 1, 8] {
+            m.move_to_r(v);
+            let c = m.classify();
+            let total = c.winners_l.len()
+                + c.winners_r.len()
+                + c.losers.len()
+                + c.bprime_l.len()
+                + c.bprime_r.len();
+            assert_eq!(total, 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already on the R side")]
+    fn double_move_panics() {
+        let nb = path_graph(3);
+        let mut m = SplitMatcher::new(&nb);
+        m.move_to_r(1);
+        m.move_to_r(1);
+    }
+
+    #[test]
+    fn full_sweep_ends_with_empty_l() {
+        let nb = path_graph(6);
+        let mut m = SplitMatcher::new(&nb);
+        for v in 0..6u32 {
+            m.move_to_r(v);
+        }
+        assert_eq!(m.matching_size(), 0); // everything on R, B empty
+        let c = m.classify();
+        assert_eq!(c.winners_r.len(), 6);
+    }
+}

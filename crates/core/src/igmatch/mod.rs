@@ -1,0 +1,491 @@
+//! The IG-Match algorithm (paper §3, Figures 5–7).
+//!
+//! IG-Match turns a spectral *net* ordering into a *module* partition in
+//! two phases per split of the ordering:
+//!
+//! * **Phase I** — maintain a maximum matching in the bipartite conflict
+//!   graph `B(L, R, E_B)` incrementally as the split slides
+//!   ([`SplitMatcher`]), and classify nets into winners (`Even` sets),
+//!   forced losers (`Odd` sets) and the residual `B'` via alternating-path
+//!   BFS. By König duality the winner sets extend to a maximum independent
+//!   set, so the number of cut nets in the completion never exceeds the
+//!   matching size (Theorems 2–5) — a bound this implementation
+//!   debug-asserts on every split;
+//! * **Phase II** — pin the winners' modules to their sides and place the
+//!   remaining "free" modules first all-left then all-right, keeping the
+//!   better ratio cut (Figure 6).
+//!
+//! The best partition over all `m − 1` splits is returned. A single
+//! deterministic execution suffices — no random restarts (paper §5).
+//!
+//! The optional [`IgMatchOptions::refine_free_modules`] implements the
+//! extension sketched at the end of §3 ("recursive calls to IG-Match in
+//! order to optimally assign modules of B′, B″, etc."): instead of
+//! treating the free modules as one indivisible block, their connected
+//! components are assigned greedily side-by-side, which can only improve
+//! the ratio cut.
+
+mod bipartite;
+mod refine;
+
+pub use bipartite::{SplitClassification, SplitMatcher};
+
+use crate::models::{intersection_neighbors, IgWeighting};
+use crate::ordering::spectral_net_ordering;
+use crate::{PartitionError, PartitionResult};
+use np_eigen::LanczosOptions;
+use np_netlist::{Bipartition, CutStats, Hypergraph, NetId, Side};
+
+/// Options for [`ig_match`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IgMatchOptions {
+    /// Intersection-graph edge weighting used for the spectral ordering.
+    pub weighting: IgWeighting,
+    /// Eigensolver options.
+    pub lanczos: LanczosOptions,
+    /// Enables the §3 extension: component-wise assignment of the free
+    /// modules of the winning split (never worsens the result).
+    pub refine_free_modules: bool,
+}
+
+/// Outcome of an IG-Match run: the partition plus the Phase I quantities
+/// at the winning split.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IgMatchOutcome {
+    /// The best module partition found over all splits.
+    pub result: PartitionResult,
+    /// Size of the maximum matching in `B` at the winning split — the
+    /// optimal completion bound of Theorem 3.
+    pub matching_size: usize,
+    /// Loser count charged by the completion at the winning split
+    /// (`Odd` sets plus one side of `B'`); `≤ matching_size` by Theorem 5.
+    pub loser_count: usize,
+}
+
+/// Runs the full IG-Match algorithm: spectral net ordering on the
+/// intersection graph, then matching-based completion over every split.
+///
+/// # Errors
+///
+/// * [`PartitionError::TooSmall`] for instances with fewer than 2 modules
+///   or nets;
+/// * [`PartitionError::Eigen`] if the eigensolve fails;
+/// * [`PartitionError::Degenerate`] if no split yields two non-empty
+///   sides.
+///
+/// # Example
+///
+/// ```
+/// use np_core::{ig_match, IgMatchOptions};
+/// use np_netlist::hypergraph_from_nets;
+///
+/// let hg = hypergraph_from_nets(
+///     6,
+///     &[vec![0, 1], vec![1, 2], vec![0, 2], vec![3, 4], vec![4, 5], vec![3, 5], vec![2, 3]],
+/// );
+/// let out = ig_match(&hg, &IgMatchOptions::default())?;
+/// assert_eq!(out.result.stats.cut_nets, 1);
+/// assert!(out.result.stats.cut_nets <= out.matching_size);
+/// # Ok::<(), np_core::PartitionError>(())
+/// ```
+pub fn ig_match(hg: &Hypergraph, opts: &IgMatchOptions) -> Result<IgMatchOutcome, PartitionError> {
+    if hg.num_modules() < 2 {
+        return Err(PartitionError::TooSmall {
+            modules: hg.num_modules(),
+            nets: hg.num_nets(),
+        });
+    }
+    let order = spectral_net_ordering(hg, opts.weighting, &opts.lanczos)?;
+    ig_match_with_ordering(hg, &order, opts.refine_free_modules)
+}
+
+/// Runs the IG-Match completion over every split of an explicit net
+/// ordering. Exposed so the matching machinery can be driven by
+/// non-spectral orderings (tests, ablations).
+///
+/// # Errors
+///
+/// [`PartitionError::Degenerate`] if no split yields two non-empty sides.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the nets of `hg`.
+pub fn ig_match_with_ordering(
+    hg: &Hypergraph,
+    order: &[NetId],
+    refine_free_modules: bool,
+) -> Result<IgMatchOutcome, PartitionError> {
+    assert_eq!(order.len(), hg.num_nets(), "net ordering length mismatch");
+    let m = hg.num_nets();
+    if m < 2 {
+        return Err(PartitionError::TooSmall {
+            modules: hg.num_modules(),
+            nets: m,
+        });
+    }
+
+    let neighbors = intersection_neighbors(hg);
+    let mut matcher = SplitMatcher::new(&neighbors);
+    let mut class = SplitClassification::default();
+    let mut completion = CompletionScratch::new(hg);
+
+    let mut best: Option<Best> = None;
+
+    // after moving k+1 nets, the split is (R = order[..=k] | L = order[k+1..]);
+    // the last move empties L and is skipped (degenerate split)
+    for (k, &net) in order[..m - 1].iter().enumerate() {
+        matcher.move_to_r(net.0);
+        matcher.classify_into(&mut class);
+        let Candidate {
+            stats,
+            put_free_left,
+            losers,
+        } = completion.evaluate(hg, &class);
+        debug_assert!(
+            losers <= matcher.matching_size(),
+            "Theorem 5 violated at split {k}: {losers} losers > MM {}",
+            matcher.matching_size()
+        );
+        debug_assert!(
+            stats.cut_nets <= losers,
+            "completion cut {} exceeds loser count {losers} at split {k}",
+            stats.cut_nets
+        );
+        let ratio = stats.ratio();
+        if ratio.is_finite() && best.as_ref().is_none_or(|b| ratio < b.ratio) {
+            best = Some(Best {
+                ratio,
+                split_rank: k,
+                partition: completion.materialize(hg, put_free_left),
+                free_mask: completion.free_mask(hg),
+                matching_size: matcher.matching_size(),
+                loser_count: losers,
+            });
+        }
+    }
+
+    let best = best.ok_or(PartitionError::Degenerate)?;
+    let mut partition = best.partition;
+    if refine_free_modules {
+        refine::refine_free_components(hg, &mut partition, &best.free_mask);
+    }
+    let result = PartitionResult::evaluate(hg, partition, "IG-Match", Some(best.split_rank));
+    debug_assert!(result.stats.cut_nets <= best.loser_count || refine_free_modules);
+    Ok(IgMatchOutcome {
+        result,
+        matching_size: best.matching_size,
+        loser_count: best.loser_count,
+    })
+}
+
+struct Best {
+    ratio: f64,
+    split_rank: usize,
+    partition: Bipartition,
+    /// `free_mask[m]` is `true` for the `V_N` modules of this split.
+    free_mask: Vec<bool>,
+    matching_size: usize,
+    loser_count: usize,
+}
+
+/// Result of evaluating both Phase II options at one split.
+struct Candidate {
+    stats: CutStats,
+    /// `true` if the better option assigns the free modules to the left
+    /// (winner-`L`) side.
+    put_free_left: bool,
+    /// Loser nets charged by the better option
+    /// (`|Odd(L)| + |Odd(R)| +` the orientation's `B'` side).
+    losers: usize,
+}
+
+/// Reusable buffers for the Phase II evaluation (paper Figure 6).
+///
+/// Tags every module as `V_L` (in some winner-`L` net), `V_R` (winner-`R`
+/// net) or free (`V_N`), then scores both orientations of `V_N` in a
+/// single `O(pins)` pass.
+struct CompletionScratch {
+    tag: Vec<Tag>,
+    tag_epoch: Vec<u32>,
+    epoch: u32,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Tag {
+    Free,
+    WinL,
+    WinR,
+}
+
+impl CompletionScratch {
+    fn new(hg: &Hypergraph) -> Self {
+        CompletionScratch {
+            tag: vec![Tag::Free; hg.num_modules()],
+            tag_epoch: vec![0; hg.num_modules()],
+            epoch: 0,
+        }
+    }
+
+    fn tag_of(&self, m: usize) -> Tag {
+        if self.tag_epoch[m] == self.epoch {
+            self.tag[m]
+        } else {
+            Tag::Free
+        }
+    }
+
+    fn set_tag(&mut self, m: usize, t: Tag) {
+        self.tag[m] = t;
+        self.tag_epoch[m] = self.epoch;
+    }
+
+    /// Tags winner modules and scores both free-module orientations.
+    fn evaluate(&mut self, hg: &Hypergraph, class: &SplitClassification) -> Candidate {
+        self.epoch += 1;
+        let mut count_l = 0usize;
+        let mut count_r = 0usize;
+        for &net in &class.winners_l {
+            for &m in hg.pins(NetId(net)) {
+                if self.tag_of(m.index()) == Tag::Free {
+                    self.set_tag(m.index(), Tag::WinL);
+                    count_l += 1;
+                }
+                debug_assert_ne!(self.tag_of(m.index()), Tag::WinR, "V_L ∩ V_R nonempty");
+            }
+        }
+        for &net in &class.winners_r {
+            for &m in hg.pins(NetId(net)) {
+                if self.tag_of(m.index()) == Tag::Free {
+                    self.set_tag(m.index(), Tag::WinR);
+                    count_r += 1;
+                }
+                debug_assert_ne!(self.tag_of(m.index()), Tag::WinL, "V_L ∩ V_R nonempty");
+            }
+        }
+        let n = hg.num_modules();
+        // option A: free modules join the L side; option B: the R side
+        let mut cut_a = 0usize;
+        let mut cut_b = 0usize;
+        for net in hg.nets() {
+            let mut has_l = false;
+            let mut has_r = false;
+            let mut has_free = false;
+            for &m in hg.pins(net) {
+                match self.tag_of(m.index()) {
+                    Tag::WinL => has_l = true,
+                    Tag::WinR => has_r = true,
+                    Tag::Free => has_free = true,
+                }
+            }
+            if has_r && (has_l || has_free) {
+                cut_a += 1;
+            }
+            if has_l && (has_r || has_free) {
+                cut_b += 1;
+            }
+        }
+        let stats_a = CutStats {
+            cut_nets: cut_a,
+            left: n - count_r,
+            right: count_r,
+        };
+        let stats_b = CutStats {
+            cut_nets: cut_b,
+            left: count_l,
+            right: n - count_l,
+        };
+        let losers_a = class.losers.len() + class.bprime_r.len();
+        let losers_b = class.losers.len() + class.bprime_l.len();
+        if stats_a.ratio() <= stats_b.ratio() {
+            Candidate {
+                stats: stats_a,
+                put_free_left: true,
+                losers: losers_a,
+            }
+        } else {
+            Candidate {
+                stats: stats_b,
+                put_free_left: false,
+                losers: losers_b,
+            }
+        }
+    }
+
+    /// Builds the explicit partition for the chosen orientation of the
+    /// *current* tags (call right after [`evaluate`](Self::evaluate)).
+    fn materialize(&self, hg: &Hypergraph, put_free_left: bool) -> Bipartition {
+        let sides = (0..hg.num_modules())
+            .map(|m| match self.tag_of(m) {
+                Tag::WinL => Side::Left,
+                Tag::WinR => Side::Right,
+                Tag::Free => {
+                    if put_free_left {
+                        Side::Left
+                    } else {
+                        Side::Right
+                    }
+                }
+            })
+            .collect();
+        Bipartition::from_sides(sides)
+    }
+
+    /// The `V_N` membership mask of the *current* tags.
+    fn free_mask(&self, hg: &Hypergraph) -> Vec<bool> {
+        (0..hg.num_modules())
+            .map(|m| self.tag_of(m) == Tag::Free)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::hypergraph_from_nets;
+
+    fn two_triangles() -> Hypergraph {
+        hypergraph_from_nets(
+            6,
+            &[
+                vec![0, 1],
+                vec![1, 2],
+                vec![0, 2],
+                vec![3, 4],
+                vec![4, 5],
+                vec![3, 5],
+                vec![2, 3],
+            ],
+        )
+    }
+
+    #[test]
+    fn finds_bridge_cut() {
+        let out = ig_match(&two_triangles(), &IgMatchOptions::default()).unwrap();
+        assert_eq!(out.result.stats.cut_nets, 1);
+        assert_eq!(out.result.stats.areas(), "3:3");
+        assert!(out.result.stats.cut_nets <= out.matching_size);
+        assert!(out.loser_count <= out.matching_size);
+    }
+
+    #[test]
+    fn explicit_ordering_perfect_split() {
+        let hg = two_triangles();
+        let order: Vec<NetId> = [0u32, 1, 2, 6, 3, 4, 5].iter().map(|&i| NetId(i)).collect();
+        let out = ig_match_with_ordering(&hg, &order, false).unwrap();
+        assert_eq!(out.result.stats.cut_nets, 1);
+    }
+
+    #[test]
+    fn adversarial_ordering_still_valid() {
+        let hg = two_triangles();
+        // worst-case interleaving
+        let order: Vec<NetId> = [0u32, 3, 1, 4, 2, 5, 6].iter().map(|&i| NetId(i)).collect();
+        let out = ig_match_with_ordering(&hg, &order, false).unwrap();
+        let s = &out.result.stats;
+        assert!(s.left > 0 && s.right > 0);
+        assert_eq!(s.left + s.right, 6);
+        assert_eq!(*s, out.result.partition.cut_stats(&hg));
+        assert!(s.cut_nets <= out.loser_count);
+    }
+
+    #[test]
+    fn stats_consistent_with_partition() {
+        let out = ig_match(&two_triangles(), &IgMatchOptions::default()).unwrap();
+        assert_eq!(
+            out.result.stats,
+            out.result.partition.cut_stats(&two_triangles())
+        );
+    }
+
+    #[test]
+    fn figure4_style_cut_below_matching_bound() {
+        // A situation where the completed partition cuts fewer nets than
+        // the matching size (paper Figure 4): losers may end up uncut when
+        // Phase II pulls all their modules to one side.
+        // nets: a={0,1}, b={1,2}, c={2,3}, d={3,4}, e={4,5}
+        let hg = hypergraph_from_nets(
+            6,
+            &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]],
+        );
+        // sweep all orderings of a path; bound must hold everywhere
+        let order: Vec<NetId> = (0..5u32).map(NetId).collect();
+        let out = ig_match_with_ordering(&hg, &order, false).unwrap();
+        assert!(out.result.stats.cut_nets <= out.matching_size);
+    }
+
+    #[test]
+    fn single_net_rejected() {
+        let hg = hypergraph_from_nets(3, &[vec![0, 1, 2]]);
+        assert!(matches!(
+            ig_match(&hg, &IgMatchOptions::default()),
+            Err(PartitionError::TooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn two_identical_full_nets_degenerate() {
+        // both nets contain all modules: every completion has an empty side
+        let hg = hypergraph_from_nets(3, &[vec![0, 1, 2], vec![0, 1, 2]]);
+        let order: Vec<NetId> = vec![NetId(0), NetId(1)];
+        assert!(matches!(
+            ig_match_with_ordering(&hg, &order, false),
+            Err(PartitionError::Degenerate)
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let hg = two_triangles();
+        let a = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+        let b = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+        assert_eq!(a.result.partition, b.result.partition);
+    }
+
+    #[test]
+    fn refinement_never_worsens() {
+        let hg = two_triangles();
+        let plain = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+        let refined = ig_match(
+            &hg,
+            &IgMatchOptions {
+                refine_free_modules: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(refined.result.ratio() <= plain.result.ratio() + 1e-12);
+    }
+
+    #[test]
+    fn all_weightings_work() {
+        let hg = two_triangles();
+        for w in IgWeighting::ALL {
+            let out = ig_match(
+                &hg,
+                &IgMatchOptions {
+                    weighting: w,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.result.stats.cut_nets, 1, "weighting {}", w.name());
+        }
+    }
+
+    #[test]
+    fn unbalanced_natural_cut_found() {
+        // satellite of 2 modules attached by one net to a clique of 6
+        let mut nets: Vec<Vec<u32>> = Vec::new();
+        for i in 2..8u32 {
+            for j in i + 1..8 {
+                nets.push(vec![i, j]);
+            }
+        }
+        nets.push(vec![0, 1]); // satellite net
+        nets.push(vec![1, 2]); // coupling net
+        let hg = hypergraph_from_nets(8, &nets);
+        let out = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+        assert_eq!(out.result.stats.cut_nets, 1);
+        assert_eq!(out.result.stats.areas(), "2:6");
+    }
+}

@@ -1,0 +1,181 @@
+//! Component-wise refinement of the free modules — the extension sketched
+//! at the end of paper §3.
+//!
+//! Phase II places *all* free (`V_N`) modules on one side. The paper notes
+//! that "an interesting extension of our algorithm would be to make
+//! recursive calls to IG-Match in order to optimally assign modules of
+//! B′, B″, etc." This module implements that idea in its simplest sound
+//! form: the free modules are grouped into connected components (two free
+//! modules are connected when some net contains both), and each component
+//! is greedily flipped to whichever side improves the ratio cut, repeating
+//! until a fixed point. Since only improving flips are kept, the result is
+//! never worse than the unrefined Phase II assignment.
+
+use np_netlist::partition::CutTracker;
+use np_netlist::{Bipartition, Hypergraph, ModuleId};
+
+/// Maximum improvement passes; each pass flips every component at most
+/// once, and in practice a fixed point is reached in one or two passes.
+const MAX_PASSES: usize = 8;
+
+/// Greedily reassigns connected components of the free-module set to the
+/// better side, in place. `free_mask[m]` marks the `V_N` modules of the
+/// winning split.
+///
+/// # Panics
+///
+/// Panics if `free_mask.len() != hg.num_modules()` or
+/// `partition.len() != hg.num_modules()`.
+pub fn refine_free_components(hg: &Hypergraph, partition: &mut Bipartition, free_mask: &[bool]) {
+    assert_eq!(free_mask.len(), hg.num_modules(), "mask length mismatch");
+    assert_eq!(partition.len(), hg.num_modules(), "partition length mismatch");
+
+    let components = free_components(hg, free_mask);
+    if components.is_empty() {
+        return;
+    }
+
+    let mut tracker = CutTracker::from_partition(hg, partition);
+    for _ in 0..MAX_PASSES {
+        let mut improved = false;
+        for comp in &components {
+            let before = tracker.ratio();
+            // flip the whole component
+            for &m in comp {
+                let side = tracker.side(m);
+                tracker.move_module(m, side.flip());
+            }
+            let after = tracker.ratio();
+            if after < before {
+                improved = true;
+            } else {
+                // revert
+                for &m in comp {
+                    let side = tracker.side(m);
+                    tracker.move_module(m, side.flip());
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    *partition = tracker.to_partition();
+}
+
+/// Connected components of the subgraph induced by the free modules
+/// (adjacency: sharing a net), each as a sorted module list, ordered by
+/// smallest member for determinism.
+fn free_components(hg: &Hypergraph, free_mask: &[bool]) -> Vec<Vec<ModuleId>> {
+    let mut seen = vec![false; hg.num_modules()];
+    let mut components = Vec::new();
+    let mut stack = Vec::new();
+    for start in hg.modules() {
+        if !free_mask[start.index()] || seen[start.index()] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        seen[start.index()] = true;
+        stack.push(start);
+        while let Some(m) = stack.pop() {
+            comp.push(m);
+            for &net in hg.nets_of(m) {
+                for &other in hg.pins(net) {
+                    if free_mask[other.index()] && !seen[other.index()] {
+                        seen[other.index()] = true;
+                        stack.push(other);
+                    }
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::{hypergraph_from_nets, Side};
+
+    #[test]
+    fn no_free_modules_is_noop() {
+        let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![2, 3]]);
+        let mut p = Bipartition::from_left_set(4, [ModuleId(0), ModuleId(1)]);
+        let before = p.clone();
+        refine_free_components(&hg, &mut p, &[false; 4]);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn misplaced_component_flipped() {
+        // modules 4,5 form a free component glued to the right cluster
+        // but initially placed left
+        let hg = hypergraph_from_nets(
+            6,
+            &[
+                vec![0, 1],
+                vec![2, 3],
+                vec![2, 4], // ties free pair to right cluster
+                vec![4, 5],
+            ],
+        );
+        let mut p = Bipartition::from_left_set(
+            6,
+            [ModuleId(0), ModuleId(1), ModuleId(4), ModuleId(5)],
+        );
+        let before = p.ratio_cut(&hg);
+        let mut mask = [false; 6];
+        mask[4] = true;
+        mask[5] = true;
+        refine_free_components(&hg, &mut p, &mask);
+        let after = p.ratio_cut(&hg);
+        assert!(after < before, "{after} !< {before}");
+        assert_eq!(p.side(ModuleId(4)), Side::Right);
+        assert_eq!(p.side(ModuleId(5)), Side::Right);
+    }
+
+    #[test]
+    fn never_worsens() {
+        let hg = hypergraph_from_nets(
+            5,
+            &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4]],
+        );
+        for left_bits in 1..31u32 {
+            let left = (0..5).filter(|i| left_bits & (1 << i) != 0).map(ModuleId);
+            let mut p = Bipartition::from_left_set(5, left);
+            let before = p.ratio_cut(&hg);
+            refine_free_components(&hg, &mut p, &[true; 5]);
+            let after = p.ratio_cut(&hg);
+            assert!(after <= before + 1e-12, "bits {left_bits}: {after} > {before}");
+        }
+    }
+
+    #[test]
+    fn components_respect_mask() {
+        let hg = hypergraph_from_nets(5, &[vec![0, 1], vec![1, 2], vec![3, 4]]);
+        let mask = [true, false, true, true, true];
+        let comps = free_components(&hg, &mask);
+        // module 1 is not free, so 0 and 2 are separate components;
+        // 3-4 stay connected
+        assert_eq!(comps.len(), 3);
+        assert!(comps.contains(&vec![ModuleId(0)]));
+        assert!(comps.contains(&vec![ModuleId(2)]));
+        assert!(comps.contains(&vec![ModuleId(3), ModuleId(4)]));
+    }
+
+    #[test]
+    fn deterministic() {
+        let hg = hypergraph_from_nets(
+            6,
+            &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
+        );
+        let run = || {
+            let mut p = Bipartition::from_left_set(6, [ModuleId(0), ModuleId(1), ModuleId(2)]);
+            refine_free_components(&hg, &mut p, &[true; 6]);
+            p
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,64 @@
+//! Spectral ratio-cut partitioning based on the netlist intersection graph.
+//!
+//! This crate implements the algorithms of Cong, Hagen and Kahng,
+//! *Net Partitions Yield Better Module Partitions* (DAC 1992):
+//!
+//! * [`models`] — graph representations of the netlist hypergraph: the
+//!   standard weighted **clique** net model and the dual **intersection
+//!   graph** with the paper's edge weighting (§2);
+//! * [`ordering`] — spectral (Fiedler-vector) linear orderings of modules
+//!   or nets;
+//! * [`eig1`](fn@eig1) — the Hagen–Kahng EIG1 baseline: spectral *module*
+//!   ordering on the clique-model graph plus a best-prefix ratio-cut sweep;
+//! * [`ig_vote`](fn@ig_vote) — the Hagen–Kahng IG-Vote (EIG1-IG) heuristic:
+//!   spectral *net* ordering plus threshold voting (paper Appendix B);
+//! * [`ig_match`](fn@ig_match) — the paper's contribution: for every split
+//!   of the net ordering, an incremental maximum-matching /
+//!   maximum-independent-set computation completes the net partition into a
+//!   module partition cutting at most `|maximum matching|` nets
+//!   (Theorems 2–5), in `O(|V|·(|V|+|E|))` total for all splits
+//!   (Theorem 6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use np_core::{ig_match, IgMatchOptions};
+//! use np_netlist::hypergraph_from_nets;
+//!
+//! // two clusters of modules joined by a single net
+//! let hg = hypergraph_from_nets(
+//!     8,
+//!     &[
+//!         vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3],
+//!         vec![4, 5], vec![5, 6], vec![6, 7], vec![4, 7],
+//!         vec![3, 4], // bridge
+//!     ],
+//! );
+//! let out = ig_match(&hg, &IgMatchOptions::default())?;
+//! assert_eq!(out.result.stats.cut_nets, 1); // only the bridge is cut
+//! assert_eq!(out.result.stats.areas(), "4:4");
+//! # Ok::<(), np_core::PartitionError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod result;
+
+pub mod bounds;
+pub mod cluster;
+pub mod eig1;
+pub mod igmatch;
+pub mod igvote;
+pub mod models;
+pub mod multiway;
+pub mod ordering;
+pub mod placement;
+
+pub use eig1::{eig1, Eig1Options};
+pub use error::PartitionError;
+pub use igmatch::{ig_match, IgMatchOptions, IgMatchOutcome};
+pub use igvote::{ig_vote, IgVoteOptions};
+pub use models::IgWeighting;
+pub use result::PartitionResult;

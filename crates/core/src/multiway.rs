@@ -1,0 +1,361 @@
+//! Multi-way partitioning by recursive bipartition.
+//!
+//! The paper's introduction motivates bipartitioning as the engine of
+//! hierarchical divide-and-conquer: layout synthesis, packaging, hardware
+//! simulation and test all consume multi-block decompositions, and "a good
+//! partitioning will minimize the number of signals between blocks that
+//! are multiplexed onto a hardware simulator" (§1, citing Wei–Cheng).
+//! This module recursively applies IG-Match until every block fits a size
+//! budget, and provides the block-level I/O statistics those applications
+//! care about.
+
+use crate::{ig_match, IgMatchOptions, PartitionError};
+use np_netlist::induce::induced_subhypergraph;
+use np_netlist::{Hypergraph, ModuleId, Side};
+use std::collections::BTreeSet;
+
+/// Options for [`recursive_ig_match`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MultiwayOptions {
+    /// Blocks at or below this size are not split further.
+    pub max_block_size: usize,
+    /// Options for each inner IG-Match run.
+    pub ig_match: IgMatchOptions,
+}
+
+impl Default for MultiwayOptions {
+    fn default() -> Self {
+        MultiwayOptions {
+            max_block_size: 256,
+            ig_match: IgMatchOptions::default(),
+        }
+    }
+}
+
+/// A partition of the modules into `num_blocks` labelled blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiwayPartition {
+    block_of: Vec<u32>,
+    num_blocks: usize,
+}
+
+impl MultiwayPartition {
+    /// Builds a multiway partition from an explicit block-label vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labels are not dense in `0..num_blocks`.
+    pub fn from_labels(block_of: Vec<u32>) -> Self {
+        let num_blocks = block_of.iter().map(|&b| b as usize + 1).max().unwrap_or(0);
+        let mut seen = vec![false; num_blocks];
+        for &b in &block_of {
+            seen[b as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "block labels must be dense in 0..num_blocks"
+        );
+        MultiwayPartition {
+            block_of,
+            num_blocks,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Block label of `module`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is out of range.
+    pub fn block_of(&self, module: ModuleId) -> usize {
+        self.block_of[module.index()] as usize
+    }
+
+    /// Module count of each block, indexed by label.
+    pub fn block_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_blocks];
+        for &b in &self.block_of {
+            sizes[b as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Number of nets spanning more than one block — for hardware
+    /// simulation, the count of signals that must be multiplexed between
+    /// blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hg` has a different module count.
+    pub fn crossing_nets(&self, hg: &Hypergraph) -> usize {
+        assert_eq!(hg.num_modules(), self.block_of.len());
+        hg.nets()
+            .filter(|&n| {
+                let pins = hg.pins(n);
+                let first = self.block_of[pins[0].index()];
+                pins[1..].iter().any(|p| self.block_of[p.index()] != first)
+            })
+            .count()
+    }
+
+    /// Per-block external-net counts: for each block, the number of nets
+    /// with at least one pin inside and at least one pin outside it. This
+    /// is the "number of inputs to a block" that drives test-vector cost
+    /// (§1: "reducing the number of inputs to a block implies that fewer
+    /// vectors will be needed to exercise the logic").
+    pub fn external_nets_per_block(&self, hg: &Hypergraph) -> Vec<usize> {
+        assert_eq!(hg.num_modules(), self.block_of.len());
+        let mut counts = vec![0usize; self.num_blocks];
+        let mut touched = BTreeSet::new();
+        for net in hg.nets() {
+            touched.clear();
+            for p in hg.pins(net) {
+                touched.insert(self.block_of[p.index()]);
+            }
+            if touched.len() > 1 {
+                for &b in &touched {
+                    counts[b as usize] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Histogram of net *span* (how many blocks each net touches), indexed
+    /// by span; entry `[1]` counts fully internal nets.
+    pub fn span_histogram(&self, hg: &Hypergraph) -> Vec<usize> {
+        assert_eq!(hg.num_modules(), self.block_of.len());
+        let mut hist = vec![0usize; self.num_blocks + 1];
+        let mut touched = BTreeSet::new();
+        for net in hg.nets() {
+            touched.clear();
+            for p in hg.pins(net) {
+                touched.insert(self.block_of[p.index()]);
+            }
+            hist[touched.len()] += 1;
+        }
+        hist
+    }
+}
+
+/// Recursively bipartitions `hg` with IG-Match until every block has at
+/// most `opts.max_block_size` modules. Blocks that cannot be split
+/// (degenerate or too-small sub-instances) are kept whole.
+///
+/// # Errors
+///
+/// Propagates eigensolver failures from the top-level split; lower-level
+/// failures terminate that branch's recursion gracefully.
+///
+/// # Example
+///
+/// ```
+/// use np_core::multiway::{recursive_ig_match, MultiwayOptions};
+/// use np_netlist::generate::{generate, GeneratorConfig};
+///
+/// let hg = generate(&GeneratorConfig::new(200, 220, 3));
+/// let mw = recursive_ig_match(&hg, &MultiwayOptions {
+///     max_block_size: 64,
+///     ..Default::default()
+/// })?;
+/// assert!(mw.block_sizes().iter().all(|&s| s <= 64));
+/// # Ok::<(), np_core::PartitionError>(())
+/// ```
+pub fn recursive_ig_match(
+    hg: &Hypergraph,
+    opts: &MultiwayOptions,
+) -> Result<MultiwayPartition, PartitionError> {
+    assert!(opts.max_block_size >= 1, "block size budget must be >= 1");
+    let mut block_of = vec![0u32; hg.num_modules()];
+    let mut next_block = 0u32;
+    let all: Vec<ModuleId> = hg.modules().collect();
+    split(hg, all, opts, &mut block_of, &mut next_block, true)?;
+    Ok(MultiwayPartition {
+        block_of,
+        num_blocks: next_block as usize,
+    })
+}
+
+fn split(
+    hg: &Hypergraph,
+    modules: Vec<ModuleId>,
+    opts: &MultiwayOptions,
+    block_of: &mut [u32],
+    next_block: &mut u32,
+    top_level: bool,
+) -> Result<(), PartitionError> {
+    let finalize = |modules: &[ModuleId], block_of: &mut [u32], next_block: &mut u32| {
+        for m in modules {
+            block_of[m.index()] = *next_block;
+        }
+        *next_block += 1;
+    };
+    if modules.len() <= opts.max_block_size {
+        finalize(&modules, block_of, next_block);
+        return Ok(());
+    }
+    let sub = induced_subhypergraph(hg, &modules);
+    if sub.hypergraph.num_nets() < 2 {
+        finalize(&modules, block_of, next_block);
+        return Ok(());
+    }
+    match ig_match(&sub.hypergraph, &opts.ig_match) {
+        Ok(out) => {
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            for (local, &original) in sub.module_map.iter().enumerate() {
+                match out.result.partition.side(ModuleId(local as u32)) {
+                    Side::Left => left.push(original),
+                    Side::Right => right.push(original),
+                }
+            }
+            if left.is_empty() || right.is_empty() {
+                finalize(&modules, block_of, next_block);
+                return Ok(());
+            }
+            split(hg, left, opts, block_of, next_block, false)?;
+            split(hg, right, opts, block_of, next_block, false)
+        }
+        Err(e) if top_level => Err(e),
+        Err(_) => {
+            finalize(&modules, block_of, next_block);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::generate::{generate, GeneratorConfig};
+    use np_netlist::hypergraph_from_nets;
+
+    fn circuit() -> Hypergraph {
+        generate(&GeneratorConfig::new(300, 330, 0xABCD))
+    }
+
+    #[test]
+    fn blocks_respect_size_budget() {
+        let hg = circuit();
+        let mw = recursive_ig_match(
+            &hg,
+            &MultiwayOptions {
+                max_block_size: 80,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(mw.block_sizes().iter().all(|&s| s <= 80));
+        assert_eq!(mw.block_sizes().iter().sum::<usize>(), 300);
+        assert!(mw.num_blocks() >= 4);
+    }
+
+    #[test]
+    fn block_labels_dense() {
+        let hg = circuit();
+        let mw = recursive_ig_match(
+            &hg,
+            &MultiwayOptions {
+                max_block_size: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(mw.block_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn crossing_consistent_with_span() {
+        let hg = circuit();
+        let mw = recursive_ig_match(
+            &hg,
+            &MultiwayOptions {
+                max_block_size: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let hist = mw.span_histogram(&hg);
+        let crossing: usize = hist[2..].iter().sum();
+        assert_eq!(crossing, mw.crossing_nets(&hg));
+        assert_eq!(hist.iter().sum::<usize>(), hg.num_nets());
+    }
+
+    #[test]
+    fn external_counts_bound_by_crossing() {
+        let hg = circuit();
+        let mw = recursive_ig_match(&hg, &MultiwayOptions::default()).unwrap();
+        let ext = mw.external_nets_per_block(&hg);
+        let crossing = mw.crossing_nets(&hg);
+        for &e in &ext {
+            assert!(e <= crossing);
+        }
+    }
+
+    #[test]
+    fn single_block_when_budget_large() {
+        let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![2, 3]]);
+        let mw = recursive_ig_match(
+            &hg,
+            &MultiwayOptions {
+                max_block_size: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(mw.num_blocks(), 1);
+        assert_eq!(mw.crossing_nets(&hg), 0);
+    }
+
+    #[test]
+    fn from_labels_validates() {
+        let mw = MultiwayPartition::from_labels(vec![0, 1, 1, 0, 2]);
+        assert_eq!(mw.num_blocks(), 3);
+        assert_eq!(mw.block_sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_labels_rejected() {
+        MultiwayPartition::from_labels(vec![0, 2]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let hg = circuit();
+        let opts = MultiwayOptions {
+            max_block_size: 70,
+            ..Default::default()
+        };
+        let a = recursive_ig_match(&hg, &opts).unwrap();
+        let b = recursive_ig_match(&hg, &opts).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bipartition_case_matches_igmatch() {
+        // budget slightly above half: exactly one split happens and the
+        // multiway crossing equals the bipartition cut
+        let hg = circuit();
+        let out = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+        let small = out.result.stats.left.min(out.result.stats.right);
+        let large = out.result.stats.left.max(out.result.stats.right);
+        if small > 0 {
+            let mw = recursive_ig_match(
+                &hg,
+                &MultiwayOptions {
+                    max_block_size: large,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            if mw.num_blocks() == 2 {
+                assert_eq!(mw.crossing_nets(&hg), out.result.stats.cut_nets);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Result type shared by all partitioning algorithms.
+
+use np_netlist::{Bipartition, CutStats, Hypergraph};
+use std::fmt;
+
+/// The outcome of a bipartitioning algorithm: the module partition, its
+/// cut statistics, and where in the spectral sweep it was found.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionResult {
+    /// The module bipartition.
+    pub partition: Bipartition,
+    /// Cut statistics of `partition` (cut nets, block sizes).
+    pub stats: CutStats,
+    /// Name of the producing algorithm (`"EIG1"`, `"IG-Vote"`,
+    /// `"IG-Match"`, ...).
+    pub algorithm: &'static str,
+    /// For sweep-based algorithms, the rank of the winning split in the
+    /// spectral ordering (see each algorithm's documentation for the exact
+    /// meaning of the rank).
+    pub split_rank: Option<usize>,
+}
+
+impl PartitionResult {
+    /// Builds a result, computing the cut statistics from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition.len() != hg.num_modules()`.
+    pub fn evaluate(
+        hg: &Hypergraph,
+        partition: Bipartition,
+        algorithm: &'static str,
+        split_rank: Option<usize>,
+    ) -> Self {
+        let stats = partition.cut_stats(hg);
+        PartitionResult {
+            partition,
+            stats,
+            algorithm,
+            split_rank,
+        }
+    }
+
+    /// The ratio-cut value of the partition.
+    pub fn ratio(&self) -> f64 {
+        self.stats.ratio()
+    }
+}
+
+impl fmt::Display for PartitionResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: cut={} areas={} ratio={:.3e}",
+            self.algorithm,
+            self.stats.cut_nets,
+            self.stats.areas(),
+            self.stats.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::{hypergraph_from_nets, ModuleId};
+
+    #[test]
+    fn evaluate_computes_stats() {
+        let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let p = Bipartition::from_left_set(4, [ModuleId(0), ModuleId(1)]);
+        let r = PartitionResult::evaluate(&hg, p, "TEST", Some(2));
+        assert_eq!(r.stats.cut_nets, 1);
+        assert!((r.ratio() - 0.25).abs() < 1e-12);
+        let s = r.to_string();
+        assert!(s.contains("TEST") && s.contains("cut=1"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the eigensolvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the iterative eigensolvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum EigenError {
+    /// The Lanczos iteration did not reach the requested residual tolerance.
+    NoConvergence {
+        /// Total matrix–vector products spent.
+        iterations: usize,
+        /// Residual norm estimate at the best Ritz pair found.
+        residual: f64,
+    },
+    /// The operator is too small for the requested computation (e.g. a
+    /// Fiedler vector of a 1-vertex graph).
+    TooSmall {
+        /// Dimension of the offending operator.
+        dim: usize,
+    },
+}
+
+impl fmt::Display for EigenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EigenError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "lanczos failed to converge after {iterations} matvecs (residual {residual:.3e})"
+            ),
+            EigenError::TooSmall { dim } => {
+                write!(f, "operator dimension {dim} is too small for this computation")
+            }
+        }
+    }
+}
+
+impl Error for EigenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_and_displays() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EigenError>();
+        let e = EigenError::TooSmall { dim: 1 };
+        assert!(e.to_string().contains("too small"));
+        let e = EigenError::NoConvergence {
+            iterations: 10,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("converge"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Symmetric tridiagonal eigenproblem via implicit QL with Wilkinson
+//! shifts.
+//!
+//! Lanczos reduces the big sparse operator to a small symmetric tridiagonal
+//! matrix `T_k`; its eigenvalues are the Ritz values and its eigenvectors,
+//! mapped back through the Lanczos basis, give the Ritz vectors. `k` stays
+//! in the tens-to-hundreds, so the classic dense `O(k³)` QL algorithm
+//! (EISPACK `tql2`) is entirely adequate.
+
+/// Eigendecomposition of a symmetric tridiagonal matrix.
+#[derive(Clone, Debug)]
+pub struct TridiagEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// `vectors[j]` is the unit eigenvector for `values[j]` (length `n`).
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Computes all eigenvalues and eigenvectors of the symmetric tridiagonal
+/// matrix with diagonal `diag` (length `n`) and subdiagonal `off`
+/// (length `n − 1`).
+///
+/// Implicit QL with Wilkinson shifts; eigenpairs are returned sorted by
+/// ascending eigenvalue.
+///
+/// # Panics
+///
+/// Panics if `off.len() + 1 != diag.len()`, if `diag` is empty, or if the
+/// QL iteration exceeds its (very generous) sweep limit — which for a
+/// symmetric tridiagonal input indicates non-finite values in the input.
+///
+/// # Example
+///
+/// ```
+/// // T = [[2, 1], [1, 2]] has eigenvalues 1 and 3
+/// let e = np_eigen::tridiag::eigh_tridiagonal(&[2.0, 2.0], &[1.0]);
+/// assert!((e.values[0] - 1.0).abs() < 1e-12);
+/// assert!((e.values[1] - 3.0).abs() < 1e-12);
+/// ```
+pub fn eigh_tridiagonal(diag: &[f64], off: &[f64]) -> TridiagEigen {
+    let n = diag.len();
+    assert!(n > 0, "empty tridiagonal matrix");
+    assert_eq!(off.len() + 1, n, "subdiagonal length must be n - 1");
+    assert!(
+        diag.iter().chain(off).all(|v| v.is_finite()),
+        "non-finite entry in tridiagonal matrix"
+    );
+
+    let mut d = diag.to_vec();
+    // e[i] couples rows i and i+1; e[n-1] is a zero sentinel
+    let mut e: Vec<f64> = off.to_vec();
+    e.push(0.0);
+    // z is row-major n×n; column j will be the eigenvector of d[j]
+    let mut z = vec![0.0f64; n * n];
+    for i in 0..n {
+        z[i * n + i] = 1.0;
+    }
+
+    const EPS: f64 = f64::EPSILON;
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // find the first decoupled position m >= l
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= EPS * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 64, "QL iteration failed to converge");
+            // Wilkinson shift
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r } else { -r };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    // recover from underflow: deflate and restart this l
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // accumulate the rotation into the eigenvector matrix
+                for k in 0..n {
+                    f = z[k * n + i + 1];
+                    z[k * n + i + 1] = s * z[k * n + i] + c * f;
+                    z[k * n + i] = c * z[k * n + i] - s * f;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // sort ascending, permuting eigenvector columns alongside
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("non-finite eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&j| d[j]).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&j| (0..n).map(|k| z[k * n + j]).collect())
+        .collect();
+    TridiagEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tridiag_matvec(diag: &[f64], off: &[f64], x: &[f64]) -> Vec<f64> {
+        let n = diag.len();
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            y[i] = diag[i] * x[i];
+            if i > 0 {
+                y[i] += off[i - 1] * x[i - 1];
+            }
+            if i + 1 < n {
+                y[i] += off[i] * x[i + 1];
+            }
+        }
+        y
+    }
+
+    fn check_decomposition(diag: &[f64], off: &[f64]) {
+        let e = eigh_tridiagonal(diag, off);
+        let n = diag.len();
+        // ascending
+        assert!(e.values.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        for (lambda, v) in e.values.iter().zip(&e.vectors) {
+            // unit norm
+            let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-10, "norm {norm}");
+            // residual ‖Tv − λv‖ small
+            let tv = tridiag_matvec(diag, off, v);
+            let resid: f64 = tv
+                .iter()
+                .zip(v)
+                .map(|(a, b)| (a - lambda * b).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(resid < 1e-9, "residual {resid} for λ={lambda}");
+        }
+        // pairwise orthogonality
+        for i in 0..n {
+            for j in i + 1..n {
+                let d: f64 = e.vectors[i]
+                    .iter()
+                    .zip(&e.vectors[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(d.abs() < 1e-9, "vectors {i},{j} not orthogonal: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one() {
+        let e = eigh_tridiagonal(&[5.0], &[]);
+        assert_eq!(e.values, vec![5.0]);
+        assert_eq!(e.vectors, vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn two_by_two_exact() {
+        let e = eigh_tridiagonal(&[2.0, 2.0], &[1.0]);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let e = eigh_tridiagonal(&[3.0, 1.0, 2.0], &[0.0, 0.0]);
+        assert_eq!(e.values, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn path_laplacian_eigenvalues() {
+        // Laplacian of the path P4: eigenvalues 2 - 2cos(kπ/4), k=0..3
+        let diag = [1.0, 2.0, 2.0, 1.0];
+        let off = [-1.0, -1.0, -1.0];
+        let e = eigh_tridiagonal(&diag, &off);
+        for (k, ev) in e.values.iter().enumerate() {
+            let expect = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / 4.0).cos();
+            assert!((ev - expect).abs() < 1e-10, "k={k}: {ev} vs {expect}");
+        }
+        check_decomposition(&diag, &off);
+    }
+
+    #[test]
+    fn random_matrices_satisfy_decomposition() {
+        // deterministic pseudo-random tridiagonal matrices
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for n in [2usize, 3, 5, 8, 20, 40] {
+            let diag: Vec<f64> = (0..n).map(|_| 4.0 * next()).collect();
+            let off: Vec<f64> = (0..n - 1).map(|_| 2.0 * next()).collect();
+            check_decomposition(&diag, &off);
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let diag = [1.0, -2.0, 3.5, 0.25];
+        let off = [0.5, -1.5, 2.0];
+        let e = eigh_tridiagonal(&diag, &off);
+        let trace: f64 = diag.iter().sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "subdiagonal length")]
+    fn wrong_off_length_panics() {
+        eigh_tridiagonal(&[1.0, 2.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_input_panics() {
+        eigh_tridiagonal(&[1.0, f64::NAN], &[0.5]);
+    }
+}

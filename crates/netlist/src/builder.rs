@@ -1,0 +1,245 @@
+//! Incremental construction of [`Hypergraph`]s.
+
+use crate::{Hypergraph, ModuleId, NetId, NetlistError};
+
+/// Builder for [`Hypergraph`]; accumulates nets and produces the immutable,
+/// doubly-indexed representation.
+///
+/// Pins passed to [`add_net`](Self::add_net) are sorted and deduplicated
+/// (a module can physically connect to a net through several pins, but for
+/// partitioning only membership matters — this mirrors the standard netlist
+/// hypergraph model of Schweikert–Kernighan).
+///
+/// # Example
+///
+/// ```
+/// use np_netlist::{HypergraphBuilder, ModuleId};
+///
+/// # fn main() -> Result<(), np_netlist::NetlistError> {
+/// let mut b = HypergraphBuilder::new(3);
+/// // duplicate pins are collapsed
+/// let id = b.add_net([ModuleId(2), ModuleId(0), ModuleId(2)])?;
+/// let hg = b.finish()?;
+/// assert_eq!(hg.pins(id), &[ModuleId(0), ModuleId(2)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct HypergraphBuilder {
+    num_modules: u32,
+    net_offsets: Vec<u32>,
+    net_pins: Vec<ModuleId>,
+}
+
+impl HypergraphBuilder {
+    /// Creates a builder for a hypergraph with `num_modules` modules and no
+    /// nets yet.
+    pub fn new(num_modules: usize) -> Self {
+        HypergraphBuilder {
+            num_modules: u32::try_from(num_modules).expect("module count exceeds u32::MAX"),
+            net_offsets: vec![0],
+            net_pins: Vec::new(),
+        }
+    }
+
+    /// Number of modules declared for the hypergraph under construction.
+    pub fn num_modules(&self) -> usize {
+        self.num_modules as usize
+    }
+
+    /// Number of nets added so far.
+    pub fn num_nets(&self) -> usize {
+        self.net_offsets.len() - 1
+    }
+
+    /// Adds a net connecting the given pins and returns its [`NetId`].
+    ///
+    /// Pins are sorted and deduplicated. Single-pin nets are accepted (they
+    /// occur in real netlists as dangling or power stubs) but contribute
+    /// nothing to any cut; see [`Hypergraph`] users for how they are treated.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::EmptyNet`] if `pins` is empty;
+    /// * [`NetlistError::ModuleOutOfRange`] if a pin references a module
+    ///   index `>= num_modules`.
+    pub fn add_net<I>(&mut self, pins: I) -> Result<NetId, NetlistError>
+    where
+        I: IntoIterator<Item = ModuleId>,
+    {
+        let start = self.net_pins.len();
+        self.net_pins.extend(pins);
+        let slice = &mut self.net_pins[start..];
+        for &m in slice.iter() {
+            if m.0 >= self.num_modules {
+                let module = m.0;
+                self.net_pins.truncate(start);
+                return Err(NetlistError::ModuleOutOfRange {
+                    module,
+                    num_modules: self.num_modules,
+                });
+            }
+        }
+        slice.sort_unstable();
+        // in-place dedup of the tail
+        let mut write = start;
+        for read in start..self.net_pins.len() {
+            if write == start || self.net_pins[read] != self.net_pins[write - 1] {
+                self.net_pins[write] = self.net_pins[read];
+                write += 1;
+            }
+        }
+        self.net_pins.truncate(write);
+        if self.net_pins.len() == start {
+            return Err(NetlistError::EmptyNet {
+                net: (self.net_offsets.len() - 1) as u32,
+            });
+        }
+        self.net_offsets.push(self.net_pins.len() as u32);
+        Ok(NetId((self.net_offsets.len() - 2) as u32))
+    }
+
+    /// Finalizes the builder into an immutable [`Hypergraph`], computing the
+    /// module → nets reverse index.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::NoModules`] if the builder was created with zero
+    /// modules.
+    pub fn finish(self) -> Result<Hypergraph, NetlistError> {
+        if self.num_modules == 0 {
+            return Err(NetlistError::NoModules);
+        }
+        let n = self.num_modules as usize;
+        // counting sort of pins by module to build the reverse CSR index
+        let mut module_offsets = vec![0u32; n + 1];
+        for &m in &self.net_pins {
+            module_offsets[m.index() + 1] += 1;
+        }
+        for i in 0..n {
+            module_offsets[i + 1] += module_offsets[i];
+        }
+        let mut cursor = module_offsets.clone();
+        let mut module_nets = vec![NetId(0); self.net_pins.len()];
+        for net in 0..self.net_offsets.len() - 1 {
+            let lo = self.net_offsets[net] as usize;
+            let hi = self.net_offsets[net + 1] as usize;
+            for &m in &self.net_pins[lo..hi] {
+                let c = &mut cursor[m.index()];
+                module_nets[*c as usize] = NetId(net as u32);
+                *c += 1;
+            }
+        }
+        // nets were visited in increasing index order, so each module's net
+        // list is already sorted
+        Ok(Hypergraph {
+            net_offsets: self.net_offsets,
+            net_pins: self.net_pins,
+            module_offsets,
+            module_nets,
+        })
+    }
+}
+
+/// Convenience: builds a hypergraph from explicit pin lists.
+///
+/// Intended for tests and examples; panics on invalid input rather than
+/// returning errors.
+///
+/// # Panics
+///
+/// Panics if any net is empty or references a module `>= num_modules`.
+///
+/// # Example
+///
+/// ```
+/// let hg = np_netlist::hypergraph_from_nets(4, &[vec![0, 1], vec![1, 2, 3]]);
+/// assert_eq!(hg.num_nets(), 2);
+/// ```
+pub fn hypergraph_from_nets(num_modules: usize, nets: &[Vec<u32>]) -> Hypergraph {
+    let mut b = HypergraphBuilder::new(num_modules);
+    for net in nets {
+        b.add_net(net.iter().copied().map(ModuleId))
+            .expect("invalid net in hypergraph_from_nets");
+    }
+    b.finish().expect("invalid hypergraph_from_nets input")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range_pin() {
+        let mut b = HypergraphBuilder::new(2);
+        let err = b.add_net([ModuleId(0), ModuleId(5)]).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::ModuleOutOfRange {
+                module: 5,
+                num_modules: 2
+            }
+        );
+        // builder still usable, failed net left no residue
+        b.add_net([ModuleId(0), ModuleId(1)]).unwrap();
+        let hg = b.finish().unwrap();
+        assert_eq!(hg.num_nets(), 1);
+        assert_eq!(hg.num_pins(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_net() {
+        let mut b = HypergraphBuilder::new(2);
+        let err = b.add_net(std::iter::empty()).unwrap_err();
+        assert_eq!(err, NetlistError::EmptyNet { net: 0 });
+    }
+
+    #[test]
+    fn rejects_zero_modules() {
+        let b = HypergraphBuilder::new(0);
+        assert_eq!(b.finish().unwrap_err(), NetlistError::NoModules);
+    }
+
+    #[test]
+    fn dedups_and_sorts_pins() {
+        let mut b = HypergraphBuilder::new(5);
+        let id = b
+            .add_net([ModuleId(4), ModuleId(1), ModuleId(4), ModuleId(1)])
+            .unwrap();
+        let hg = b.finish().unwrap();
+        assert_eq!(hg.pins(id), &[ModuleId(1), ModuleId(4)]);
+    }
+
+    #[test]
+    fn single_pin_net_allowed() {
+        let mut b = HypergraphBuilder::new(1);
+        b.add_net([ModuleId(0)]).unwrap();
+        let hg = b.finish().unwrap();
+        assert_eq!(hg.net_size(NetId(0)), 1);
+    }
+
+    #[test]
+    fn net_ids_are_sequential() {
+        let mut b = HypergraphBuilder::new(3);
+        let a = b.add_net([ModuleId(0)]).unwrap();
+        let c = b.add_net([ModuleId(1), ModuleId(2)]).unwrap();
+        assert_eq!(a, NetId(0));
+        assert_eq!(c, NetId(1));
+    }
+
+    #[test]
+    fn module_net_lists_sorted() {
+        let hg = hypergraph_from_nets(3, &[vec![2, 0], vec![0, 1], vec![0, 2], vec![1, 2]]);
+        for m in hg.modules() {
+            let nets = hg.nets_of(m);
+            assert!(nets.windows(2).all(|w| w[0] < w[1]), "unsorted for {m}");
+        }
+    }
+
+    #[test]
+    fn isolated_module_has_empty_net_list() {
+        let hg = hypergraph_from_nets(3, &[vec![0, 1]]);
+        assert!(hg.nets_of(ModuleId(2)).is_empty());
+        assert_eq!(hg.degree(ModuleId(2)), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Connectivity of the netlist hypergraph.
+//!
+//! Two modules are connected when some net contains both. Component
+//! structure matters to the spectral pipeline: the Laplacian of a
+//! disconnected (intersection) graph has a multi-dimensional nullspace, so
+//! λ₂ = 0 and the Fiedler vector degenerates into a component indicator.
+//! The partitioners detect this case up front (see `np-core`).
+
+use crate::{Hypergraph, ModuleId};
+
+/// Connected-component labelling of the modules of a hypergraph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModuleComponents {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl ModuleComponents {
+    /// Computes connected components by BFS over the module–net incidence
+    /// in `O(modules + pins)`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use np_netlist::components::ModuleComponents;
+    /// use np_netlist::hypergraph_from_nets;
+    ///
+    /// let hg = hypergraph_from_nets(5, &[vec![0, 1], vec![1, 2], vec![3, 4]]);
+    /// let cc = ModuleComponents::compute(&hg);
+    /// assert_eq!(cc.count(), 2);
+    /// ```
+    pub fn compute(hg: &Hypergraph) -> Self {
+        const UNSEEN: u32 = u32::MAX;
+        let mut labels = vec![UNSEEN; hg.num_modules()];
+        let mut net_seen = vec![false; hg.num_nets()];
+        let mut count = 0u32;
+        let mut queue = Vec::new();
+        for start in hg.modules() {
+            if labels[start.index()] != UNSEEN {
+                continue;
+            }
+            labels[start.index()] = count;
+            queue.push(start);
+            while let Some(m) = queue.pop() {
+                for &net in hg.nets_of(m) {
+                    if net_seen[net.index()] {
+                        continue;
+                    }
+                    net_seen[net.index()] = true;
+                    for &other in hg.pins(net) {
+                        if labels[other.index()] == UNSEEN {
+                            labels[other.index()] = count;
+                            queue.push(other);
+                        }
+                    }
+                }
+            }
+            count += 1;
+        }
+        ModuleComponents {
+            labels,
+            count: count as usize,
+        }
+    }
+
+    /// Number of connected components (isolated modules each count as one).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Component label of `module` (in `0..count()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is out of range.
+    pub fn label(&self, module: ModuleId) -> usize {
+        self.labels[module.index()] as usize
+    }
+
+    /// Returns `true` if the whole module set is one component.
+    pub fn is_connected(&self) -> bool {
+        self.count <= 1
+    }
+
+    /// Sizes of each component, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph_from_nets;
+
+    #[test]
+    fn connected_chain() {
+        let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        let cc = ModuleComponents::compute(&hg);
+        assert!(cc.is_connected());
+        assert_eq!(cc.sizes(), vec![4]);
+    }
+
+    #[test]
+    fn two_islands() {
+        let hg = hypergraph_from_nets(6, &[vec![0, 1, 2], vec![3, 4], vec![4, 5]]);
+        let cc = ModuleComponents::compute(&hg);
+        assert_eq!(cc.count(), 2);
+        assert_eq!(cc.label(ModuleId(0)), cc.label(ModuleId(2)));
+        assert_ne!(cc.label(ModuleId(0)), cc.label(ModuleId(5)));
+        let mut sizes = cc.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![3, 3]);
+    }
+
+    #[test]
+    fn isolated_module_is_own_component() {
+        let hg = hypergraph_from_nets(3, &[vec![0, 1]]);
+        let cc = ModuleComponents::compute(&hg);
+        assert_eq!(cc.count(), 2);
+        assert_eq!(cc.sizes().iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn wide_net_connects_everything() {
+        let hg = hypergraph_from_nets(10, &[vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9]]);
+        assert!(ModuleComponents::compute(&hg).is_connected());
+    }
+
+    #[test]
+    fn labels_are_dense() {
+        let hg = hypergraph_from_nets(5, &[vec![0], vec![1, 2], vec![3, 4]]);
+        let cc = ModuleComponents::compute(&hg);
+        let mut seen = vec![false; cc.count()];
+        for m in hg.modules() {
+            seen[cc.label(m)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

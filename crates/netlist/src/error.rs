@@ -1,0 +1,87 @@
+//! Error type for netlist construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building, validating, or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net referenced a module index `module` that is `>= num_modules`.
+    ModuleOutOfRange {
+        /// The offending module index.
+        module: u32,
+        /// Number of modules declared for the hypergraph.
+        num_modules: u32,
+    },
+    /// A net had no pins after deduplication.
+    EmptyNet {
+        /// Index (creation order) of the offending net.
+        net: u32,
+    },
+    /// The declared number of modules was zero.
+    NoModules,
+    /// A text-format parse failed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ModuleOutOfRange {
+                module,
+                num_modules,
+            } => write!(
+                f,
+                "net references module {module} but the hypergraph has only {num_modules} modules"
+            ),
+            NetlistError::EmptyNet { net } => {
+                write!(f, "net {net} has no pins")
+            }
+            NetlistError::NoModules => write!(f, "hypergraph must have at least one module"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            NetlistError::ModuleOutOfRange {
+                module: 9,
+                num_modules: 4,
+            }
+            .to_string(),
+            NetlistError::EmptyNet { net: 2 }.to_string(),
+            NetlistError::NoModules.to_string(),
+            NetlistError::Parse {
+                line: 3,
+                message: "bad token".into(),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "message ends with punctuation: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase() || m.starts_with("net"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

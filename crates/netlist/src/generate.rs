@@ -1,0 +1,577 @@
+//! Deterministic synthetic benchmark circuits.
+//!
+//! The paper evaluates on the MCNC Primary/Test layout benchmarks plus two
+//! industry circuits. Those netlists are not redistributable here, so this
+//! module synthesizes stand-ins with the properties the algorithms actually
+//! exploit (see `DESIGN.md` §4):
+//!
+//! * **hierarchy** — real netlists reflect the designer's functional
+//!   decomposition, which is exactly why "nets themselves may very well
+//!   contain useful partitioning information" (paper §2.2). The generator
+//!   places modules in a binary cluster tree and draws most nets inside
+//!   small clusters, escalating to enclosing clusters with geometrically
+//!   decreasing probability;
+//! * **net-size mix** — dominated by 2–3-pin nets with a thin tail of wide
+//!   buses/clock nets (patterned on paper Table 1 for Primary2). The wide
+//!   tail is what makes the clique model dense and the intersection graph
+//!   comparatively sparse (paper §1.2);
+//! * **natural cuts** — optionally a *satellite* block coupled to the main
+//!   circuit by only a few nets, reproducing the very unbalanced optimal
+//!   ratio cuts the paper reports for e.g. Test04/Test05 (areas `73:1442`,
+//!   `105:2490`).
+//!
+//! Everything is driven by [`Rng64`], so a `(config, seed)` pair always
+//! yields the identical hypergraph on every platform.
+
+use crate::components::ModuleComponents;
+use crate::rng::Rng64;
+use crate::{Hypergraph, HypergraphBuilder, ModuleId};
+
+/// A small, loosely coupled sub-circuit attached to the main circuit.
+///
+/// Creates a "natural" partition whose smaller side is roughly
+/// `fraction · modules` and whose cut is roughly `coupling_nets`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SatelliteSpec {
+    /// Fraction of all modules placed in the satellite (`0 < fraction < 1`).
+    pub fraction: f64,
+    /// Number of nets that span the satellite/main boundary.
+    pub coupling_nets: usize,
+    /// Inclusive pin-count range of the coupling nets. 2-pin couplers keep
+    /// the boundary crisp; wider straddling nets (e.g. `(3, 8)`) blur the
+    /// module-level (clique) spectral signal while staying easy for
+    /// net-dual methods to classify as losers — the differentiation
+    /// mechanism the paper attributes to completion optimality.
+    pub coupling_size_range: (usize, usize),
+}
+
+/// Configuration for the synthetic netlist generator.
+///
+/// # Example
+///
+/// ```
+/// use np_netlist::generate::{generate, GeneratorConfig};
+///
+/// let cfg = GeneratorConfig::new(200, 220, 42);
+/// let hg = generate(&cfg);
+/// assert_eq!(hg.num_modules(), 200);
+/// assert!(hg.num_nets() >= 220); // connectivity repair may add a few nets
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of modules.
+    pub modules: usize,
+    /// Number of nets to generate (connectivity repair may add a handful of
+    /// extra 2-pin nets, see [`generate`]).
+    pub nets: usize,
+    /// PRNG seed; same config + seed ⇒ identical netlist.
+    pub seed: u64,
+    /// Probability that a net stays at its current cluster level rather
+    /// than escalating to the parent cluster. Higher ⇒ more local nets and
+    /// crisper hierarchy. Typical: `0.6..0.8`.
+    pub locality: f64,
+    /// Fraction of nets drawn as wide global nets (clock/bus style).
+    pub wide_net_frac: f64,
+    /// Inclusive size range for wide nets.
+    pub wide_size_range: (usize, usize),
+    /// Number of very wide *global* nets (clock/reset/scan style) spanning
+    /// the whole main block. These dominate the clique-model nonzero count
+    /// (a k-pin net contributes `C(k,2)` clique edges) and are what makes
+    /// the intersection graph an order of magnitude sparser on circuits
+    /// like the paper's Test05.
+    pub global_nets: usize,
+    /// Inclusive size range for global nets.
+    pub global_size_range: (usize, usize),
+    /// Optional loosely coupled satellite block. Global nets avoid the
+    /// satellite so they do not blur its natural cut.
+    pub satellite: Option<SatelliteSpec>,
+    /// Fraction of modules designated as *hub* modules (buffered control
+    /// or power-distribution cells that appear on many otherwise unrelated
+    /// nets). Hubs glue the clique-model graph together — every net
+    /// through a hub adds undiscounted module-module edges — while the
+    /// intersection-graph weighting discounts hub-mediated overlaps by
+    /// `1/(d_k − 1)` (paper §2.2). Default `0.0`.
+    pub hub_frac: f64,
+    /// Probability that a generated net picks up one random hub pin.
+    pub hub_prob: f64,
+    /// When `true`, nets that escalate above the leaf level (cross-cluster
+    /// nets) draw their sizes from a medium bus-like distribution (5–16
+    /// pins) instead of the globally 2-pin-dominated mix. Wide crossing
+    /// nets smear the clique-model graph across cluster boundaries while
+    /// remaining single vertices of the intersection graph — the regime
+    /// where the paper's net-dual methods pull ahead of EIG1.
+    pub wide_crossings: bool,
+}
+
+impl GeneratorConfig {
+    /// A reasonable default configuration for a circuit with the given
+    /// module/net counts: locality 0.7, 1.5% wide nets of size 12–33, no
+    /// satellite.
+    pub fn new(modules: usize, nets: usize, seed: u64) -> Self {
+        GeneratorConfig {
+            modules,
+            nets,
+            seed,
+            locality: 0.7,
+            wide_net_frac: 0.015,
+            wide_size_range: (12, 33),
+            global_nets: 0,
+            global_size_range: (40, 80),
+            satellite: None,
+            hub_frac: 0.0,
+            hub_prob: 0.0,
+            wide_crossings: false,
+        }
+    }
+
+    /// Makes cross-cluster nets bus-like (5–16 pins).
+    pub fn with_wide_crossings(mut self) -> Self {
+        self.wide_crossings = true;
+        self
+    }
+
+    /// Designates `frac` of the modules as hubs and attaches a hub pin to
+    /// each generated net with probability `prob`.
+    pub fn with_hubs(mut self, frac: f64, prob: f64) -> Self {
+        self.hub_frac = frac;
+        self.hub_prob = prob;
+        self
+    }
+
+    /// Sets the number and size range of global (clock-style) nets.
+    pub fn with_global_nets(mut self, count: usize, size_range: (usize, usize)) -> Self {
+        self.global_nets = count;
+        self.global_size_range = size_range;
+        self
+    }
+
+    /// Sets the satellite block specification with 2-pin coupling nets.
+    pub fn with_satellite(mut self, fraction: f64, coupling_nets: usize) -> Self {
+        self.satellite = Some(SatelliteSpec {
+            fraction,
+            coupling_nets,
+            coupling_size_range: (2, 2),
+        });
+        self
+    }
+
+    /// Sets the satellite block specification with multi-pin straddling
+    /// coupling nets of sizes in `size_range`.
+    pub fn with_satellite_straddled(
+        mut self,
+        fraction: f64,
+        coupling_nets: usize,
+        size_range: (usize, usize),
+    ) -> Self {
+        self.satellite = Some(SatelliteSpec {
+            fraction,
+            coupling_nets,
+            coupling_size_range: size_range,
+        });
+        self
+    }
+
+    /// Sets the locality parameter.
+    pub fn with_locality(mut self, locality: f64) -> Self {
+        self.locality = locality;
+        self
+    }
+}
+
+/// Samples a net size from a distribution patterned on paper Table 1
+/// (Primary2): ~61% 2-pin, ~12% 3-pin, geometric-ish middle, occasional
+/// 9–17-pin control nets.
+fn sample_net_size(rng: &mut Rng64) -> usize {
+    // cumulative per-mille thresholds for sizes 2..=10, remainder 11..=17
+    const CUM: [(usize, u32); 9] = [
+        (2, 610),
+        (3, 732),
+        (4, 800),
+        (5, 864),
+        (6, 904),
+        (7, 922),
+        (8, 930),
+        (9, 958),
+        (10, 965),
+    ];
+    let roll = rng.gen_range(1000) as u32;
+    for &(size, threshold) in &CUM {
+        if roll < threshold {
+            return size;
+        }
+    }
+    11 + rng.gen_range(7) // 11..=17
+}
+
+/// Generates nets inside the module range `[lo, hi)` using a binary cluster
+/// hierarchy over that range.
+fn gen_part(
+    rng: &mut Rng64,
+    builder: &mut HypergraphBuilder,
+    lo: usize,
+    hi: usize,
+    nets: usize,
+    cfg: &GeneratorConfig,
+    hubs: &[ModuleId],
+) {
+    let size = hi - lo;
+    if size == 0 || nets == 0 {
+        return;
+    }
+    // depth so leaf clusters hold ~48 modules
+    let mut depth = 0usize;
+    while (size >> (depth + 1)) >= 48 {
+        depth += 1;
+    }
+    for _ in 0..nets {
+        let wide = rng.gen_bool(cfg.wide_net_frac);
+        // choose hierarchy level: leaf with prob `locality`, parent with
+        // prob (1-locality)*locality, ...
+        let mut level = if wide { 0 } else { depth };
+        while level > 0 && !rng.gen_bool(cfg.locality) {
+            level -= 1;
+        }
+        let clusters = 1usize << level;
+        let c = rng.gen_range(clusters);
+        let c_lo = lo + size * c / clusters;
+        let c_hi = lo + size * (c + 1) / clusters;
+        let span = c_hi - c_lo;
+        let want = if wide {
+            let (wlo, whi) = cfg.wide_size_range;
+            wlo + rng.gen_range(whi - wlo + 1)
+        } else if cfg.wide_crossings && level < depth {
+            5 + rng.gen_range(12) // bus-like 5..=16 crossing net
+        } else {
+            sample_net_size(rng)
+        };
+        let k = want.clamp(2, span.max(2)).min(span);
+        if k < 2 {
+            // degenerate cluster; fall back to a 2-pin net over the part
+            let a = lo + rng.gen_range(size);
+            let mut b = lo + rng.gen_range(size);
+            if b == a {
+                b = lo + (a - lo + 1) % size;
+            }
+            let _ = builder.add_net([ModuleId(a as u32), ModuleId(b as u32)]);
+            continue;
+        }
+        let mut pins: Vec<ModuleId> = rng
+            .sample_distinct(span, k)
+            .into_iter()
+            .map(|i| ModuleId((c_lo + i) as u32))
+            .collect();
+        if !hubs.is_empty() && rng.gen_bool(cfg.hub_prob) {
+            pins.push(hubs[rng.gen_range(hubs.len())]);
+        }
+        builder
+            .add_net(pins)
+            .expect("generator produced an invalid net");
+    }
+}
+
+/// Generates a deterministic synthetic netlist from `cfg`.
+///
+/// The result always has exactly `cfg.modules` modules and at least
+/// `cfg.nets` nets: after generation, connected components are detected and
+/// bridged with extra 2-pin nets so the hypergraph (and hence its
+/// intersection graph) is connected — the spectral machinery assumes a
+/// single component (`DESIGN.md` §6).
+///
+/// # Panics
+///
+/// Panics if `cfg.modules < 4`, `cfg.nets == 0`, or a satellite fraction is
+/// outside `(0, 0.5]`.
+pub fn generate(cfg: &GeneratorConfig) -> Hypergraph {
+    assert!(cfg.modules >= 4, "need at least 4 modules");
+    assert!(cfg.nets > 0, "need at least 1 net");
+    let mut rng = Rng64::new(cfg.seed);
+    let mut builder = HypergraphBuilder::new(cfg.modules);
+    // evenly spaced hub modules across the whole index range
+    let hub_count = (cfg.modules as f64 * cfg.hub_frac) as usize;
+    let hubs: Vec<ModuleId> = (0..hub_count)
+        .map(|i| ModuleId((i * cfg.modules / hub_count.max(1)) as u32))
+        .collect();
+    let global_nets = cfg.global_nets.min(cfg.nets.saturating_sub(1));
+    let regular_nets = cfg.nets - global_nets;
+
+    // the main block starts after the satellite (if any); global nets are
+    // drawn from it exclusively
+    let main_lo = match cfg.satellite {
+        Some(sat) => ((cfg.modules as f64 * sat.fraction) as usize).max(2),
+        None => 0,
+    };
+
+    match cfg.satellite {
+        None => gen_part(&mut rng, &mut builder, 0, cfg.modules, regular_nets, cfg, &hubs),
+        Some(sat) => {
+            assert!(
+                sat.fraction > 0.0 && sat.fraction <= 0.5,
+                "satellite fraction must be in (0, 0.5]"
+            );
+            let sat_modules = main_lo;
+            let sat_nets =
+                (((regular_nets - sat.coupling_nets) as f64) * sat.fraction) as usize;
+            let main_nets = regular_nets - sat.coupling_nets - sat_nets;
+            // satellite occupies [0, sat_modules)
+            gen_part(&mut rng, &mut builder, 0, sat_modules, sat_nets, cfg, &hubs);
+            gen_part(
+                &mut rng,
+                &mut builder,
+                sat_modules,
+                cfg.modules,
+                main_nets,
+                cfg,
+                &hubs,
+            );
+            let (clo, chi) = sat.coupling_size_range;
+            for _ in 0..sat.coupling_nets {
+                // a straddling net: at least one pin on each side, the
+                // rest split roughly evenly
+                let lo = clo.max(2);
+                let hi = chi.max(lo);
+                let k = (lo + rng.gen_range(hi - lo + 1)).clamp(2, cfg.modules);
+                let sat_pins = (k / 2).clamp(1, sat_modules);
+                let main_pins = (k - sat_pins).clamp(1, cfg.modules - sat_modules);
+                let mut pins: Vec<ModuleId> = rng
+                    .sample_distinct(sat_modules, sat_pins)
+                    .into_iter()
+                    .map(|i| ModuleId(i as u32))
+                    .collect();
+                pins.extend(
+                    rng.sample_distinct(cfg.modules - sat_modules, main_pins)
+                        .into_iter()
+                        .map(|i| ModuleId((sat_modules + i) as u32)),
+                );
+                builder.add_net(pins).expect("coupling net invalid");
+            }
+        }
+    }
+
+    // global clock/bus-style nets over the main block
+    let main_span = cfg.modules - main_lo;
+    for _ in 0..global_nets {
+        let (glo, ghi) = cfg.global_size_range;
+        let want = glo + rng.gen_range(ghi.saturating_sub(glo) + 1);
+        let k = want.clamp(2, main_span);
+        let pins = rng
+            .sample_distinct(main_span, k)
+            .into_iter()
+            .map(|i| ModuleId((main_lo + i) as u32));
+        builder.add_net(pins).expect("global net invalid");
+    }
+
+    // connectivity repair: bridge every component to component 0 with a
+    // 2-pin net between deterministic representatives
+    let hg = builder.finish().expect("generator built invalid hypergraph");
+    let cc = ModuleComponents::compute(&hg);
+    if cc.is_connected() {
+        return hg;
+    }
+    let mut representative = vec![None; cc.count()];
+    for m in hg.modules() {
+        let l = cc.label(m);
+        if representative[l].is_none() {
+            representative[l] = Some(m);
+        }
+    }
+    let mut builder = HypergraphBuilder::new(cfg.modules);
+    for net in hg.nets() {
+        builder
+            .add_net(hg.pins(net).iter().copied())
+            .expect("copying valid net");
+    }
+    let anchor = representative[0].expect("component 0 nonempty");
+    for rep in representative.into_iter().skip(1).flatten() {
+        builder
+            .add_net([anchor, rep])
+            .expect("bridge net invalid");
+    }
+    builder.finish().expect("bridged hypergraph invalid")
+}
+
+/// A named benchmark circuit.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Short name, matching the paper's tables (`bm1`, `Prim2`, ...).
+    pub name: String,
+    /// The netlist.
+    pub hypergraph: Hypergraph,
+}
+
+/// Specification of one synthetic MCNC stand-in.
+#[derive(Clone, Debug)]
+pub struct BenchmarkSpec {
+    /// Name used in the paper's tables.
+    pub name: &'static str,
+    /// Generator configuration.
+    pub config: GeneratorConfig,
+}
+
+/// Specifications of the nine-circuit suite from paper Tables 2 and 3.
+///
+/// Module counts match the "Number of elements" column exactly; net counts
+/// follow the published MCNC sizes. Satellite parameters are tuned so the
+/// suite spans the same qualitative range as the paper: some circuits with
+/// tiny natural blocks (`bm1`, `Test04`, `Test05`) and some with
+/// near-balanced natural cuts (`Prim2`, `Test03`, `19ks`).
+pub fn mcnc_specs() -> Vec<BenchmarkSpec> {
+    #[allow(clippy::too_many_arguments)]
+    fn spec(
+        name: &'static str,
+        modules: usize,
+        nets: usize,
+        seed: u64,
+        locality: f64,
+        satellite: Option<(f64, usize, (usize, usize))>,
+        global: (usize, (usize, usize)),
+    ) -> BenchmarkSpec {
+        let mut config = GeneratorConfig::new(modules, nets, seed)
+            .with_locality(locality)
+            .with_global_nets(global.0, global.1);
+        if let Some((f, c, sz)) = satellite {
+            config = config.with_satellite_straddled(f, c, sz);
+        }
+        BenchmarkSpec { name, config }
+    }
+    // Straddled (multi-pin) coupling nets blur the block boundaries the
+    // way real inter-block buses do; they are what differentiates the
+    // completion strategies (IG-Match vs IG-Vote) on this suite.
+    vec![
+        spec("bm1", 882, 903, 0xB001, 0.72, Some((0.024, 1, (2, 2))), (2, (30, 55))),
+        spec("19ks", 2844, 3282, 0x19C5, 0.66, Some((0.23, 60, (3, 8))), (8, (50, 90))),
+        spec("Prim1", 833, 902, 0x0901, 0.70, Some((0.18, 12, (3, 8))), (3, (25, 45))),
+        // Prim2's widest nets stay at 37 pins, matching paper Table 1
+        spec("Prim2", 3014, 3029, 0x0902, 0.68, Some((0.25, 55, (3, 8))), (5, (34, 37))),
+        spec("Test02", 1663, 1720, 0x7E02, 0.71, Some((0.13, 30, (4, 10))), (8, (40, 80))),
+        spec("Test03", 1607, 1618, 0x7E03, 0.67, Some((0.49, 45, (3, 8))), (6, (40, 70))),
+        spec("Test04", 1515, 1658, 0x7E04, 0.72, Some((0.05, 5, (2, 2))), (10, (50, 90))),
+        // Test05 carries the heavy clock-net tail behind the paper's
+        // ">10x sparser" observation (19,935 vs 219,811 nonzeros)
+        spec("Test05", 2595, 2750, 0x7E05, 0.73, Some((0.04, 7, (2, 2))), (30, (100, 200))),
+        spec("Test06", 1752, 1541, 0x7E06, 0.70, Some((0.08, 14, (3, 6))), (8, (40, 80))),
+    ]
+}
+
+/// Generates the full nine-circuit suite of paper Tables 2/3.
+///
+/// Deterministic: repeated calls return identical netlists.
+///
+/// # Example
+///
+/// ```
+/// let suite = np_netlist::generate::mcnc_suite();
+/// assert_eq!(suite.len(), 9);
+/// assert_eq!(suite[3].name, "Prim2");
+/// assert_eq!(suite[3].hypergraph.num_modules(), 3014);
+/// ```
+pub fn mcnc_suite() -> Vec<Benchmark> {
+    mcnc_specs()
+        .into_iter()
+        .map(|s| Benchmark {
+            name: s.name.to_string(),
+            hypergraph: generate(&s.config),
+        })
+        .collect()
+}
+
+/// Returns one suite benchmark by (case-insensitive) name.
+pub fn mcnc_benchmark(name: &str) -> Option<Benchmark> {
+    mcnc_specs()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .map(|s| Benchmark {
+            name: s.name.to_string(),
+            hypergraph: generate(&s.config),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = GeneratorConfig::new(300, 320, 7);
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn different_seed_different_netlist() {
+        let a = generate(&GeneratorConfig::new(300, 320, 1));
+        let b = generate(&GeneratorConfig::new(300, 320, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn result_is_connected() {
+        for seed in 0..5 {
+            let hg = generate(&GeneratorConfig::new(257, 260, seed));
+            assert!(ModuleComponents::compute(&hg).is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn satellite_config_connected_and_sized() {
+        let cfg = GeneratorConfig::new(500, 520, 3).with_satellite(0.1, 3);
+        let hg = generate(&cfg);
+        assert_eq!(hg.num_modules(), 500);
+        assert!(ModuleComponents::compute(&hg).is_connected());
+    }
+
+    #[test]
+    fn net_sizes_mostly_small_with_wide_tail() {
+        let hg = generate(&GeneratorConfig::new(2000, 2100, 11));
+        let sizes: Vec<usize> = hg.nets().map(|n| hg.net_size(n)).collect();
+        let two_pin = sizes.iter().filter(|&&s| s == 2).count();
+        let wide = sizes.iter().filter(|&&s| s >= 12).count();
+        assert!(
+            two_pin as f64 > 0.45 * sizes.len() as f64,
+            "too few 2-pin nets: {two_pin}/{}",
+            sizes.len()
+        );
+        assert!(wide > 0, "expected some wide nets");
+        assert!(*sizes.iter().max().unwrap() <= 33);
+    }
+
+    #[test]
+    fn suite_module_counts_match_paper() {
+        let expected = [
+            ("bm1", 882),
+            ("19ks", 2844),
+            ("Prim1", 833),
+            ("Prim2", 3014),
+            ("Test02", 1663),
+            ("Test03", 1607),
+            ("Test04", 1515),
+            ("Test05", 2595),
+            ("Test06", 1752),
+        ];
+        for (spec, (name, modules)) in mcnc_specs().iter().zip(expected) {
+            assert_eq!(spec.name, name);
+            assert_eq!(spec.config.modules, modules, "{name}");
+        }
+    }
+
+    #[test]
+    fn mcnc_benchmark_lookup() {
+        assert!(mcnc_benchmark("prim2").is_some());
+        assert!(mcnc_benchmark("PRIM2").is_some());
+        assert!(mcnc_benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn all_modules_have_degree_at_least_zero_and_most_positive() {
+        let hg = generate(&GeneratorConfig::new(1000, 1100, 23));
+        let isolated = hg.modules().filter(|&m| hg.degree(m) == 0).count();
+        assert_eq!(isolated, 0, "connectivity repair should absorb isolates");
+    }
+
+    #[test]
+    fn net_size_sampler_in_range() {
+        let mut rng = Rng64::new(1);
+        for _ in 0..10_000 {
+            let s = sample_net_size(&mut rng);
+            assert!((2..=17).contains(&s));
+        }
+    }
+}

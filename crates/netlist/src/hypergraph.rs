@@ -1,0 +1,246 @@
+//! The immutable netlist hypergraph.
+
+use crate::{ModuleId, NetId};
+
+/// A circuit netlist represented as a hypergraph.
+///
+/// Vertices are modules and hyperedges are signal nets. The structure stores
+/// both incidence directions in compressed (CSR-like) form:
+///
+/// * net → pins: [`Hypergraph::pins`] returns the modules contained in a net;
+/// * module → nets: [`Hypergraph::nets_of`] returns the nets incident to a
+///   module.
+///
+/// A `Hypergraph` is immutable once built; use
+/// [`HypergraphBuilder`](crate::HypergraphBuilder) to construct one.
+/// Pin lists are sorted and duplicate-free, which makes set operations on
+/// them (intersection of two nets, membership tests) cheap.
+///
+/// # Example
+///
+/// ```
+/// use np_netlist::{HypergraphBuilder, ModuleId, NetId};
+///
+/// # fn main() -> Result<(), np_netlist::NetlistError> {
+/// let mut b = HypergraphBuilder::new(3);
+/// b.add_net([ModuleId(0), ModuleId(1)])?;
+/// b.add_net([ModuleId(0), ModuleId(2)])?;
+/// let hg = b.finish()?;
+/// assert_eq!(hg.pins(NetId(0)), &[ModuleId(0), ModuleId(1)]);
+/// assert_eq!(hg.nets_of(ModuleId(0)), &[NetId(0), NetId(1)]);
+/// assert_eq!(hg.degree(ModuleId(0)), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    pub(crate) net_offsets: Vec<u32>,
+    pub(crate) net_pins: Vec<ModuleId>,
+    pub(crate) module_offsets: Vec<u32>,
+    pub(crate) module_nets: Vec<NetId>,
+}
+
+impl Hypergraph {
+    /// Number of modules (hypergraph vertices).
+    #[inline]
+    pub fn num_modules(&self) -> usize {
+        self.module_offsets.len() - 1
+    }
+
+    /// Number of signal nets (hyperedges).
+    #[inline]
+    pub fn num_nets(&self) -> usize {
+        self.net_offsets.len() - 1
+    }
+
+    /// Total number of pins (sum of net sizes).
+    #[inline]
+    pub fn num_pins(&self) -> usize {
+        self.net_pins.len()
+    }
+
+    /// The modules connected by net `net`, sorted and duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[inline]
+    pub fn pins(&self, net: NetId) -> &[ModuleId] {
+        let lo = self.net_offsets[net.index()] as usize;
+        let hi = self.net_offsets[net.index() + 1] as usize;
+        &self.net_pins[lo..hi]
+    }
+
+    /// The nets incident to module `module`, sorted and duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is out of range.
+    #[inline]
+    pub fn nets_of(&self, module: ModuleId) -> &[NetId] {
+        let lo = self.module_offsets[module.index()] as usize;
+        let hi = self.module_offsets[module.index() + 1] as usize;
+        &self.module_nets[lo..hi]
+    }
+
+    /// Number of pins of net `net` (the net's *size*, `k` for a k-pin net).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    #[inline]
+    pub fn net_size(&self, net: NetId) -> usize {
+        (self.net_offsets[net.index() + 1] - self.net_offsets[net.index()]) as usize
+    }
+
+    /// Number of nets incident to `module` (the module's *degree*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is out of range.
+    #[inline]
+    pub fn degree(&self, module: ModuleId) -> usize {
+        (self.module_offsets[module.index() + 1] - self.module_offsets[module.index()]) as usize
+    }
+
+    /// Iterator over all net identifiers, in index order.
+    pub fn nets(&self) -> impl ExactSizeIterator<Item = NetId> + Clone {
+        (0..self.num_nets() as u32).map(NetId)
+    }
+
+    /// Iterator over all module identifiers, in index order.
+    pub fn modules(&self) -> impl ExactSizeIterator<Item = ModuleId> + Clone {
+        (0..self.num_modules() as u32).map(ModuleId)
+    }
+
+    /// Returns `true` if `module` is a pin of `net`.
+    ///
+    /// Runs in `O(log k)` for a k-pin net (pin lists are sorted).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use np_netlist::{HypergraphBuilder, ModuleId, NetId};
+    /// # fn main() -> Result<(), np_netlist::NetlistError> {
+    /// let mut b = HypergraphBuilder::new(3);
+    /// b.add_net([ModuleId(0), ModuleId(2)])?;
+    /// let hg = b.finish()?;
+    /// assert!(hg.contains_pin(NetId(0), ModuleId(2)));
+    /// assert!(!hg.contains_pin(NetId(0), ModuleId(1)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn contains_pin(&self, net: NetId, module: ModuleId) -> bool {
+        self.pins(net).binary_search(&module).is_ok()
+    }
+
+    /// Modules shared by nets `a` and `b`, in sorted order.
+    ///
+    /// This is the fundamental primitive behind the intersection graph
+    /// (paper Section 2.2): two nets are adjacent in the dual exactly when
+    /// this intersection is non-empty. Runs in `O(|a| + |b|)`.
+    pub fn shared_modules(&self, a: NetId, b: NetId) -> Vec<ModuleId> {
+        let (pa, pb) = (self.pins(a), self.pins(b));
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < pa.len() && j < pb.len() {
+            match pa[i].cmp(&pb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(pa[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The largest net size in the netlist, or 0 if there are no nets.
+    pub fn max_net_size(&self) -> usize {
+        self.nets().map(|n| self.net_size(n)).max().unwrap_or(0)
+    }
+
+    /// Average net size (pins per net); 0.0 if there are no nets.
+    pub fn avg_net_size(&self) -> f64 {
+        if self.num_nets() == 0 {
+            0.0
+        } else {
+            self.num_pins() as f64 / self.num_nets() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    fn tiny() -> Hypergraph {
+        // nets: {0,1}, {1,2,3}, {0,3}
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net([ModuleId(0), ModuleId(1)]).unwrap();
+        b.add_net([ModuleId(1), ModuleId(2), ModuleId(3)]).unwrap();
+        b.add_net([ModuleId(0), ModuleId(3)]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let hg = tiny();
+        assert_eq!(hg.num_modules(), 4);
+        assert_eq!(hg.num_nets(), 3);
+        assert_eq!(hg.num_pins(), 7);
+    }
+
+    #[test]
+    fn pin_lists_sorted() {
+        let hg = tiny();
+        for n in hg.nets() {
+            let p = hg.pins(n);
+            assert!(p.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn reverse_index_consistent() {
+        let hg = tiny();
+        for m in hg.modules() {
+            for &n in hg.nets_of(m) {
+                assert!(hg.contains_pin(n, m), "module {m} not in pins of {n}");
+            }
+        }
+        for n in hg.nets() {
+            for &m in hg.pins(n) {
+                assert!(hg.nets_of(m).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn degrees_and_sizes() {
+        let hg = tiny();
+        assert_eq!(hg.net_size(NetId(1)), 3);
+        assert_eq!(hg.degree(ModuleId(1)), 2);
+        assert_eq!(hg.degree(ModuleId(2)), 1);
+        assert_eq!(hg.max_net_size(), 3);
+        assert!((hg.avg_net_size() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_modules_intersection() {
+        let hg = tiny();
+        assert_eq!(hg.shared_modules(NetId(0), NetId(1)), vec![ModuleId(1)]);
+        assert_eq!(hg.shared_modules(NetId(0), NetId(2)), vec![ModuleId(0)]);
+        assert_eq!(hg.shared_modules(NetId(1), NetId(2)), vec![ModuleId(3)]);
+        assert_eq!(hg.shared_modules(NetId(0), NetId(0)).len(), 2);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let hg = tiny();
+        assert_eq!(hg.nets().count(), 3);
+        assert_eq!(hg.modules().count(), 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Strongly typed identifiers for modules and nets.
+
+use std::fmt;
+
+/// Identifier of a module (cell) in a [`Hypergraph`](crate::Hypergraph).
+///
+/// Modules are numbered densely from `0` to `num_modules() - 1`. The inner
+/// index is public because the identifier is nothing more than a typed
+/// index; the newtype exists to prevent accidentally using a module index
+/// where a net index is expected and vice versa.
+///
+/// # Example
+///
+/// ```
+/// use np_netlist::ModuleId;
+/// let m = ModuleId(3);
+/// assert_eq!(m.index(), 3);
+/// assert_eq!(format!("{m}"), "m3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ModuleId(pub u32);
+
+/// Identifier of a signal net in a [`Hypergraph`](crate::Hypergraph).
+///
+/// Nets are numbered densely from `0` to `num_nets() - 1`.
+///
+/// # Example
+///
+/// ```
+/// use np_netlist::NetId;
+/// let n = NetId(7);
+/// assert_eq!(n.index(), 7);
+/// assert_eq!(format!("{n}"), "n7");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NetId(pub u32);
+
+impl ModuleId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ModuleId(u32::try_from(index).expect("module index exceeds u32::MAX"))
+    }
+}
+
+impl NetId {
+    /// Returns the identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates an identifier from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NetId(u32::try_from(index).expect("net index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for ModuleId {
+    fn from(v: u32) -> Self {
+        ModuleId(v)
+    }
+}
+
+impl From<u32> for NetId {
+    fn from(v: u32) -> Self {
+        NetId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_id_roundtrip() {
+        let m = ModuleId::from_index(42);
+        assert_eq!(m, ModuleId(42));
+        assert_eq!(m.index(), 42);
+    }
+
+    #[test]
+    fn net_id_roundtrip() {
+        let n = NetId::from_index(7);
+        assert_eq!(n, NetId(7));
+        assert_eq!(n.index(), 7);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ModuleId(0).to_string(), "m0");
+        assert_eq!(NetId(12).to_string(), "n12");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ModuleId(1) < ModuleId(2));
+        assert!(NetId(3) > NetId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "module index exceeds u32::MAX")]
+    fn module_id_overflow_panics() {
+        let _ = ModuleId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,141 @@
+//! Induced sub-hypergraphs.
+//!
+//! Hierarchical (divide-and-conquer) partitioning repeatedly restricts the
+//! netlist to one block and recurses — the workflow motivating the paper's
+//! introduction. [`induced_subhypergraph`] extracts the sub-netlist on a
+//! module subset, keeping the nets with at least two pins inside it.
+
+use crate::{Hypergraph, HypergraphBuilder, ModuleId, NetId};
+
+/// The result of restricting a hypergraph to a module subset.
+#[derive(Clone, Debug)]
+pub struct InducedSubhypergraph {
+    /// The sub-netlist over the local module numbering `0..subset.len()`.
+    pub hypergraph: Hypergraph,
+    /// `module_map[local]` = original module id.
+    pub module_map: Vec<ModuleId>,
+    /// `net_map[local]` = original net id, for the nets that survived
+    /// (had ≥ 2 pins inside the subset).
+    pub net_map: Vec<NetId>,
+}
+
+/// Restricts `hg` to `modules`, dropping nets with fewer than two pins
+/// inside the subset (such nets can never be cut by a partition of the
+/// subset). Runs in `O(Σ degree)` over the subset.
+///
+/// # Panics
+///
+/// Panics if `modules` is empty or contains duplicates or out-of-range
+/// ids.
+///
+/// # Example
+///
+/// ```
+/// use np_netlist::induce::induced_subhypergraph;
+/// use np_netlist::{hypergraph_from_nets, ModuleId};
+///
+/// let hg = hypergraph_from_nets(5, &[vec![0, 1, 2], vec![2, 3], vec![3, 4]]);
+/// let sub = induced_subhypergraph(&hg, &[ModuleId(0), ModuleId(1), ModuleId(2)]);
+/// assert_eq!(sub.hypergraph.num_modules(), 3);
+/// assert_eq!(sub.hypergraph.num_nets(), 1); // only {0,1,2} survives
+/// ```
+pub fn induced_subhypergraph(hg: &Hypergraph, modules: &[ModuleId]) -> InducedSubhypergraph {
+    assert!(!modules.is_empty(), "module subset must be non-empty");
+    const ABSENT: u32 = u32::MAX;
+    let mut local_of = vec![ABSENT; hg.num_modules()];
+    for (i, m) in modules.iter().enumerate() {
+        assert!(
+            local_of[m.index()] == ABSENT,
+            "duplicate module {m} in subset"
+        );
+        local_of[m.index()] = i as u32;
+    }
+    let mut seen = vec![false; hg.num_nets()];
+    let mut builder = HypergraphBuilder::new(modules.len());
+    let mut net_map = Vec::new();
+    let mut pins = Vec::new();
+    for &m in modules {
+        for &net in hg.nets_of(m) {
+            if seen[net.index()] {
+                continue;
+            }
+            seen[net.index()] = true;
+            pins.clear();
+            pins.extend(
+                hg.pins(net)
+                    .iter()
+                    .filter(|p| local_of[p.index()] != ABSENT)
+                    .map(|p| ModuleId(local_of[p.index()])),
+            );
+            if pins.len() >= 2 {
+                builder
+                    .add_net(pins.iter().copied())
+                    .expect("induced net is valid");
+                net_map.push(net);
+            }
+        }
+    }
+    InducedSubhypergraph {
+        hypergraph: builder.finish().expect("non-empty module subset"),
+        module_map: modules.to_vec(),
+        net_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph_from_nets;
+
+    #[test]
+    fn keeps_internal_nets_only() {
+        let hg = hypergraph_from_nets(6, &[vec![0, 1], vec![1, 2], vec![2, 3], vec![4, 5]]);
+        let sub = induced_subhypergraph(&hg, &[ModuleId(0), ModuleId(1), ModuleId(2)]);
+        assert_eq!(sub.hypergraph.num_nets(), 2);
+        assert_eq!(sub.net_map, vec![NetId(0), NetId(1)]);
+    }
+
+    #[test]
+    fn multi_pin_net_truncated_to_subset() {
+        let hg = hypergraph_from_nets(5, &[vec![0, 1, 2, 3, 4]]);
+        let sub = induced_subhypergraph(&hg, &[ModuleId(1), ModuleId(3), ModuleId(4)]);
+        assert_eq!(sub.hypergraph.num_nets(), 1);
+        assert_eq!(sub.hypergraph.net_size(NetId(0)), 3);
+    }
+
+    #[test]
+    fn module_map_roundtrip() {
+        let hg = hypergraph_from_nets(4, &[vec![0, 3], vec![1, 2]]);
+        let subset = [ModuleId(3), ModuleId(0)];
+        let sub = induced_subhypergraph(&hg, &subset);
+        assert_eq!(sub.module_map, subset);
+        // local net {0,1} corresponds to original {0,3}
+        assert_eq!(sub.hypergraph.num_nets(), 1);
+        let locals = sub.hypergraph.pins(NetId(0));
+        let originals: Vec<ModuleId> =
+            locals.iter().map(|l| sub.module_map[l.index()]).collect();
+        assert_eq!(originals, vec![ModuleId(3), ModuleId(0)]);
+    }
+
+    #[test]
+    fn net_with_one_pin_inside_dropped() {
+        let hg = hypergraph_from_nets(3, &[vec![0, 2], vec![0, 1]]);
+        let sub = induced_subhypergraph(&hg, &[ModuleId(0), ModuleId(1)]);
+        assert_eq!(sub.hypergraph.num_nets(), 1);
+        assert_eq!(sub.net_map, vec![NetId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate module")]
+    fn duplicate_subset_panics() {
+        let hg = hypergraph_from_nets(3, &[vec![0, 1]]);
+        induced_subhypergraph(&hg, &[ModuleId(0), ModuleId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_subset_panics() {
+        let hg = hypergraph_from_nets(3, &[vec![0, 1]]);
+        induced_subhypergraph(&hg, &[]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Reading and writing netlists in the hMETIS `.hgr` text format.
+//!
+//! The format is the de-facto interchange format for hypergraph
+//! partitioning benchmarks:
+//!
+//! ```text
+//! % comment lines start with '%'
+//! <num_nets> <num_modules>
+//! <pin> <pin> ...        % one line per net, pins are 1-indexed
+//! ```
+//!
+//! Only the unweighted variant is supported (the paper uses uniform module
+//! weights; see `DESIGN.md` §6). Module weights or net weights in the
+//! optional `fmt` field are rejected with a parse error rather than being
+//! silently ignored.
+
+use crate::{Hypergraph, HypergraphBuilder, ModuleId, NetlistError};
+use std::io::{BufRead, Write};
+
+/// Parses a hypergraph from hMETIS `.hgr` text.
+///
+/// Blank lines and lines starting with `%` are skipped. Pins are 1-indexed
+/// in the file and converted to 0-indexed [`ModuleId`]s.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed input (bad header, bad
+/// token, wrong net count, unsupported weight format), or the underlying
+/// builder error for structurally invalid nets.
+///
+/// # Example
+///
+/// ```
+/// let text = "% tiny\n2 3\n1 2\n2 3\n";
+/// let hg = np_netlist::io::read_hgr(text.as_bytes())?;
+/// assert_eq!(hg.num_nets(), 2);
+/// assert_eq!(hg.num_modules(), 3);
+/// # Ok::<(), np_netlist::NetlistError>(())
+/// ```
+pub fn read_hgr<R: BufRead>(reader: R) -> Result<Hypergraph, NetlistError> {
+    let mut lines = reader.lines().enumerate();
+    let parse_err = |line: usize, message: String| NetlistError::Parse { line, message };
+
+    // header
+    let (header_line_no, header) = loop {
+        match lines.next() {
+            Some((i, Ok(line))) => {
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break (i + 1, t.to_string());
+            }
+            Some((i, Err(e))) => return Err(parse_err(i + 1, format!("read failure: {e}"))),
+            None => return Err(parse_err(0, "missing header line".into())),
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let num_nets: usize = parts
+        .next()
+        .ok_or_else(|| parse_err(header_line_no, "missing net count".into()))?
+        .parse()
+        .map_err(|_| parse_err(header_line_no, "net count is not a number".into()))?;
+    let num_modules: usize = parts
+        .next()
+        .ok_or_else(|| parse_err(header_line_no, "missing module count".into()))?
+        .parse()
+        .map_err(|_| parse_err(header_line_no, "module count is not a number".into()))?;
+    if let Some(fmt) = parts.next() {
+        if fmt != "0" {
+            return Err(parse_err(
+                header_line_no,
+                format!("weighted format '{fmt}' is not supported"),
+            ));
+        }
+    }
+
+    let mut builder = HypergraphBuilder::new(num_modules);
+    let mut nets_read = 0usize;
+    for (i, line) in lines {
+        let line = line.map_err(|e| parse_err(i + 1, format!("read failure: {e}")))?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        if nets_read == num_nets {
+            return Err(parse_err(
+                i + 1,
+                format!("more than the declared {num_nets} nets"),
+            ));
+        }
+        let mut pins = Vec::new();
+        for tok in t.split_whitespace() {
+            let v: u32 = tok
+                .parse()
+                .map_err(|_| parse_err(i + 1, format!("bad pin token '{tok}'")))?;
+            if v == 0 {
+                return Err(parse_err(i + 1, "pins are 1-indexed; got 0".into()));
+            }
+            pins.push(ModuleId(v - 1));
+        }
+        builder.add_net(pins)?;
+        nets_read += 1;
+    }
+    if nets_read != num_nets {
+        return Err(parse_err(
+            0,
+            format!("declared {num_nets} nets but found {nets_read}"),
+        ));
+    }
+    builder.finish()
+}
+
+/// Parses a hypergraph from an `.hgr` string.
+///
+/// Convenience wrapper over [`read_hgr`].
+///
+/// # Errors
+///
+/// Same as [`read_hgr`].
+pub fn parse_hgr(text: &str) -> Result<Hypergraph, NetlistError> {
+    read_hgr(text.as_bytes())
+}
+
+/// Writes a hypergraph in hMETIS `.hgr` format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+///
+/// # Example
+///
+/// ```
+/// let hg = np_netlist::hypergraph_from_nets(3, &[vec![0, 1], vec![1, 2]]);
+/// let mut buf = Vec::new();
+/// np_netlist::io::write_hgr(&hg, &mut buf)?;
+/// let round = np_netlist::io::read_hgr(&buf[..])?;
+/// assert_eq!(hg, round);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_hgr<W: Write>(hg: &Hypergraph, mut writer: W) -> std::io::Result<()> {
+    writeln!(writer, "{} {}", hg.num_nets(), hg.num_modules())?;
+    let mut line = String::new();
+    for net in hg.nets() {
+        line.clear();
+        for (i, m) in hg.pins(net).iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(&(m.0 + 1).to_string());
+        }
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Serializes a hypergraph to an `.hgr` string.
+pub fn to_hgr_string(hg: &Hypergraph) -> String {
+    let mut buf = Vec::new();
+    write_hgr(hg, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("hgr output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph_from_nets;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let hg = hypergraph_from_nets(
+            5,
+            &[vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4], vec![1]],
+        );
+        let text = to_hgr_string(&hg);
+        let back = parse_hgr(&text).unwrap();
+        assert_eq!(hg, back);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "% header comment\n\n2 2\n% net one\n1 2\n\n2 1\n";
+        let hg = parse_hgr(text).unwrap();
+        assert_eq!(hg.num_nets(), 2);
+        // second net "2 1" is sorted+deduped to {0,1}
+        assert_eq!(hg.pins(crate::NetId(1)), &[ModuleId(0), ModuleId(1)]);
+    }
+
+    #[test]
+    fn rejects_zero_pin_index() {
+        let err = parse_hgr("1 2\n0 1\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_nets() {
+        let err = parse_hgr("3 2\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("declared 3 nets"), "{err}");
+    }
+
+    #[test]
+    fn rejects_extra_nets() {
+        let err = parse_hgr("1 2\n1 2\n2 1\n").unwrap_err();
+        assert!(err.to_string().contains("more than the declared"), "{err}");
+    }
+
+    #[test]
+    fn rejects_weighted_format() {
+        let err = parse_hgr("1 2 11\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("not supported"), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        assert!(parse_hgr("nets modules\n").is_err());
+        assert!(parse_hgr("").is_err());
+        assert!(parse_hgr("5\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_pin() {
+        let err = parse_hgr("1 2\n1 3\n").unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::ModuleOutOfRange {
+                module: 2,
+                num_modules: 2
+            }
+        );
+    }
+
+    #[test]
+    fn fmt_zero_accepted() {
+        let hg = parse_hgr("1 2 0\n1 2\n").unwrap();
+        assert_eq!(hg.num_nets(), 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Named netlists: module/net names over a [`Hypergraph`], with a simple
+//! line-oriented text format.
+//!
+//! Real design flows identify cells and signals by name; the `.hgr`
+//! interchange format strips that. This module carries the names through
+//! partitioning. The text format is:
+//!
+//! ```text
+//! # comment
+//! net <net-name> <module> <module> ...
+//! ```
+//!
+//! Modules are declared implicitly by first use; names may contain any
+//! non-whitespace characters. Net and module namespaces are independent.
+
+use crate::{Hypergraph, HypergraphBuilder, ModuleId, NetId, NetlistError};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// A hypergraph plus module and net names.
+///
+/// # Example
+///
+/// ```
+/// use np_netlist::named::NamedNetlist;
+///
+/// let text = "net CLK ff1 ff2 ff3\nnet D ff1 comb1\n";
+/// let nl = NamedNetlist::parse(text)?;
+/// assert_eq!(nl.hypergraph().num_modules(), 4);
+/// let clk = nl.net_by_name("CLK").unwrap();
+/// assert_eq!(nl.hypergraph().net_size(clk), 3);
+/// let ff1 = nl.module_by_name("ff1").unwrap();
+/// assert_eq!(nl.hypergraph().degree(ff1), 2);
+/// # Ok::<(), np_netlist::NetlistError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct NamedNetlist {
+    hypergraph: Hypergraph,
+    module_names: Vec<String>,
+    net_names: Vec<String>,
+    module_index: HashMap<String, u32>,
+    net_index: HashMap<String, u32>,
+}
+
+impl NamedNetlist {
+    /// Parses the `net <name> <pins...>` text format.
+    ///
+    /// Module indices are assigned in order of first occurrence, so
+    /// parsing the output of [`write`](Self::write) reproduces the
+    /// netlist up to renumbering (an isomorphism); use names, not raw
+    /// ids, to correlate across a round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::Parse`] on malformed lines (missing net name, no
+    /// pins, duplicate net names) and builder errors for structurally
+    /// invalid nets.
+    pub fn parse(text: &str) -> Result<NamedNetlist, NetlistError> {
+        Self::read(text.as_bytes())
+    }
+
+    /// Reads the text format from any [`BufRead`] source.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`parse`](Self::parse), plus I/O failures surfaced as parse
+    /// errors with the offending line number.
+    pub fn read<R: BufRead>(reader: R) -> Result<NamedNetlist, NetlistError> {
+        let parse_err = |line: usize, message: String| NetlistError::Parse { line, message };
+        let mut module_names: Vec<String> = Vec::new();
+        let mut module_index: HashMap<String, u32> = HashMap::new();
+        let mut net_names: Vec<String> = Vec::new();
+        let mut net_index: HashMap<String, u32> = HashMap::new();
+        let mut nets: Vec<Vec<u32>> = Vec::new();
+
+        for (i, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| parse_err(i + 1, format!("read failure: {e}")))?;
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let mut tokens = t.split_whitespace();
+            match tokens.next() {
+                Some("net") => {
+                    let name = tokens
+                        .next()
+                        .ok_or_else(|| parse_err(i + 1, "net line missing a name".into()))?;
+                    if net_index.contains_key(name) {
+                        return Err(parse_err(i + 1, format!("duplicate net name '{name}'")));
+                    }
+                    let mut pins = Vec::new();
+                    for tok in tokens {
+                        let id = *module_index.entry(tok.to_string()).or_insert_with(|| {
+                            module_names.push(tok.to_string());
+                            (module_names.len() - 1) as u32
+                        });
+                        pins.push(id);
+                    }
+                    if pins.is_empty() {
+                        return Err(parse_err(i + 1, format!("net '{name}' has no pins")));
+                    }
+                    net_index.insert(name.to_string(), nets.len() as u32);
+                    net_names.push(name.to_string());
+                    nets.push(pins);
+                }
+                Some(other) => {
+                    return Err(parse_err(
+                        i + 1,
+                        format!("expected 'net' or comment, found '{other}'"),
+                    ))
+                }
+                None => continue,
+            }
+        }
+        if module_names.is_empty() {
+            return Err(NetlistError::NoModules);
+        }
+        let mut builder = HypergraphBuilder::new(module_names.len());
+        for pins in nets {
+            builder.add_net(pins.into_iter().map(ModuleId))?;
+        }
+        Ok(NamedNetlist {
+            hypergraph: builder.finish()?,
+            module_names,
+            net_names,
+            module_index,
+            net_index,
+        })
+    }
+
+    /// Wraps an existing hypergraph with generated names
+    /// (`m0, m1, …` / `n0, n1, …`).
+    pub fn from_hypergraph(hg: Hypergraph) -> NamedNetlist {
+        let module_names: Vec<String> = (0..hg.num_modules()).map(|i| format!("m{i}")).collect();
+        let net_names: Vec<String> = (0..hg.num_nets()).map(|i| format!("n{i}")).collect();
+        let module_index = module_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        let net_index = net_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        NamedNetlist {
+            hypergraph: hg,
+            module_names,
+            net_names,
+            module_index,
+            net_index,
+        }
+    }
+
+    /// The underlying hypergraph.
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.hypergraph
+    }
+
+    /// Name of module `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn module_name(&self, m: ModuleId) -> &str {
+        &self.module_names[m.index()]
+    }
+
+    /// Name of net `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn net_name(&self, n: NetId) -> &str {
+        &self.net_names[n.index()]
+    }
+
+    /// Looks up a module by name.
+    pub fn module_by_name(&self, name: &str) -> Option<ModuleId> {
+        self.module_index.get(name).map(|&i| ModuleId(i))
+    }
+
+    /// Looks up a net by name.
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.net_index.get(name).map(|&i| NetId(i))
+    }
+
+    /// Writes the text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        for net in self.hypergraph.nets() {
+            write!(writer, "net {}", self.net_name(net))?;
+            for &m in self.hypergraph.pins(net) {
+                write!(writer, " {}", self.module_name(m))?;
+            }
+            writeln!(writer)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for NamedNetlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut buf = Vec::new();
+        self.write(&mut buf).expect("writing to a Vec cannot fail");
+        f.write_str(&String::from_utf8(buf).expect("named netlist text is UTF-8"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_lookup() {
+        let nl = NamedNetlist::parse("# test\nnet CLK a b c\nnet D a q\n").unwrap();
+        assert_eq!(nl.hypergraph().num_modules(), 4);
+        assert_eq!(nl.hypergraph().num_nets(), 2);
+        assert_eq!(nl.module_name(nl.module_by_name("q").unwrap()), "q");
+        assert_eq!(nl.net_name(nl.net_by_name("D").unwrap()), "D");
+        assert!(nl.module_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "net CLK ff1 ff2 ff3\nnet D ff1 comb1\nnet Q comb1 ff2\n";
+        let nl = NamedNetlist::parse(src).unwrap();
+        let text = nl.to_string();
+        let back = NamedNetlist::parse(&text).unwrap();
+        assert_eq!(nl, back);
+    }
+
+    #[test]
+    fn duplicate_net_name_rejected() {
+        let err = NamedNetlist::parse("net X a b\nnet X c d\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate net name"), "{err}");
+    }
+
+    #[test]
+    fn empty_net_rejected() {
+        let err = NamedNetlist::parse("net X\n").unwrap_err();
+        assert!(err.to_string().contains("no pins"), "{err}");
+    }
+
+    #[test]
+    fn garbage_keyword_rejected() {
+        let err = NamedNetlist::parse("wire X a b\n").unwrap_err();
+        assert!(err.to_string().contains("expected 'net'"), "{err}");
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(
+            NamedNetlist::parse("# only comments\n").unwrap_err(),
+            NetlistError::NoModules
+        );
+    }
+
+    #[test]
+    fn duplicate_pins_collapsed() {
+        let nl = NamedNetlist::parse("net X a b a\n").unwrap();
+        assert_eq!(
+            nl.hypergraph().net_size(nl.net_by_name("X").unwrap()),
+            2
+        );
+    }
+
+    #[test]
+    fn from_hypergraph_generates_names() {
+        let hg = crate::hypergraph_from_nets(3, &[vec![0, 1], vec![1, 2]]);
+        let nl = NamedNetlist::from_hypergraph(hg);
+        assert_eq!(nl.module_name(ModuleId(2)), "m2");
+        assert_eq!(nl.net_name(NetId(0)), "n0");
+        assert_eq!(nl.module_by_name("m1"), Some(ModuleId(1)));
+        // and it round-trips through text
+        let back = NamedNetlist::parse(&nl.to_string()).unwrap();
+        assert_eq!(back.hypergraph(), nl.hypergraph());
+    }
+}

@@ -1,0 +1,200 @@
+//! A tiny deterministic PRNG (SplitMix64 seeding + xoshiro256**).
+//!
+//! The benchmark generator and the randomized baselines must be
+//! bit-reproducible across platforms and library versions so that the
+//! experiment tables in `EXPERIMENTS.md` can be regenerated exactly. The
+//! `rand` crate does not guarantee stream stability across versions for its
+//! standard generators, so we carry our own ~60-line generator instead.
+//!
+//! This is *not* a cryptographic generator; it is used only for workload
+//! synthesis and heuristic restarts.
+
+/// Deterministic 64-bit PRNG (xoshiro256\*\* seeded via SplitMix64).
+///
+/// # Example
+///
+/// ```
+/// use np_netlist::rng::Rng64;
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let x = a.gen_range(10);
+/// assert!(x < 10);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng64 {
+    state: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state; this is
+        // the initialization recommended by the xoshiro authors.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng64 {
+            state: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        let s2 = s2 ^ t;
+        let s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform value in `[0, bound)` using Lemire's multiply-shift method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn gen_range(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // 128-bit multiply avoids modulo bias well below 2^64 bounds.
+        let x = self.next_u64() as u128;
+        ((x * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct values from `[0, n)` (Floyd's algorithm),
+    /// returned in unspecified order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from {n}");
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in n - k..n {
+            let t = self.gen_range(j + 1);
+            let v = if chosen.contains(&t) { j } else { t };
+            chosen.insert(v);
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = Rng64::new(3);
+        for _ in 0..1000 {
+            assert!(r.gen_range(17) < 17);
+        }
+        assert_eq!(r.gen_range(1), 0);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = Rng64::new(11);
+        for _ in 0..1000 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let mut r = Rng64::new(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[r.gen_range(4)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed count {c}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng64::new(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_distinct_has_no_repeats() {
+        let mut r = Rng64::new(13);
+        for _ in 0..50 {
+            let s = r.sample_distinct(20, 8);
+            assert_eq!(s.len(), 8);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 8);
+            assert!(s.iter().all(|&x| x < 20));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut r = Rng64::new(17);
+        let mut s = r.sample_distinct(5, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn gen_range_zero_panics() {
+        Rng64::new(0).gen_range(0);
+    }
+}

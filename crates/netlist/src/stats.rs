@@ -1,0 +1,282 @@
+//! Netlist statistics: net-size histograms and cut-by-size tables.
+//!
+//! Paper Table 1 tabulates, for a locally minimum ratio cut of Primary2,
+//! how many nets of each size exist and how many are cut — the observation
+//! that cut probability does *not* grow monotonically with net size is the
+//! paper's motivation for treating nets as first-class partitioning
+//! objects. [`CutBySize`] regenerates that table for any partition.
+
+use crate::{Bipartition, Hypergraph};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Histogram of net sizes.
+///
+/// # Example
+///
+/// ```
+/// use np_netlist::{hypergraph_from_nets, stats::NetSizeHistogram};
+/// let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![0, 1, 2], vec![2, 3]]);
+/// let h = NetSizeHistogram::of(&hg);
+/// assert_eq!(h.count(2), 2);
+/// assert_eq!(h.count(3), 1);
+/// assert_eq!(h.count(9), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetSizeHistogram {
+    counts: BTreeMap<usize, usize>,
+}
+
+impl NetSizeHistogram {
+    /// Computes the histogram of `hg`'s net sizes.
+    pub fn of(hg: &Hypergraph) -> Self {
+        let mut counts = BTreeMap::new();
+        for net in hg.nets() {
+            *counts.entry(hg.net_size(net)).or_insert(0) += 1;
+        }
+        NetSizeHistogram { counts }
+    }
+
+    /// Number of nets with exactly `size` pins.
+    pub fn count(&self, size: usize) -> usize {
+        self.counts.get(&size).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(size, count)` pairs in increasing size order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.counts.iter().map(|(&s, &c)| (s, c))
+    }
+
+    /// Total number of nets counted.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+}
+
+/// One row of a cut-by-net-size table (paper Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CutBySizeRow {
+    /// Net size (number of pins).
+    pub size: usize,
+    /// Number of nets of this size.
+    pub nets: usize,
+    /// Number of those nets cut by the partition.
+    pub cut: usize,
+}
+
+impl CutBySizeRow {
+    /// Empirical cut probability for this size class.
+    pub fn cut_fraction(&self) -> f64 {
+        if self.nets == 0 {
+            0.0
+        } else {
+            self.cut as f64 / self.nets as f64
+        }
+    }
+}
+
+/// Cut statistics broken down by net size, in the format of paper Table 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CutBySize {
+    rows: Vec<CutBySizeRow>,
+}
+
+impl CutBySize {
+    /// Tabulates, for each net size occurring in `hg`, how many nets exist
+    /// and how many are cut by `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition.len() != hg.num_modules()`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use np_netlist::stats::CutBySize;
+    /// use np_netlist::{hypergraph_from_nets, Bipartition, ModuleId};
+    ///
+    /// let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![1, 2], vec![0, 1, 2, 3]]);
+    /// let p = Bipartition::from_left_set(4, [ModuleId(0), ModuleId(1)]);
+    /// let t = CutBySize::compute(&hg, &p);
+    /// let rows: Vec<_> = t.rows().to_vec();
+    /// assert_eq!(rows[0].size, 2);
+    /// assert_eq!(rows[0].nets, 2);
+    /// assert_eq!(rows[0].cut, 1); // {1,2} is cut
+    /// assert_eq!(rows[1].size, 4);
+    /// assert_eq!(rows[1].cut, 1);
+    /// ```
+    pub fn compute(hg: &Hypergraph, partition: &Bipartition) -> Self {
+        assert_eq!(partition.len(), hg.num_modules());
+        let mut by_size: BTreeMap<usize, (usize, usize)> = BTreeMap::new();
+        for net in hg.nets() {
+            let size = hg.net_size(net);
+            let entry = by_size.entry(size).or_insert((0, 0));
+            entry.0 += 1;
+            let pins = hg.pins(net);
+            let first = partition.side(pins[0]);
+            if pins[1..].iter().any(|&m| partition.side(m) != first) {
+                entry.1 += 1;
+            }
+        }
+        CutBySize {
+            rows: by_size
+                .into_iter()
+                .map(|(size, (nets, cut))| CutBySizeRow { size, nets, cut })
+                .collect(),
+        }
+    }
+
+    /// The table rows in increasing net-size order.
+    pub fn rows(&self) -> &[CutBySizeRow] {
+        &self.rows
+    }
+
+    /// Total cut nets across all sizes.
+    pub fn total_cut(&self) -> usize {
+        self.rows.iter().map(|r| r.cut).sum()
+    }
+
+    /// Returns `true` if the empirical cut probability is monotonically
+    /// nondecreasing in net size (the "intuitive" random-partition model the
+    /// paper refutes; only size classes with at least `min_nets` samples are
+    /// considered).
+    pub fn cut_probability_monotone(&self, min_nets: usize) -> bool {
+        let mut last = 0.0f64;
+        for r in &self.rows {
+            if r.nets < min_nets {
+                continue;
+            }
+            let f = r.cut_fraction();
+            if f + 1e-12 < last {
+                return false;
+            }
+            last = f;
+        }
+        true
+    }
+}
+
+impl fmt::Display for CutBySize {
+    /// Renders in the three-column layout of paper Table 1.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>8} {:>14} {:>11}", "Net Size", "Number of Nets", "Number Cut")?;
+        for r in &self.rows {
+            writeln!(f, "{:>8} {:>14} {:>11}", r.size, r.nets, r.cut)?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary statistics of a hypergraph, for benchmark reporting.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetlistSummary {
+    /// Number of modules.
+    pub modules: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of pins.
+    pub pins: usize,
+    /// Largest net size.
+    pub max_net_size: usize,
+    /// Mean net size.
+    pub avg_net_size: f64,
+    /// Largest module degree.
+    pub max_degree: usize,
+    /// Mean module degree.
+    pub avg_degree: f64,
+}
+
+impl NetlistSummary {
+    /// Computes summary statistics for `hg`.
+    pub fn of(hg: &Hypergraph) -> Self {
+        let max_degree = hg.modules().map(|m| hg.degree(m)).max().unwrap_or(0);
+        NetlistSummary {
+            modules: hg.num_modules(),
+            nets: hg.num_nets(),
+            pins: hg.num_pins(),
+            max_net_size: hg.max_net_size(),
+            avg_net_size: hg.avg_net_size(),
+            max_degree,
+            avg_degree: if hg.num_modules() == 0 {
+                0.0
+            } else {
+                hg.num_pins() as f64 / hg.num_modules() as f64
+            },
+        }
+    }
+}
+
+impl fmt::Display for NetlistSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "modules={} nets={} pins={} net-size(avg={:.2},max={}) degree(avg={:.2},max={})",
+            self.modules,
+            self.nets,
+            self.pins,
+            self.avg_net_size,
+            self.max_net_size,
+            self.avg_degree,
+            self.max_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hypergraph_from_nets, ModuleId};
+
+    #[test]
+    fn histogram_counts() {
+        let hg = hypergraph_from_nets(5, &[vec![0, 1], vec![1, 2], vec![0, 1, 2, 3, 4]]);
+        let h = NetSizeHistogram::of(&hg);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.iter().collect::<Vec<_>>(), vec![(2, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn cut_by_size_totals_match_cut_stats() {
+        let hg = hypergraph_from_nets(
+            6,
+            &[vec![0, 1], vec![1, 2, 3], vec![3, 4], vec![4, 5], vec![0, 5]],
+        );
+        let p = Bipartition::from_left_set(6, [ModuleId(0), ModuleId(1), ModuleId(2)]);
+        let t = CutBySize::compute(&hg, &p);
+        assert_eq!(t.total_cut(), p.cut_stats(&hg).cut_nets);
+    }
+
+    #[test]
+    fn monotone_detector() {
+        // all 2-pin nets cut, the 3-pin net uncut -> non-monotone
+        let hg = hypergraph_from_nets(5, &[vec![0, 2], vec![1, 3], vec![0, 1, 4]]);
+        let p = Bipartition::from_left_set(5, [ModuleId(0), ModuleId(1), ModuleId(4)]);
+        let t = CutBySize::compute(&hg, &p);
+        assert!(!t.cut_probability_monotone(1));
+        assert!(t.cut_probability_monotone(2)); // too few samples per class
+    }
+
+    #[test]
+    fn display_layout_contains_header() {
+        let hg = hypergraph_from_nets(3, &[vec![0, 1], vec![1, 2]]);
+        let p = Bipartition::from_left_set(3, [ModuleId(0)]);
+        let s = CutBySize::compute(&hg, &p).to_string();
+        assert!(s.contains("Net Size"));
+        assert!(s.contains("Number Cut"));
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let hg = hypergraph_from_nets(4, &[vec![0, 1, 2], vec![2, 3]]);
+        let s = NetlistSummary::of(&hg);
+        assert_eq!(s.modules, 4);
+        assert_eq!(s.nets, 2);
+        assert_eq!(s.pins, 5);
+        assert_eq!(s.max_net_size, 3);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.avg_net_size - 2.5).abs() < 1e-12);
+        assert!((s.avg_degree - 1.25).abs() < 1e-12);
+    }
+}

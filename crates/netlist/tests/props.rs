@@ -1,0 +1,131 @@
+//! Property tests for the netlist substrate: builder invariants,
+//! generator guarantees, I/O round trips, and incremental cut tracking.
+
+use np_netlist::components::ModuleComponents;
+use np_netlist::generate::{generate, GeneratorConfig};
+use np_netlist::io::{parse_hgr, to_hgr_string};
+use np_netlist::partition::CutTracker;
+use np_netlist::rng::Rng64;
+use np_netlist::{Bipartition, HypergraphBuilder, ModuleId, Side};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn builder_sorts_and_dedups(pins in proptest::collection::vec(0u32..20, 1..=15)) {
+        let mut b = HypergraphBuilder::new(20);
+        let id = b.add_net(pins.iter().copied().map(ModuleId)).unwrap();
+        let hg = b.finish().unwrap();
+        let stored = hg.pins(id);
+        prop_assert!(stored.windows(2).all(|w| w[0] < w[1]));
+        let mut expect: Vec<u32> = pins.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(stored.len(), expect.len());
+    }
+
+    #[test]
+    fn generator_invariants(modules in 10usize..200, extra in 0usize..50, seed in 0u64..500) {
+        let cfg = GeneratorConfig::new(modules, modules + extra, seed);
+        let hg = generate(&cfg);
+        prop_assert_eq!(hg.num_modules(), modules);
+        prop_assert!(hg.num_nets() >= cfg.nets);
+        prop_assert!(ModuleComponents::compute(&hg).is_connected());
+        // every net is within bounds and non-trivial
+        for n in hg.nets() {
+            prop_assert!(hg.net_size(n) >= 2);
+        }
+    }
+
+    #[test]
+    fn generator_with_satellite_invariants(seed in 0u64..200) {
+        let cfg = GeneratorConfig::new(120, 140, seed)
+            .with_satellite(0.15, 2)
+            .with_global_nets(3, (20, 40));
+        let hg = generate(&cfg);
+        prop_assert_eq!(hg.num_modules(), 120);
+        prop_assert!(ModuleComponents::compute(&hg).is_connected());
+        prop_assert!(hg.max_net_size() <= 40);
+    }
+
+    #[test]
+    fn hgr_roundtrip_random(modules in 5usize..60, seed in 0u64..300) {
+        let hg = generate(&GeneratorConfig::new(modules, modules + 5, seed));
+        let back = parse_hgr(&to_hgr_string(&hg)).unwrap();
+        prop_assert_eq!(hg, back);
+    }
+
+    #[test]
+    fn cut_tracker_random_walk_consistency(seed in 0u64..500, steps in 1usize..60) {
+        let hg = generate(&GeneratorConfig::new(40, 50, seed));
+        let mut rng = Rng64::new(seed ^ 0xDEAD);
+        let mut tracker = CutTracker::all_on(&hg, Side::Left);
+        for _ in 0..steps {
+            let m = ModuleId(rng.gen_range(40) as u32);
+            let side = if rng.gen_bool(0.5) { Side::Left } else { Side::Right };
+            tracker.move_module(m, side);
+        }
+        let scratch = tracker.to_partition().cut_stats(&hg);
+        prop_assert_eq!(tracker.stats(), scratch);
+    }
+
+    #[test]
+    fn gains_sum_rule(seed in 0u64..300) {
+        // moving a module and moving it back restores the exact state
+        let hg = generate(&GeneratorConfig::new(30, 40, seed));
+        let p = Bipartition::from_left_set(30, (0..15u32).map(ModuleId));
+        let mut tracker = CutTracker::from_partition(&hg, &p);
+        let before = tracker.stats();
+        for m in hg.modules() {
+            let side = tracker.side(m);
+            tracker.move_module(m, side.flip());
+            tracker.move_module(m, side);
+        }
+        prop_assert_eq!(tracker.stats(), before);
+    }
+
+    #[test]
+    fn rng_streams_reproducible(seed in 0u64..10_000) {
+        let mut a = Rng64::new(seed);
+        let mut b = Rng64::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn sample_distinct_always_distinct(n in 1usize..50, seed in 0u64..1000) {
+        let mut rng = Rng64::new(seed);
+        let k = 1 + (seed as usize % n);
+        let s = rng.sample_distinct(n, k);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(s.iter().all(|&x| x < n));
+    }
+}
+
+proptest! {
+    /// The text parsers must never panic, whatever bytes arrive — they
+    /// either parse or return a structured error.
+    #[test]
+    fn hgr_parser_never_panics(text in "\\PC{0,200}") {
+        let _ = np_netlist::io::parse_hgr(&text);
+    }
+
+    #[test]
+    fn named_parser_never_panics(text in "\\PC{0,200}") {
+        let _ = np_netlist::named::NamedNetlist::parse(&text);
+    }
+
+    #[test]
+    fn hgr_parser_never_panics_on_numeric_soup(
+        nums in proptest::collection::vec(0u32..100, 0..30),
+        newline_every in 1usize..6,
+    ) {
+        let mut text = String::new();
+        for (i, n) in nums.iter().enumerate() {
+            text.push_str(&n.to_string());
+            text.push(if (i + 1) % newline_every == 0 { '\n' } else { ' ' });
+        }
+        let _ = np_netlist::io::parse_hgr(&text);
+    }
+}

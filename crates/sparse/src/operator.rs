@@ -1,0 +1,42 @@
+//! The linear-operator abstraction used by the eigensolver.
+
+/// A real symmetric linear operator `y = M x` on `R^dim`.
+///
+/// Implementations must be symmetric (`xᵀMy = yᵀMx`); the Lanczos
+/// iteration in `np-eigen` silently produces garbage otherwise, so the
+/// contract is part of the trait's semantics even though it cannot be
+/// checked by the compiler.
+///
+/// # Example
+///
+/// ```
+/// use np_sparse::{LinearOperator, TripletBuilder};
+///
+/// let mut b = TripletBuilder::new(2);
+/// b.push_sym(0, 1, 2.0);
+/// let m = b.into_csr();
+/// let mut y = vec![0.0; 2];
+/// m.apply(&[1.0, 0.0], &mut y);
+/// assert_eq!(y, vec![0.0, 2.0]);
+/// ```
+pub trait LinearOperator {
+    /// Dimension of the operator (numbers of rows = columns).
+    fn dim(&self) -> usize;
+
+    /// Computes `y = M x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x.len()` or `y.len()` differ from
+    /// [`dim`](Self::dim).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+}

@@ -1,0 +1,107 @@
+//! Dense-vector kernels used by the Lanczos iteration.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(np_sparse::vecops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `y ← y + alpha · x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha · x`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean norm and returns the previous norm.
+/// If `x` is (numerically) zero it is left unchanged and `0.0` is returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Removes from `x` its component along the *unit* vector `u`:
+/// `x ← x − (uᵀx) u`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn orthogonalize_against(u: &[f64], x: &mut [f64]) {
+    let c = dot(u, x);
+    axpy(-c, u, x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_norm_axpy() {
+        let x = [3.0, 4.0];
+        assert_eq!(norm2(&x), 5.0);
+        let mut y = [1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn scale_and_normalize() {
+        let mut x = vec![0.0, 3.0, 4.0];
+        let prev = normalize(&mut x);
+        assert_eq!(prev, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-15);
+        scale(2.0, &mut x);
+        assert!((norm2(&x) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut x = vec![0.0; 4];
+        assert_eq!(normalize(&mut x), 0.0);
+        assert_eq!(x, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn orthogonalize_removes_component() {
+        let u = [1.0 / 2f64.sqrt(), 1.0 / 2f64.sqrt()];
+        let mut x = [3.0, 1.0];
+        orthogonalize_against(&u, &mut x);
+        assert!(dot(&u, &x).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the sparse-matrix substrate.
+
+use np_sparse::{CsrMatrix, Laplacian, LinearOperator, TripletBuilder};
+use proptest::prelude::*;
+
+/// Strategy: dimension, symmetric triplets, and a dense vector of length
+/// `n`, generated together so nothing has to be rejected.
+fn arb_instance() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>, Vec<f64>)> {
+    (2usize..=12).prop_flat_map(|n| {
+        let entry = (0..n, 0..n, -4.0f64..4.0);
+        (
+            proptest::collection::vec(entry, 0..40),
+            proptest::collection::vec(-3.0f64..3.0, n..=n),
+        )
+            .prop_map(move |(es, x)| (n, es, x))
+    })
+}
+
+fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+    let mut b = TripletBuilder::new(n);
+    for &(i, j, v) in entries {
+        b.push_sym(i, j, v);
+    }
+    b.into_csr()
+}
+
+fn dense_of(m: &CsrMatrix) -> Vec<Vec<f64>> {
+    let n = m.dim();
+    (0..n)
+        .map(|i| (0..n).map(|j| m.get(i, j)).collect())
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn matvec_matches_dense((n, entries, x) in arb_instance()) {
+        let m = build(n, &entries);
+        let d = dense_of(&m);
+        let mut y = vec![0.0; n];
+        m.apply(&x, &mut y);
+        for i in 0..n {
+            let expect: f64 = (0..n).map(|j| d[i][j] * x[j]).sum();
+            prop_assert!((y[i] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn symmetric_by_construction((n, entries, _) in arb_instance()) {
+        let m = build(n, &entries);
+        prop_assert!(m.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn triplet_order_irrelevant_up_to_rounding((n, entries, _) in arb_instance()) {
+        // duplicate summation order may differ, so compare within a
+        // floating-point tolerance rather than bit-exactly
+        let a = build(n, &entries);
+        let mut reversed = entries.clone();
+        reversed.reverse();
+        let b = build(n, &reversed);
+        prop_assert_eq!(a.nnz(), b.nnz());
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_below_is_idempotent((n, entries, _) in arb_instance(), t in 0.0f64..2.0) {
+        let m = build(n, &entries);
+        let once = m.drop_below(t);
+        let twice = once.drop_below(t);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.nnz() <= m.nnz());
+        prop_assert!(once.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn laplacian_annihilates_ones_and_is_psd((n, entries, x) in arb_instance()) {
+        // Laplacians need nonnegative weights for PSD-ness
+        let nonneg: Vec<(usize, usize, f64)> = entries
+            .iter()
+            .filter(|&&(i, j, _)| i != j)
+            .map(|&(i, j, v)| (i, j, v.abs()))
+            .collect();
+        let q = Laplacian::from_adjacency(build(n, &nonneg));
+        let mut y = vec![0.0; n];
+        q.apply(&vec![1.0; n], &mut y);
+        for v in &y {
+            prop_assert!(v.abs() < 1e-9, "Q·1 component {v}");
+        }
+        prop_assert!(q.quadratic_form(&x) >= -1e-9);
+    }
+
+    #[test]
+    fn row_sums_match_dense((n, entries, _) in arb_instance()) {
+        let m = build(n, &entries);
+        let d = dense_of(&m);
+        for (i, s) in m.row_sums().iter().enumerate() {
+            let expect: f64 = d[i].iter().sum();
+            prop_assert!((s - expect).abs() < 1e-9);
+        }
+    }
+}

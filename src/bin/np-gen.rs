@@ -1,0 +1,86 @@
+//! `np-gen` — emit synthetic benchmark netlists in hMETIS `.hgr` format.
+//!
+//! ```text
+//! np-gen SUITE_NAME [OUTPUT.hgr]        # e.g. np-gen Prim2 prim2.hgr
+//! np-gen --random MODULES NETS SEED [OUTPUT.hgr]
+//! np-gen --list
+//! ```
+//!
+//! Without an output path the netlist is written to stdout.
+
+use ig_match_repro::netlist::generate::{generate, mcnc_benchmark, mcnc_specs, GeneratorConfig};
+use ig_match_repro::netlist::io::write_hgr;
+use ig_match_repro::netlist::stats::NetlistSummary;
+use ig_match_repro::netlist::Hypergraph;
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: np-gen SUITE_NAME [OUT.hgr] | np-gen --random MODULES NETS SEED [OUT.hgr] | np-gen --list";
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (hg, name, out_path): (Hypergraph, String, Option<String>) = match args.first().map(String::as_str) {
+        Some("--list") => {
+            let mut listing = String::new();
+            for spec in mcnc_specs() {
+                listing.push_str(&format!(
+                    "{:<8} {:>6} modules {:>6} nets\n",
+                    spec.name, spec.config.modules, spec.config.nets
+                ));
+            }
+            // ignore broken pipes (e.g. `np-gen --list | head`)
+            let _ = std::io::stdout().write_all(listing.as_bytes());
+            return Ok(());
+        }
+        Some("--random") => {
+            let parse = |i: usize, what: &str| -> Result<u64, String> {
+                args.get(i)
+                    .ok_or(format!("missing {what}\n{USAGE}"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad {what}: {e}"))
+            };
+            let modules = parse(1, "MODULES")? as usize;
+            let nets = parse(2, "NETS")? as usize;
+            let seed = parse(3, "SEED")?;
+            (
+                generate(&GeneratorConfig::new(modules, nets, seed)),
+                format!("random-{modules}x{nets}@{seed}"),
+                args.get(4).cloned(),
+            )
+        }
+        Some(name) if !name.starts_with('-') => {
+            let b = mcnc_benchmark(name)
+                .ok_or_else(|| format!("unknown benchmark '{name}' (np-gen --list)"))?;
+            (b.hypergraph, b.name, args.get(1).cloned())
+        }
+        _ => return Err(USAGE.into()),
+    };
+    eprintln!("{name}: {}", NetlistSummary::of(&hg));
+    match out_path {
+        Some(path) => {
+            let file =
+                std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            write_hgr(&hg, std::io::BufWriter::new(file))
+                .map_err(|e| format!("write failed: {e}"))?;
+            eprintln!("written to {path}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            write_hgr(&hg, &mut lock).map_err(|e| format!("write failed: {e}"))?;
+            lock.flush().map_err(|e| format!("flush failed: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! `np-part` — command-line ratio-cut partitioner.
+//!
+//! Reads a netlist in hMETIS `.hgr` format, partitions it with the chosen
+//! algorithm, prints the cut statistics and optionally writes the
+//! partition (one `0`/`1` per module line, hMETIS convention).
+//!
+//! ```text
+//! np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|hybrid]
+//!                   [--refine] [--weighting paper|uniform|shared-count|size-scaled]
+//!                   [--output PART_FILE] [--table]
+//! ```
+
+use ig_match_repro::hybrid::{ig_match_refined, HybridOptions};
+use ig_match_repro::netlist::io::read_hgr;
+use ig_match_repro::netlist::stats::{CutBySize, NetlistSummary};
+use ig_match_repro::{
+    eig1, ig_match, ig_vote, rcut, Bipartition, Eig1Options, IgMatchOptions, IgVoteOptions,
+    IgWeighting, RcutOptions, Side,
+};
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    input: String,
+    algorithm: String,
+    weighting: IgWeighting,
+    refine: bool,
+    output: Option<String>,
+    table: bool,
+}
+
+const USAGE: &str = "usage: np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|hybrid] \
+                     [--refine] [--weighting paper|uniform|shared-count|size-scaled] \
+                     [--output FILE] [--table]";
+
+fn parse_args<I>(args: I) -> Result<Args, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut input = None;
+    let mut algorithm = "igmatch".to_string();
+    let mut weighting = IgWeighting::Paper;
+    let mut refine = false;
+    let mut output = None;
+    let mut table = false;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--algorithm" => {
+                algorithm = iter.next().ok_or("--algorithm needs a value")?;
+            }
+            "--weighting" => {
+                let w = iter.next().ok_or("--weighting needs a value")?;
+                weighting = IgWeighting::ALL
+                    .into_iter()
+                    .find(|x| x.name() == w)
+                    .ok_or_else(|| format!("unknown weighting '{w}'"))?;
+            }
+            "--refine" => refine = true,
+            "--table" => table = true,
+            "--output" => output = Some(iter.next().ok_or("--output needs a value")?),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or(USAGE)?,
+        algorithm,
+        weighting,
+        refine,
+        output,
+        table,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args(std::env::args().skip(1))?;
+    let file = std::fs::File::open(&args.input)
+        .map_err(|e| format!("cannot open {}: {e}", args.input))?;
+    let hg = read_hgr(BufReader::new(file)).map_err(|e| format!("parse failed: {e}"))?;
+    eprintln!("{}: {}", args.input, NetlistSummary::of(&hg));
+
+    let (label, partition): (String, Bipartition) = match args.algorithm.as_str() {
+        "igmatch" => {
+            let out = ig_match(
+                &hg,
+                &IgMatchOptions {
+                    weighting: args.weighting,
+                    refine_free_modules: args.refine,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            eprintln!(
+                "matching bound: cut {} <= max matching {}",
+                out.result.stats.cut_nets, out.matching_size
+            );
+            ("IG-Match".into(), out.result.partition)
+        }
+        "igvote" => {
+            let r = ig_vote(
+                &hg,
+                &IgVoteOptions {
+                    weighting: args.weighting,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            ("IG-Vote".into(), r.partition)
+        }
+        "eig1" => {
+            let r = eig1(&hg, &Eig1Options::default()).map_err(|e| e.to_string())?;
+            ("EIG1".into(), r.partition)
+        }
+        "rcut" => {
+            let r = rcut(&hg, &RcutOptions::default());
+            ("RCut".into(), r.partition)
+        }
+        "hybrid" => {
+            let r = ig_match_refined(&hg, &HybridOptions::default()).map_err(|e| e.to_string())?;
+            ("IG-Match+FM".into(), r.partition)
+        }
+        other => return Err(format!("unknown algorithm '{other}'\n{USAGE}")),
+    };
+
+    let stats = partition.cut_stats(&hg);
+    println!(
+        "{label}: cut={} areas={} ratio={:.3e}",
+        stats.cut_nets,
+        stats.areas(),
+        stats.ratio()
+    );
+    if args.table {
+        print!("{}", CutBySize::compute(&hg, &partition));
+    }
+    if let Some(path) = args.output {
+        let mut out = std::fs::File::create(&path)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        for side in partition.sides() {
+            writeln!(out, "{}", if *side == Side::Left { 0 } else { 1 })
+                .map_err(|e| format!("write failed: {e}"))?;
+        }
+        eprintln!("partition written to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&["x.hgr"]).unwrap();
+        assert_eq!(a.input, "x.hgr");
+        assert_eq!(a.algorithm, "igmatch");
+        assert_eq!(a.weighting, IgWeighting::Paper);
+        assert!(!a.refine && !a.table && a.output.is_none());
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&[
+            "in.hgr", "--algorithm", "rcut", "--weighting", "uniform", "--refine",
+            "--table", "--output", "out.part",
+        ])
+        .unwrap();
+        assert_eq!(a.algorithm, "rcut");
+        assert_eq!(a.weighting, IgWeighting::Uniform);
+        assert!(a.refine && a.table);
+        assert_eq!(a.output.as_deref(), Some("out.part"));
+    }
+
+    #[test]
+    fn missing_input_is_usage_error() {
+        assert!(parse(&[]).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse(&["x.hgr", "--bogus"]).unwrap_err().contains("unexpected"));
+    }
+
+    #[test]
+    fn unknown_weighting_rejected() {
+        let err = parse(&["x.hgr", "--weighting", "magic"]).unwrap_err();
+        assert!(err.contains("unknown weighting"), "{err}");
+    }
+
+    #[test]
+    fn dangling_value_flag_rejected() {
+        assert!(parse(&["x.hgr", "--output"]).unwrap_err().contains("needs a value"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Hybrid pipelines combining the spectral partitioners with iterative
+//! post-improvement — the §5 suggestion that "the ratio cuts so obtained
+//! may optionally be improved by using standard iterative techniques".
+
+use np_baselines::rcut::refine_ratio_cut;
+use np_core::{ig_match, IgMatchOptions, PartitionError, PartitionResult};
+use np_netlist::Hypergraph;
+
+/// Options for [`ig_match_refined`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HybridOptions {
+    /// Options for the spectral IG-Match stage.
+    pub ig_match: IgMatchOptions,
+    /// Upper bound on ratio-objective FM passes in the refinement stage.
+    pub max_refine_passes: usize,
+}
+
+impl Default for HybridOptions {
+    fn default() -> Self {
+        HybridOptions {
+            ig_match: IgMatchOptions::default(),
+            max_refine_passes: 20,
+        }
+    }
+}
+
+/// Runs IG-Match, then polishes the result with ratio-objective
+/// Fiduccia–Mattheyses shifting passes. The refinement can only improve
+/// the ratio cut, so the result is never worse than plain IG-Match — and
+/// the pipeline stays fully deterministic (no random restarts anywhere).
+///
+/// # Errors
+///
+/// Propagates IG-Match failures
+/// ([`PartitionError::TooSmall`] / [`Eigen`](PartitionError::Eigen) /
+/// [`Degenerate`](PartitionError::Degenerate)).
+///
+/// # Example
+///
+/// ```
+/// use ig_match_repro::hybrid::{ig_match_refined, HybridOptions};
+/// use ig_match_repro::netlist::generate::{generate, GeneratorConfig};
+/// use ig_match_repro::{ig_match, IgMatchOptions};
+///
+/// let hg = generate(&GeneratorConfig::new(150, 160, 5));
+/// let plain = ig_match(&hg, &IgMatchOptions::default())?;
+/// let hybrid = ig_match_refined(&hg, &HybridOptions::default())?;
+/// assert!(hybrid.ratio() <= plain.result.ratio() + 1e-12);
+/// # Ok::<(), ig_match_repro::PartitionError>(())
+/// ```
+pub fn ig_match_refined(
+    hg: &Hypergraph,
+    opts: &HybridOptions,
+) -> Result<PartitionResult, PartitionError> {
+    let out = ig_match(hg, &opts.ig_match)?;
+    let (partition, stats) =
+        refine_ratio_cut(hg, &out.result.partition, opts.max_refine_passes);
+    debug_assert!(stats.ratio() <= out.result.ratio() + 1e-12);
+    Ok(PartitionResult {
+        partition,
+        stats,
+        algorithm: "IG-Match+FM",
+        split_rank: out.result.split_rank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn hybrid_never_worse_than_plain() {
+        let hg = generate(&GeneratorConfig::new(220, 240, 9).with_satellite(0.1, 4));
+        let plain = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+        let hybrid = ig_match_refined(&hg, &HybridOptions::default()).unwrap();
+        assert!(hybrid.ratio() <= plain.result.ratio() + 1e-12);
+        assert_eq!(hybrid.stats, hybrid.partition.cut_stats(&hg));
+        assert_eq!(hybrid.algorithm, "IG-Match+FM");
+    }
+
+    #[test]
+    fn hybrid_deterministic() {
+        let hg = generate(&GeneratorConfig::new(180, 190, 2));
+        let a = ig_match_refined(&hg, &HybridOptions::default()).unwrap();
+        let b = ig_match_refined(&hg, &HybridOptions::default()).unwrap();
+        assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    fn zero_refine_passes_equals_plain() {
+        let hg = generate(&GeneratorConfig::new(150, 170, 3));
+        let plain = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+        let hybrid = ig_match_refined(
+            &hg,
+            &HybridOptions {
+                max_refine_passes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(hybrid.partition, plain.result.partition);
+    }
+}

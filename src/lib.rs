@@ -1,0 +1,45 @@
+//! Reproduction of Cong, Hagen and Kahng, *Net Partitions Yield Better
+//! Module Partitions* (DAC 1992).
+//!
+//! This facade crate re-exports the whole workspace under one roof:
+//!
+//! * [`netlist`] — hypergraphs, bipartitions, the ratio-cut metric,
+//!   benchmark generation and `.hgr` I/O (`np-netlist`);
+//! * [`sparse`] — CSR matrices and Laplacian operators (`np-sparse`);
+//! * [`eigen`] — Lanczos/Jacobi eigensolvers for Fiedler vectors
+//!   (`np-eigen`);
+//! * [`core`] — the paper's algorithms: net models, EIG1, IG-Vote and
+//!   IG-Match (`np-core`);
+//! * [`baselines`] — FM, the RCut1.0 stand-in and KL (`np-baselines`).
+//!
+//! The most common entry points are also re-exported at the crate root.
+//!
+//! # Example
+//!
+//! ```
+//! use ig_match_repro::{ig_match, IgMatchOptions};
+//! use ig_match_repro::netlist::generate::{generate, GeneratorConfig};
+//!
+//! let hg = generate(&GeneratorConfig::new(120, 130, 7));
+//! let out = ig_match(&hg, &IgMatchOptions::default())?;
+//! assert!(out.result.ratio().is_finite());
+//! # Ok::<(), ig_match_repro::core::PartitionError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod hybrid;
+
+pub use np_baselines as baselines;
+pub use np_core as core;
+pub use np_eigen as eigen;
+pub use np_netlist as netlist;
+pub use np_sparse as sparse;
+
+pub use np_baselines::{fm_bisect, kl_bisect, rcut, FmOptions, KlOptions, RcutOptions};
+pub use np_core::{
+    eig1, ig_match, ig_vote, Eig1Options, IgMatchOptions, IgMatchOutcome, IgVoteOptions,
+    IgWeighting, PartitionError, PartitionResult,
+};
+pub use np_netlist::{Bipartition, CutStats, Hypergraph, HypergraphBuilder, ModuleId, NetId, Side};

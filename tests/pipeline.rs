@@ -1,0 +1,141 @@
+//! End-to-end integration tests spanning all workspace crates: generate a
+//! netlist, run every algorithm, check the cross-algorithm invariants.
+
+use ig_match_repro::netlist::generate::{generate, mcnc_specs, GeneratorConfig};
+use ig_match_repro::netlist::io::{parse_hgr, to_hgr_string};
+use ig_match_repro::netlist::stats::CutBySize;
+use ig_match_repro::{
+    eig1, fm_bisect, ig_match, ig_vote, rcut, Bipartition, Eig1Options, FmOptions,
+    IgMatchOptions, IgVoteOptions, ModuleId, RcutOptions,
+};
+
+fn small_circuit() -> ig_match_repro::Hypergraph {
+    generate(&GeneratorConfig::new(250, 270, 0xC0FFEE).with_satellite(0.12, 3))
+}
+
+#[test]
+fn all_algorithms_produce_valid_partitions() {
+    let hg = small_circuit();
+    let igm = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+    let igv = ig_vote(&hg, &IgVoteOptions::default()).unwrap();
+    let e1 = eig1(&hg, &Eig1Options::default()).unwrap();
+    let rc = rcut(&hg, &RcutOptions::default());
+    for (name, stats) in [
+        ("ig-match", igm.result.stats),
+        ("ig-vote", igv.stats),
+        ("eig1", e1.stats),
+        ("rcut", rc.stats),
+    ] {
+        assert!(stats.left > 0 && stats.right > 0, "{name}: empty side");
+        assert_eq!(stats.left + stats.right, hg.num_modules(), "{name}");
+        assert!(stats.ratio().is_finite(), "{name}");
+    }
+}
+
+#[test]
+fn ig_match_respects_matching_bound_end_to_end() {
+    let hg = small_circuit();
+    let out = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+    assert!(
+        out.result.stats.cut_nets <= out.matching_size,
+        "cut {} > matching bound {}",
+        out.result.stats.cut_nets,
+        out.matching_size
+    );
+    assert!(out.loser_count <= out.matching_size);
+}
+
+#[test]
+fn ig_match_finds_planted_satellite() {
+    // 12% satellite coupled by 3 nets: IG-Match should find a cut of ~3
+    // with the satellite's ~30 modules on the small side
+    let hg = small_circuit();
+    let out = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+    let s = &out.result.stats;
+    assert!(s.cut_nets <= 6, "cut {} too large for planted cut 3", s.cut_nets);
+    let small = s.left.min(s.right);
+    assert!(small >= 5, "degenerate side {small}");
+}
+
+#[test]
+fn spectral_methods_beat_random_partition() {
+    let hg = small_circuit();
+    let igm = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+    // a "random" balanced split by module index parity
+    let random = Bipartition::from_left_set(
+        hg.num_modules(),
+        (0..hg.num_modules() as u32).step_by(2).map(ModuleId),
+    );
+    assert!(igm.result.ratio() < random.ratio_cut(&hg) / 2.0);
+}
+
+#[test]
+fn fm_improves_spectral_seed() {
+    // the paper suggests iterative postprocessing of spectral output (§5);
+    // FM from the EIG1 partition must never worsen the cut
+    let hg = small_circuit();
+    let e1 = eig1(&hg, &Eig1Options::default()).unwrap();
+    let fm = fm_bisect(
+        &hg,
+        &e1.partition,
+        &FmOptions {
+            balance_tolerance: 1.0, // unconstrained
+            ..Default::default()
+        },
+    );
+    assert!(fm.cut_nets <= e1.stats.cut_nets);
+}
+
+#[test]
+fn suite_roundtrips_through_hgr() {
+    let spec = &mcnc_specs()[2]; // Prim1, smallest full benchmark
+    let hg = generate(&spec.config);
+    let text = to_hgr_string(&hg);
+    let back = parse_hgr(&text).unwrap();
+    assert_eq!(hg, back);
+}
+
+#[test]
+fn full_suite_generates_deterministically() {
+    for spec in mcnc_specs() {
+        let a = generate(&spec.config);
+        let b = generate(&spec.config);
+        assert_eq!(a, b, "{} not deterministic", spec.name);
+        assert_eq!(a.num_modules(), spec.config.modules, "{}", spec.name);
+        assert!(a.num_nets() >= spec.config.nets, "{}", spec.name);
+    }
+}
+
+#[test]
+fn table1_cut_histogram_consistent() {
+    let hg = small_circuit();
+    let out = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+    let table = CutBySize::compute(&hg, &out.result.partition);
+    assert_eq!(table.total_cut(), out.result.stats.cut_nets);
+    let total_nets: usize = table.rows().iter().map(|r| r.nets).sum();
+    assert_eq!(total_nets, hg.num_nets());
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let hg = small_circuit();
+    let a = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+    let b = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+    assert_eq!(a.result.partition, b.result.partition);
+    assert_eq!(a.matching_size, b.matching_size);
+}
+
+#[test]
+fn refinement_never_worse_on_generated_circuit() {
+    let hg = small_circuit();
+    let plain = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+    let refined = ig_match(
+        &hg,
+        &IgMatchOptions {
+            refine_free_modules: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert!(refined.result.ratio() <= plain.result.ratio() + 1e-12);
+}

@@ -1,0 +1,275 @@
+//! Property-based verification of the paper's theorems on random
+//! hypergraphs (proptest).
+//!
+//! * Theorems 2–3 (König duality): `|MIS| + |MVC| = |L| + |R|` and
+//!   `|MVC| = |MM|` in the induced bipartite conflict graph;
+//! * Theorems 4–5: IG-Match's loser set covers every conflict edge and
+//!   has size `≤ |MM|`; the completed partition cuts `≤ |MM|` nets;
+//! * Theorem 1 (Hagen–Kahng bound): the optimal ratio cut of the
+//!   clique-model graph is `≥ λ₂/n`;
+//! * metric consistency: incremental cut tracking matches from-scratch
+//!   evaluation under arbitrary move sequences.
+
+use ig_match_repro::core::igmatch::SplitMatcher;
+use ig_match_repro::core::models::{clique_laplacian, intersection_neighbors};
+use ig_match_repro::core::igmatch::ig_match_with_ordering;
+use ig_match_repro::core::PartitionError;
+use ig_match_repro::eigen::{fiedler, LanczosOptions};
+use ig_match_repro::netlist::partition::CutTracker;
+use ig_match_repro::netlist::{Hypergraph, HypergraphBuilder, ModuleId, NetId};
+use ig_match_repro::{ig_match, Bipartition, IgMatchOptions, Side};
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish hypergraph with `modules` in 4..=16
+/// and a handful of nets of size 2..=5.
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..=16).prop_flat_map(|n| {
+        let net = proptest::collection::vec(0..n as u32, 2..=5);
+        proptest::collection::vec(net, 2..=20).prop_filter_map(
+            "nets must be non-degenerate after dedup",
+            move |nets| {
+                let mut b = HypergraphBuilder::new(n);
+                let mut added = 0;
+                for pins in nets {
+                    let mut p: Vec<u32> = pins;
+                    p.sort_unstable();
+                    p.dedup();
+                    if p.len() >= 2 {
+                        b.add_net(p.into_iter().map(ModuleId)).ok()?;
+                        added += 1;
+                    }
+                }
+                if added >= 2 {
+                    b.finish().ok()
+                } else {
+                    None
+                }
+            },
+        )
+    })
+}
+
+/// Kuhn's algorithm: reference maximum matching over crossing edges.
+fn brute_force_mm(neighbors: &[Vec<u32>], in_r: &[bool]) -> usize {
+    fn try_augment(
+        x: usize,
+        neighbors: &[Vec<u32>],
+        in_r: &[bool],
+        seen: &mut [bool],
+        mate: &mut [usize],
+    ) -> bool {
+        for &y in &neighbors[x] {
+            let y = y as usize;
+            if !in_r[y] || seen[y] {
+                continue;
+            }
+            seen[y] = true;
+            if mate[y] == usize::MAX || try_augment(mate[y], neighbors, in_r, seen, mate) {
+                mate[y] = x;
+                return true;
+            }
+        }
+        false
+    }
+    let n = neighbors.len();
+    let mut mate = vec![usize::MAX; n];
+    let mut size = 0;
+    for x in 0..n {
+        if in_r[x] {
+            continue;
+        }
+        let mut seen = vec![false; n];
+        if try_augment(x, neighbors, in_r, &mut seen, &mut mate) {
+            size += 1;
+        }
+    }
+    size
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_matching_is_maximum(hg in arb_hypergraph(), seed in 0u64..1000) {
+        let neighbors = intersection_neighbors(&hg);
+        let m = hg.num_nets();
+        // pseudo-random move order derived from the seed
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        let mut rng = ig_match_repro::netlist::rng::Rng64::new(seed);
+        rng.shuffle(&mut order);
+        let mut matcher = SplitMatcher::new(&neighbors);
+        let mut in_r = vec![false; m];
+        for &v in &order[..m - 1] {
+            matcher.move_to_r(v);
+            in_r[v as usize] = true;
+            prop_assert!(matcher.matching_is_valid());
+            prop_assert_eq!(matcher.matching_size(), brute_force_mm(&neighbors, &in_r));
+        }
+    }
+
+    #[test]
+    fn konig_duality_holds(hg in arb_hypergraph(), seed in 0u64..1000) {
+        let neighbors = intersection_neighbors(&hg);
+        let m = hg.num_nets();
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        let mut rng = ig_match_repro::netlist::rng::Rng64::new(seed);
+        rng.shuffle(&mut order);
+        let mut matcher = SplitMatcher::new(&neighbors);
+        for &v in &order[..m / 2 + 1] {
+            matcher.move_to_r(v);
+        }
+        let mm = matcher.matching_size();
+        let side_of: Vec<Side> = (0..m as u32).map(|v| matcher.side_of(v)).collect();
+        let c = matcher.classify();
+        // MIS = winners + larger B' side; MVC = losers + smaller B' side
+        let mis = c.winners_l.len() + c.winners_r.len() + c.bprime_l.len().max(c.bprime_r.len());
+        let mvc = c.losers.len() + c.bprime_l.len().min(c.bprime_r.len());
+        prop_assert_eq!(mis + mvc, m, "Theorem 2: |MIS| + |MVC| = n");
+        // B' sides pair up through the matching, so either orientation
+        // gives a cover of size = mm
+        prop_assert_eq!(c.bprime_l.len(), c.bprime_r.len());
+        prop_assert_eq!(mvc, mm, "Theorem 3: |MVC| = |MM|");
+
+        // cover property (Theorem 4): every crossing edge touches a loser
+        // or a B' vertex of the chosen orientation (take B'_R as losers)
+        let is_loser: Vec<bool> = {
+            let mut f = vec![false; m];
+            for &v in c.losers.iter().chain(&c.bprime_r) {
+                f[v as usize] = true;
+            }
+            f
+        };
+        for v in 0..m as u32 {
+            for &u in &neighbors[v as usize] {
+                if side_of[v as usize] == Side::Left && side_of[u as usize] == Side::Right {
+                    prop_assert!(
+                        is_loser[v as usize] || is_loser[u as usize],
+                        "crossing edge ({v},{u}) uncovered"
+                    );
+                }
+            }
+        }
+
+        // independence (Theorem 2): no crossing edge joins two winners
+        let is_winner: Vec<bool> = {
+            let mut f = vec![false; m];
+            for &v in c.winners_l.iter().chain(&c.winners_r).chain(&c.bprime_l) {
+                f[v as usize] = true;
+            }
+            f
+        };
+        for v in 0..m as u32 {
+            for &u in &neighbors[v as usize] {
+                let crossing = side_of[v as usize] != side_of[u as usize];
+                prop_assert!(
+                    !(crossing && is_winner[v as usize] && is_winner[u as usize]),
+                    "independent set violated on edge ({v},{u})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn igmatch_cut_bounded_by_matching(hg in arb_hypergraph(), seed in 0u64..1000) {
+        let m = hg.num_nets();
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        let mut rng = ig_match_repro::netlist::rng::Rng64::new(seed);
+        rng.shuffle(&mut order);
+        let order: Vec<NetId> = order.into_iter().map(NetId).collect();
+        match ig_match_with_ordering(&hg, &order, false) {
+            Ok(out) => {
+                prop_assert!(out.result.stats.cut_nets <= out.loser_count);
+                prop_assert!(out.loser_count <= out.matching_size);
+                prop_assert_eq!(
+                    out.result.stats,
+                    out.result.partition.cut_stats(&hg)
+                );
+            }
+            Err(PartitionError::Degenerate) => {} // legal on tiny instances
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn cut_tracker_matches_scratch(hg in arb_hypergraph(), moves in proptest::collection::vec((0u32..16, proptest::bool::ANY), 1..40)) {
+        let mut tracker = CutTracker::all_on(&hg, Side::Right);
+        for (m, to_left) in moves {
+            let m = ModuleId(m % hg.num_modules() as u32);
+            let side = if to_left { Side::Left } else { Side::Right };
+            tracker.move_module(m, side);
+            let scratch = tracker.to_partition().cut_stats(&hg);
+            prop_assert_eq!(tracker.stats(), scratch);
+        }
+    }
+
+    #[test]
+    fn hagen_kahng_lower_bound(hg in arb_hypergraph()) {
+        // Theorem 1: optimal ratio cut of the clique-model *graph* is
+        // >= lambda_2 / n. Brute-force the optimum over all bipartitions.
+        let n = hg.num_modules();
+        prop_assume!(n <= 12);
+        let q = clique_laplacian(&hg);
+        let pair = fiedler(&q, &LanczosOptions::default()).unwrap();
+        prop_assume!(pair.value > 1e-9); // skip disconnected instances
+        let adj = q.adjacency();
+        let mut best = f64::INFINITY;
+        for mask in 1..(1u32 << n) - 1 {
+            let left: Vec<bool> = (0..n).map(|i| mask & (1 << i) != 0).collect();
+            let mut cut = 0.0;
+            for i in 0..n {
+                let (cols, vals) = adj.row(i);
+                for (&j, &w) in cols.iter().zip(vals) {
+                    if (j as usize) > i && left[i] != left[j as usize] {
+                        cut += w;
+                    }
+                }
+            }
+            let l = left.iter().filter(|&&x| x).count();
+            best = best.min(cut / (l as f64 * (n - l) as f64));
+        }
+        prop_assert!(
+            best >= pair.value / n as f64 - 1e-7,
+            "optimal ratio cut {best} < lambda2/n = {}",
+            pair.value / n as f64
+        );
+    }
+
+    #[test]
+    fn fiedler_orthogonal_to_ones_and_nonnegative(hg in arb_hypergraph()) {
+        let q = clique_laplacian(&hg);
+        let pair = fiedler(&q, &LanczosOptions::default()).unwrap();
+        let s: f64 = pair.vector.iter().sum();
+        prop_assert!(s.abs() < 1e-6, "sum {s}");
+        prop_assert!(pair.value >= -1e-9, "lambda2 {}", pair.value);
+    }
+
+    #[test]
+    fn igmatch_spectral_valid_on_random_instances(hg in arb_hypergraph()) {
+        match ig_match(&hg, &IgMatchOptions::default()) {
+            Ok(out) => {
+                let s = &out.result.stats;
+                prop_assert!(s.left > 0 && s.right > 0);
+                prop_assert!(s.cut_nets <= out.matching_size);
+            }
+            Err(PartitionError::Degenerate) | Err(PartitionError::TooSmall { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn hgr_roundtrip(hg in arb_hypergraph()) {
+        let text = ig_match_repro::netlist::io::to_hgr_string(&hg);
+        let back = ig_match_repro::netlist::io::parse_hgr(&text).unwrap();
+        prop_assert_eq!(hg, back);
+    }
+
+    #[test]
+    fn random_partition_stats_sane(hg in arb_hypergraph(), mask in 0u32..65536) {
+        let n = hg.num_modules();
+        let left = (0..n as u32).filter(|i| mask & (1 << (i % 16)) != 0).map(ModuleId);
+        let p = Bipartition::from_left_set(n, left);
+        let s = p.cut_stats(&hg);
+        prop_assert_eq!(s.left + s.right, n);
+        prop_assert!(s.cut_nets <= hg.num_nets());
+    }
+}
