@@ -13,6 +13,7 @@
 
 use np_netlist::partition::CutTracker;
 use np_netlist::{Bipartition, Hypergraph, ModuleId, Side};
+use np_sparse::{BudgetExceeded, BudgetMeter};
 
 const NONE: u32 = u32::MAX;
 
@@ -86,6 +87,32 @@ pub struct FmResult {
 /// assert_eq!(r.cut_nets, 1); // recovers the natural bisection
 /// ```
 pub fn fm_bisect(hg: &Hypergraph, initial: &Bipartition, opts: &FmOptions) -> FmResult {
+    fm_bisect_metered(hg, initial, opts, &BudgetMeter::unlimited())
+        .expect("unlimited meter never trips")
+}
+
+/// [`fm_bisect`] with cooperative budget enforcement: `meter` is checked
+/// before every improvement pass (a pass is `O(pins)` bucket work, so the
+/// overshoot past a tripped budget is bounded by one pass).
+///
+/// One FM pass is charged as one matvec-equivalent so matvec-capped
+/// budgets bound FM work too.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] when the meter reports a limit hit; the partition
+/// state reached so far is discarded (callers wanting partial progress
+/// should budget per-pass themselves).
+///
+/// # Panics
+///
+/// Same as [`fm_bisect`].
+pub fn fm_bisect_metered(
+    hg: &Hypergraph,
+    initial: &Bipartition,
+    opts: &FmOptions,
+    meter: &BudgetMeter,
+) -> Result<FmResult, BudgetExceeded> {
     let n = hg.num_modules();
     assert_eq!(initial.len(), n, "partition size mismatch");
     let half = n as f64 / 2.0;
@@ -96,6 +123,7 @@ pub fn fm_bisect(hg: &Hypergraph, initial: &Bipartition, opts: &FmOptions) -> Fm
     let mut tracker = CutTracker::from_partition(hg, initial);
     let mut passes = 0usize;
     while passes < opts.max_passes {
+        meter.charge(1)?;
         passes += 1;
         let improved = run_pass(
             hg,
@@ -108,11 +136,11 @@ pub fn fm_bisect(hg: &Hypergraph, initial: &Bipartition, opts: &FmOptions) -> Fm
             break;
         }
     }
-    FmResult {
+    Ok(FmResult {
         partition: tracker.to_partition(),
         cut_nets: tracker.cut_nets(),
         passes,
-    }
+    })
 }
 
 /// Doubly-linked gain bucket lists for one side of the partition.
@@ -441,6 +469,23 @@ mod tests {
         let r = fm_bisect(&hg, &start, &FmOptions::default());
         assert_eq!(r.cut_nets, 1);
         assert!(r.passes <= 2);
+    }
+
+    #[test]
+    fn metered_fm_trips_and_matches() {
+        use np_sparse::Budget;
+        use std::time::Duration;
+        let hg = two_triangles();
+        let start = Bipartition::from_left_set(6, [ModuleId(0), ModuleId(3), ModuleId(4)]);
+        // zero wall clock: trips before the first pass
+        let tight = BudgetMeter::new(&Budget::default().with_wall_clock(Duration::ZERO));
+        assert!(fm_bisect_metered(&hg, &start, &FmOptions::default(), &tight).is_err());
+        // unlimited meter: identical to the plain entry point
+        let meter = BudgetMeter::unlimited();
+        let metered = fm_bisect_metered(&hg, &start, &FmOptions::default(), &meter).unwrap();
+        let plain = fm_bisect(&hg, &start, &FmOptions::default());
+        assert_eq!(metered, plain);
+        assert_eq!(meter.matvecs_used() as usize, plain.passes);
     }
 
     #[test]

@@ -27,6 +27,6 @@ pub mod kl;
 pub mod rcut;
 
 pub use anneal::{anneal, AnnealOptions, AnnealResult};
-pub use fm::{fm_bisect, FmOptions, FmResult};
+pub use fm::{fm_bisect, fm_bisect_metered, FmOptions, FmResult};
 pub use kl::{kl_bisect, KlOptions, KlResult};
-pub use rcut::{rcut, RcutOptions, RcutResult};
+pub use rcut::{rcut, refine_ratio_cut_metered, RcutOptions, RcutResult};

@@ -19,6 +19,7 @@
 
 use crate::fm::{run_pass, run_swap_pass, PrefixObjective};
 use np_netlist::partition::CutTracker;
+use np_sparse::{BudgetExceeded, BudgetMeter};
 use np_netlist::rng::Rng64;
 use np_netlist::{Bipartition, CutStats, Hypergraph, ModuleId};
 
@@ -223,17 +224,43 @@ pub fn refine_ratio_cut(
     initial: &Bipartition,
     max_passes: usize,
 ) -> (Bipartition, CutStats) {
+    refine_ratio_cut_metered(hg, initial, max_passes, &BudgetMeter::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// Budget-aware variant of [`refine_ratio_cut`]: each shifting pass charges
+/// one unit against `meter` (the same accounting unit as an eigensolver
+/// matrix–vector product), so wall-clock and work budgets are enforced
+/// between passes. On exhaustion the passes completed so far are simply
+/// discarded by the caller — refinement is optional polish, so partial
+/// progress need not be surfaced.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] when `meter` trips before `max_passes` passes have
+/// run.
+///
+/// # Panics
+///
+/// Same structural panics as [`refine_ratio_cut`].
+pub fn refine_ratio_cut_metered(
+    hg: &Hypergraph,
+    initial: &Bipartition,
+    max_passes: usize,
+    meter: &BudgetMeter,
+) -> Result<(Bipartition, CutStats), BudgetExceeded> {
     let n = hg.num_modules();
     assert!(n >= 2, "need at least 2 modules");
     assert_eq!(initial.len(), n, "partition size mismatch");
     let mut tracker = CutTracker::from_partition(hg, initial);
     for _ in 0..max_passes {
+        meter.charge(1)?;
         if !run_pass(hg, &mut tracker, 1, n - 1, PrefixObjective::Ratio) {
             break;
         }
     }
     let stats = tracker.stats();
-    (tracker.to_partition(), stats)
+    Ok((tracker.to_partition(), stats))
 }
 
 #[cfg(test)]

@@ -1,32 +1,25 @@
-//! Criterion bench: Fiedler-pair computation on the intersection graph vs
+//! Timing bench: Fiedler-pair computation on the intersection graph vs
 //! the clique model — the paper's speed argument for the dual
 //! representation (§1.2: "the intersection graph representation also
 //! yields speedups ... due to additional sparsity").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::bench_case;
 use np_core::models::{clique_laplacian, intersection_laplacian, IgWeighting};
 use np_eigen::{fiedler, LanczosOptions};
 use np_netlist::generate::mcnc_benchmark;
 
-fn bench_eigensolve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fiedler");
-    group.sample_size(10);
+fn main() {
+    println!("== fiedler ==");
     for name in ["Prim1", "Test02", "Test05"] {
         let b = mcnc_benchmark(name).expect("suite benchmark");
         let hg = &b.hypergraph;
         let ig = intersection_laplacian(hg, IgWeighting::Paper);
         let clique = clique_laplacian(hg);
-        group.bench_with_input(
-            BenchmarkId::new("intersection", name),
-            &ig,
-            |bench, q| bench.iter(|| fiedler(q, &LanczosOptions::default()).unwrap()),
-        );
-        group.bench_with_input(BenchmarkId::new("clique", name), &clique, |bench, q| {
-            bench.iter(|| fiedler(q, &LanczosOptions::default()).unwrap())
+        bench_case(&format!("fiedler/intersection/{name}"), 10, || {
+            fiedler(&ig, &LanczosOptions::default()).unwrap()
+        });
+        bench_case(&format!("fiedler/clique/{name}"), 10, || {
+            fiedler(&clique, &LanczosOptions::default()).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_eigensolve);
-criterion_main!(benches);

@@ -1,18 +1,17 @@
-//! Criterion bench: the incremental IG-Match machinery in isolation
+//! Timing bench: the incremental IG-Match machinery in isolation
 //! (Theorem 6's `O(|V|·(|V|+|E|))` full-sweep claim) — matching
 //! maintenance + classification + Phase II over all splits, without the
 //! eigensolve.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::bench_case;
 use np_core::igmatch::ig_match_with_ordering;
 use np_core::igmatch::{SplitClassification, SplitMatcher};
 use np_core::models::intersection_neighbors;
 use np_netlist::generate::mcnc_benchmark;
 use np_netlist::NetId;
 
-fn bench_matching(c: &mut Criterion) {
-    let mut group = c.benchmark_group("igmatch_sweep");
-    group.sample_size(10);
+fn main() {
+    println!("== igmatch_sweep ==");
     for name in ["Prim1", "Prim2"] {
         let b = mcnc_benchmark(name).expect("suite benchmark");
         let hg = b.hypergraph;
@@ -20,35 +19,21 @@ fn bench_matching(c: &mut Criterion) {
         let order: Vec<NetId> = hg.nets().collect();
 
         // matching maintenance + classification only
-        group.bench_with_input(
-            BenchmarkId::new("matching_and_classify", name),
-            &neighbors,
-            |bench, nb| {
-                bench.iter(|| {
-                    let mut matcher = SplitMatcher::new(nb);
-                    let mut class = SplitClassification::default();
-                    let mut acc = 0usize;
-                    for v in 0..nb.len() as u32 - 1 {
-                        matcher.move_to_r(v);
-                        matcher.classify_into(&mut class);
-                        acc += class.losers.len();
-                    }
-                    acc
-                })
-            },
-        );
+        bench_case(&format!("matching_and_classify/{name}"), 10, || {
+            let mut matcher = SplitMatcher::new(&neighbors);
+            let mut class = SplitClassification::default();
+            let mut acc = 0usize;
+            for v in 0..neighbors.len() as u32 - 1 {
+                matcher.move_to_r(v);
+                matcher.classify_into(&mut class);
+                acc += class.losers.len();
+            }
+            acc
+        });
 
         // the full sweep including Phase II completion
-        group.bench_with_input(
-            BenchmarkId::new("full_sweep", name),
-            &(hg, order),
-            |bench, (hg, order)| {
-                bench.iter(|| ig_match_with_ordering(hg, order, false).unwrap())
-            },
-        );
+        bench_case(&format!("full_sweep/{name}"), 10, || {
+            ig_match_with_ordering(&hg, &order, false).unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_matching);
-criterion_main!(benches);

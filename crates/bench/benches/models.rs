@@ -1,39 +1,29 @@
-//! Criterion bench: netlist → graph model construction (clique vs
+//! Timing bench: netlist → graph model construction (clique vs
 //! intersection graph), and the FM baseline pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::bench_case;
 use np_baselines::{fm_bisect, FmOptions};
 use np_core::models::{clique_adjacency, intersection_adjacency, IgWeighting};
 use np_netlist::generate::mcnc_benchmark;
 use np_netlist::{Bipartition, ModuleId};
 
-fn bench_models(c: &mut Criterion) {
-    let mut group = c.benchmark_group("models");
+fn main() {
+    println!("== models ==");
     for name in ["Prim2", "Test05"] {
         let b = mcnc_benchmark(name).expect("suite benchmark");
         let hg = b.hypergraph;
-        group.bench_with_input(BenchmarkId::new("clique", name), &hg, |bench, hg| {
-            bench.iter(|| clique_adjacency(hg))
+        bench_case(&format!("models/clique/{name}"), 20, || clique_adjacency(&hg));
+        bench_case(&format!("models/intersection/{name}"), 20, || {
+            intersection_adjacency(&hg, IgWeighting::Paper)
         });
-        group.bench_with_input(
-            BenchmarkId::new("intersection", name),
-            &hg,
-            |bench, hg| bench.iter(|| intersection_adjacency(hg, IgWeighting::Paper)),
-        );
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("fm");
-    group.sample_size(10);
+    println!("== fm ==");
     let b = mcnc_benchmark("Prim1").expect("suite benchmark");
     let hg = b.hypergraph;
     let n = hg.num_modules();
     let start = Bipartition::from_left_set(n, (0..n as u32 / 2).map(ModuleId));
-    group.bench_function("fm_bisect/Prim1", |bench| {
-        bench.iter(|| fm_bisect(&hg, &start, &FmOptions::default()))
+    bench_case("fm_bisect/Prim1", 10, || {
+        fm_bisect(&hg, &start, &FmOptions::default())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_models);
-criterion_main!(benches);

@@ -1,41 +1,35 @@
-//! Criterion bench: end-to-end partitioner comparison (Tables 2/3
+//! Timing bench: end-to-end partitioner comparison (Tables 2/3
 //! runtime column) — IG-Match vs IG-Vote vs EIG1 vs one RCut restart.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::bench_case;
 use np_baselines::{rcut, RcutOptions};
 use np_core::{eig1, ig_match, ig_vote, Eig1Options, IgMatchOptions, IgVoteOptions};
 use np_netlist::generate::mcnc_benchmark;
 
-fn bench_partitioners(c: &mut Criterion) {
-    let mut group = c.benchmark_group("partitioners");
-    group.sample_size(10);
+fn main() {
+    println!("== partitioners ==");
     let b = mcnc_benchmark("Prim1").expect("suite benchmark");
     let hg = &b.hypergraph;
-    group.bench_with_input(BenchmarkId::new("ig_match", &b.name), hg, |bench, hg| {
-        bench.iter(|| ig_match(hg, &IgMatchOptions::default()).unwrap())
+    let name = &b.name;
+    bench_case(&format!("ig_match/{name}"), 10, || {
+        ig_match(hg, &IgMatchOptions::default()).unwrap()
     });
-    group.bench_with_input(BenchmarkId::new("ig_vote", &b.name), hg, |bench, hg| {
-        bench.iter(|| ig_vote(hg, &IgVoteOptions::default()).unwrap())
+    bench_case(&format!("ig_vote/{name}"), 10, || {
+        ig_vote(hg, &IgVoteOptions::default()).unwrap()
     });
-    group.bench_with_input(BenchmarkId::new("eig1", &b.name), hg, |bench, hg| {
-        bench.iter(|| eig1(hg, &Eig1Options::default()).unwrap())
+    bench_case(&format!("eig1/{name}"), 10, || {
+        eig1(hg, &Eig1Options::default()).unwrap()
     });
-    group.bench_with_input(BenchmarkId::new("rcut_x1", &b.name), hg, |bench, hg| {
-        bench.iter(|| {
-            rcut(
-                hg,
-                &RcutOptions {
-                    runs: 1,
-                    ..Default::default()
-                },
-            )
-        })
+    bench_case(&format!("rcut_x1/{name}"), 10, || {
+        rcut(
+            hg,
+            &RcutOptions {
+                runs: 1,
+                ..Default::default()
+            },
+        )
     });
-    group.bench_with_input(BenchmarkId::new("rcut_x10", &b.name), hg, |bench, hg| {
-        bench.iter(|| rcut(hg, &RcutOptions::default()))
+    bench_case(&format!("rcut_x10/{name}"), 10, || {
+        rcut(hg, &RcutOptions::default())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_partitioners);
-criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! Shared machinery for the table-regeneration binaries and Criterion
+//! Shared machinery for the table-regeneration binaries and timing
 //! benches.
 //!
 //! Every table and figure of the paper's evaluation (§4) has a binary in
@@ -113,6 +113,26 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed())
+}
+
+/// Minimal micro-benchmark runner for the `benches/` targets: one warmup
+/// run, then `iters` timed runs, printing the minimum and mean
+/// per-iteration wall-clock time. (The build environment has no external
+/// benchmarking framework; `cargo bench` drives these harness-free
+/// binaries directly.)
+pub fn bench_case<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let dt = start.elapsed();
+        best = best.min(dt);
+        total += dt;
+    }
+    let mean = total / iters.max(1) as u32;
+    println!("{label:<44} min {best:>12.3?}  mean {mean:>12.3?}");
 }
 
 #[cfg(test)]

@@ -8,11 +8,12 @@
 //! `CutTracker`-based incremental sweep costs
 //! `O(pins)` on top of the eigensolve.
 
-use crate::ordering::spectral_module_ordering;
+use crate::ordering::{spectral_module_ordering, spectral_module_ordering_metered};
 use crate::{PartitionError, PartitionResult};
 use np_eigen::LanczosOptions;
 use np_netlist::partition::CutTracker;
 use np_netlist::{Bipartition, Hypergraph, ModuleId, Side};
+use np_sparse::BudgetMeter;
 
 /// Options for [`eig1`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -48,6 +49,23 @@ pub fn eig1(hg: &Hypergraph, opts: &Eig1Options) -> Result<PartitionResult, Part
     Ok(sweep_module_ordering(hg, &order, "EIG1"))
 }
 
+/// [`eig1`] with cooperative budget enforcement: the eigensolve charges
+/// one matvec-equivalent per operator application and the prefix sweep
+/// checks the wall clock at every rank.
+///
+/// # Errors
+///
+/// The [`eig1`] errors plus [`PartitionError::Budget`] when `meter`
+/// reports a limit hit.
+pub fn eig1_metered(
+    hg: &Hypergraph,
+    opts: &Eig1Options,
+    meter: &BudgetMeter,
+) -> Result<PartitionResult, PartitionError> {
+    let order = spectral_module_ordering_metered(hg, &opts.lanczos, meter)?;
+    sweep_module_ordering_metered(hg, &order, "EIG1", meter)
+}
+
 /// Evaluates every prefix split of a module ordering and returns the best
 /// ratio-cut partition. Exposed for reuse (any module ordering — spectral
 /// or otherwise — can be swept).
@@ -61,6 +79,27 @@ pub fn sweep_module_ordering(
     order: &[ModuleId],
     algorithm: &'static str,
 ) -> PartitionResult {
+    sweep_module_ordering_metered(hg, order, algorithm, &BudgetMeter::unlimited())
+        .expect("unlimited meter never trips")
+}
+
+/// [`sweep_module_ordering`] with cooperative budget enforcement: the
+/// meter's wall clock is checked once per splitting rank.
+///
+/// # Errors
+///
+/// [`PartitionError::Budget`] when `meter` reports a limit hit.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the modules of `hg` or has
+/// fewer than 2 entries.
+pub fn sweep_module_ordering_metered(
+    hg: &Hypergraph,
+    order: &[ModuleId],
+    algorithm: &'static str,
+    meter: &BudgetMeter,
+) -> Result<PartitionResult, PartitionError> {
     assert_eq!(order.len(), hg.num_modules(), "ordering length mismatch");
     assert!(order.len() >= 2, "cannot sweep fewer than 2 modules");
     let mut tracker = CutTracker::all_on(hg, Side::Right);
@@ -69,6 +108,7 @@ pub fn sweep_module_ordering(
     // move modules to the left one by one; after moving `r+1` modules the
     // split is (order[..=r] | order[r+1..])
     for (r, &m) in order[..order.len() - 1].iter().enumerate() {
+        meter.check()?;
         tracker.move_module(m, Side::Left);
         let ratio = tracker.ratio();
         if ratio < best_ratio {
@@ -78,7 +118,12 @@ pub fn sweep_module_ordering(
     }
     let partition =
         Bipartition::from_left_set(hg.num_modules(), order[..=best_rank].iter().copied());
-    PartitionResult::evaluate(hg, partition, algorithm, Some(best_rank))
+    Ok(PartitionResult::evaluate(
+        hg,
+        partition,
+        algorithm,
+        Some(best_rank),
+    ))
 }
 
 /// Spectral minimum-width bisection (paper §1.1's second formulation):
@@ -201,6 +246,23 @@ mod tests {
         let r = eig1(&two_triangles(), &Eig1Options::default()).unwrap();
         let recomputed = r.partition.cut_stats(&two_triangles());
         assert_eq!(r.stats, recomputed);
+    }
+
+    #[test]
+    fn metered_matches_unmetered_and_trips_on_zero_clock() {
+        use np_sparse::Budget;
+        use std::time::Duration;
+        let hg = two_triangles();
+        let plain = eig1(&hg, &Eig1Options::default()).unwrap();
+        let meter = BudgetMeter::unlimited();
+        let metered = eig1_metered(&hg, &Eig1Options::default(), &meter).unwrap();
+        assert_eq!(plain.partition, metered.partition);
+        assert!(meter.matvecs_used() > 0);
+        let tight = BudgetMeter::new(&Budget::default().with_wall_clock(Duration::ZERO));
+        assert!(matches!(
+            eig1_metered(&hg, &Eig1Options::default(), &tight),
+            Err(PartitionError::Budget(_))
+        ));
     }
 
     #[test]

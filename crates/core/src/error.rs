@@ -1,6 +1,7 @@
 //! Error type for the partitioning algorithms.
 
 use np_eigen::EigenError;
+use np_sparse::BudgetExceeded;
 use std::error::Error;
 use std::fmt;
 
@@ -21,6 +22,15 @@ pub enum PartitionError {
     /// No split of the spectral ordering produced a partition with two
     /// non-empty sides (e.g. a single net containing every module).
     Degenerate,
+    /// A cooperative resource budget ran out before a partition was
+    /// produced. The payload carries the partial spend.
+    Budget(BudgetExceeded),
+    /// The caller supplied structurally invalid input (e.g. a net
+    /// ordering that is not a permutation of the hypergraph's nets).
+    InvalidInput {
+        /// What was wrong with the input.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -34,6 +44,10 @@ impl fmt::Display for PartitionError {
             PartitionError::Degenerate => {
                 write!(f, "no split yields two non-empty sides")
             }
+            PartitionError::Budget(e) => write!(f, "{e}"),
+            PartitionError::InvalidInput { reason } => {
+                write!(f, "invalid input: {reason}")
+            }
         }
     }
 }
@@ -42,6 +56,7 @@ impl Error for PartitionError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PartitionError::Eigen(e) => Some(e),
+            PartitionError::Budget(e) => Some(e),
             _ => None,
         }
     }
@@ -49,13 +64,25 @@ impl Error for PartitionError {
 
 impl From<EigenError> for PartitionError {
     fn from(e: EigenError) -> Self {
-        PartitionError::Eigen(e)
+        match e {
+            // budget exhaustion inside an eigensolve is still budget
+            // exhaustion of the attempt; keep one uniform variant
+            EigenError::Budget(b) => PartitionError::Budget(b),
+            other => PartitionError::Eigen(other),
+        }
+    }
+}
+
+impl From<BudgetExceeded> for PartitionError {
+    fn from(e: BudgetExceeded) -> Self {
+        PartitionError::Budget(e)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use np_sparse::{Budget, BudgetMeter};
 
     #[test]
     fn display_and_source() {
@@ -63,6 +90,25 @@ mod tests {
         assert!(e.to_string().contains("eigensolve failed"));
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&PartitionError::Degenerate).is_none());
+    }
+
+    #[test]
+    fn budget_errors_unify() {
+        let meter = BudgetMeter::new(&Budget::default().with_matvecs(1));
+        let exceeded = meter.charge(2).unwrap_err();
+        let direct = PartitionError::from(exceeded);
+        let via_eigen = PartitionError::from(EigenError::Budget(exceeded));
+        assert_eq!(direct, via_eigen);
+        assert!(direct.to_string().contains("matvec budget"));
+        assert!(Error::source(&direct).is_some());
+    }
+
+    #[test]
+    fn invalid_input_display() {
+        let e = PartitionError::InvalidInput {
+            reason: "net ordering is not a permutation",
+        };
+        assert!(e.to_string().contains("invalid input"));
     }
 
     #[test]

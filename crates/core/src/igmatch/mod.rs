@@ -31,10 +31,11 @@ mod refine;
 pub use bipartite::{SplitClassification, SplitMatcher};
 
 use crate::models::{intersection_neighbors, IgWeighting};
-use crate::ordering::spectral_net_ordering;
+use crate::ordering::spectral_net_ordering_metered;
 use crate::{PartitionError, PartitionResult};
 use np_eigen::LanczosOptions;
 use np_netlist::{Bipartition, CutStats, Hypergraph, NetId, Side};
+use np_sparse::BudgetMeter;
 
 /// Options for [`ig_match`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -89,14 +90,31 @@ pub struct IgMatchOutcome {
 /// # Ok::<(), np_core::PartitionError>(())
 /// ```
 pub fn ig_match(hg: &Hypergraph, opts: &IgMatchOptions) -> Result<IgMatchOutcome, PartitionError> {
+    ig_match_metered(hg, opts, &BudgetMeter::unlimited())
+}
+
+/// [`ig_match`] with cooperative budget enforcement: the eigensolve
+/// charges one matvec-equivalent per operator application and the
+/// completion sweep checks the wall clock at every split, so a tripped
+/// meter surfaces within one iteration's work.
+///
+/// # Errors
+///
+/// The [`ig_match`] errors plus [`PartitionError::Budget`] when `meter`
+/// reports a limit hit.
+pub fn ig_match_metered(
+    hg: &Hypergraph,
+    opts: &IgMatchOptions,
+    meter: &BudgetMeter,
+) -> Result<IgMatchOutcome, PartitionError> {
     if hg.num_modules() < 2 {
         return Err(PartitionError::TooSmall {
             modules: hg.num_modules(),
             nets: hg.num_nets(),
         });
     }
-    let order = spectral_net_ordering(hg, opts.weighting, &opts.lanczos)?;
-    ig_match_with_ordering(hg, &order, opts.refine_free_modules)
+    let order = spectral_net_ordering_metered(hg, opts.weighting, &opts.lanczos, meter)?;
+    ig_match_with_ordering_metered(hg, &order, opts.refine_free_modules, meter)
 }
 
 /// Runs the IG-Match completion over every split of an explicit net
@@ -105,17 +123,32 @@ pub fn ig_match(hg: &Hypergraph, opts: &IgMatchOptions) -> Result<IgMatchOutcome
 ///
 /// # Errors
 ///
-/// [`PartitionError::Degenerate`] if no split yields two non-empty sides.
-///
-/// # Panics
-///
-/// Panics if `order` is not a permutation of the nets of `hg`.
+/// * [`PartitionError::InvalidInput`] if `order` is not a permutation of
+///   the nets of `hg`;
+/// * [`PartitionError::Degenerate`] if no split yields two non-empty
+///   sides.
 pub fn ig_match_with_ordering(
     hg: &Hypergraph,
     order: &[NetId],
     refine_free_modules: bool,
 ) -> Result<IgMatchOutcome, PartitionError> {
-    assert_eq!(order.len(), hg.num_nets(), "net ordering length mismatch");
+    ig_match_with_ordering_metered(hg, order, refine_free_modules, &BudgetMeter::unlimited())
+}
+
+/// [`ig_match_with_ordering`] with cooperative budget enforcement: the
+/// meter's wall clock is checked once per split of the sweep.
+///
+/// # Errors
+///
+/// The [`ig_match_with_ordering`] errors plus [`PartitionError::Budget`]
+/// when `meter` reports a limit hit.
+pub fn ig_match_with_ordering_metered(
+    hg: &Hypergraph,
+    order: &[NetId],
+    refine_free_modules: bool,
+    meter: &BudgetMeter,
+) -> Result<IgMatchOutcome, PartitionError> {
+    validate_net_ordering(hg, order)?;
     let m = hg.num_nets();
     if m < 2 {
         return Err(PartitionError::TooSmall {
@@ -134,6 +167,7 @@ pub fn ig_match_with_ordering(
     // after moving k+1 nets, the split is (R = order[..=k] | L = order[k+1..]);
     // the last move empties L and is skipped (degenerate split)
     for (k, &net) in order[..m - 1].iter().enumerate() {
+        meter.check()?;
         matcher.move_to_r(net.0);
         matcher.classify_into(&mut class);
         let Candidate {
@@ -176,6 +210,34 @@ pub fn ig_match_with_ordering(
         matching_size: best.matching_size,
         loser_count: best.loser_count,
     })
+}
+
+/// Rejects orderings that are not permutations of the nets of `hg`
+/// (wrong length, out-of-range ids or duplicates) — feeding such an
+/// ordering to the incremental matcher would corrupt its state.
+fn validate_net_ordering(hg: &Hypergraph, order: &[NetId]) -> Result<(), PartitionError> {
+    if order.len() != hg.num_nets() {
+        return Err(PartitionError::InvalidInput {
+            reason: "net ordering length does not match the net count",
+        });
+    }
+    let mut seen = vec![false; hg.num_nets()];
+    for &net in order {
+        match seen.get_mut(net.index()) {
+            Some(slot) if !*slot => *slot = true,
+            Some(_) => {
+                return Err(PartitionError::InvalidInput {
+                    reason: "net ordering contains a duplicate net",
+                })
+            }
+            None => {
+                return Err(PartitionError::InvalidInput {
+                    reason: "net ordering references a net outside the hypergraph",
+                })
+            }
+        }
+    }
+    Ok(())
 }
 
 struct Best {
@@ -411,6 +473,52 @@ mod tests {
         let order: Vec<NetId> = (0..5u32).map(NetId).collect();
         let out = ig_match_with_ordering(&hg, &order, false).unwrap();
         assert!(out.result.stats.cut_nets <= out.matching_size);
+    }
+
+    #[test]
+    fn malformed_orderings_rejected_not_panicking() {
+        let hg = two_triangles();
+        // wrong length
+        let short: Vec<NetId> = vec![NetId(0)];
+        assert!(matches!(
+            ig_match_with_ordering(&hg, &short, false),
+            Err(PartitionError::InvalidInput { .. })
+        ));
+        // duplicate net
+        let dup: Vec<NetId> = [0u32, 1, 2, 3, 4, 5, 5].iter().map(|&i| NetId(i)).collect();
+        assert!(matches!(
+            ig_match_with_ordering(&hg, &dup, false),
+            Err(PartitionError::InvalidInput { .. })
+        ));
+        // out-of-range net id
+        let oob: Vec<NetId> = [0u32, 1, 2, 3, 4, 5, 99].iter().map(|&i| NetId(i)).collect();
+        assert!(matches!(
+            ig_match_with_ordering(&hg, &oob, false),
+            Err(PartitionError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_respects_wall_clock_budget() {
+        use np_sparse::Budget;
+        use std::time::Duration;
+        let hg = two_triangles();
+        let order: Vec<NetId> = (0..7u32).map(NetId).collect();
+        let meter = BudgetMeter::new(&Budget::default().with_wall_clock(Duration::ZERO));
+        assert!(matches!(
+            ig_match_with_ordering_metered(&hg, &order, false, &meter),
+            Err(PartitionError::Budget(_))
+        ));
+    }
+
+    #[test]
+    fn metered_matches_unmetered() {
+        let hg = two_triangles();
+        let plain = ig_match(&hg, &IgMatchOptions::default()).unwrap();
+        let meter = BudgetMeter::unlimited();
+        let metered = ig_match_metered(&hg, &IgMatchOptions::default(), &meter).unwrap();
+        assert_eq!(plain.result.partition, metered.result.partition);
+        assert!(meter.matvecs_used() > 0);
     }
 
     #[test]

@@ -55,10 +55,14 @@ pub mod models;
 pub mod multiway;
 pub mod ordering;
 pub mod placement;
+pub mod robust;
 
-pub use eig1::{eig1, Eig1Options};
+pub use eig1::{eig1, eig1_metered, Eig1Options};
 pub use error::PartitionError;
-pub use igmatch::{ig_match, IgMatchOptions, IgMatchOutcome};
+pub use igmatch::{ig_match, ig_match_metered, IgMatchOptions, IgMatchOutcome};
 pub use igvote::{ig_vote, IgVoteOptions};
 pub use models::IgWeighting;
 pub use result::PartitionResult;
+pub use robust::{
+    robust_partition, Diagnostics, FallbackStage, RobustFailure, RobustOptions, RobustOutcome,
+};

@@ -8,17 +8,22 @@
 
 use crate::models::{clique_laplacian, intersection_laplacian, IgWeighting};
 use crate::PartitionError;
-use np_eigen::{fiedler, LanczosOptions};
+use np_eigen::{fiedler_metered, LanczosOptions};
 use np_netlist::{Hypergraph, ModuleId, NetId};
+use np_sparse::BudgetMeter;
 
 /// Sorts indices `0..n` by the corresponding component of `vector`
 /// (ties broken by index, so the ordering is fully deterministic).
+///
+/// Non-finite components are ordered by IEEE-754 `total_cmp` (−∞ < finite
+/// < +∞ < NaN) rather than panicking; the eigensolvers reject non-finite
+/// vectors before they reach this point, so this is a belt-and-braces
+/// guarantee for external callers.
 pub fn order_by_component(vector: &[f64]) -> Vec<u32> {
     let mut idx: Vec<u32> = (0..vector.len() as u32).collect();
     idx.sort_by(|&a, &b| {
         vector[a as usize]
-            .partial_cmp(&vector[b as usize])
-            .expect("non-finite eigenvector component")
+            .total_cmp(&vector[b as usize])
             .then(a.cmp(&b))
     });
     idx
@@ -35,6 +40,21 @@ pub fn spectral_module_ordering(
     hg: &Hypergraph,
     opts: &LanczosOptions,
 ) -> Result<Vec<ModuleId>, PartitionError> {
+    spectral_module_ordering_metered(hg, opts, &BudgetMeter::unlimited())
+}
+
+/// [`spectral_module_ordering`] with cooperative budget enforcement:
+/// every matvec of the eigensolve charges `meter`.
+///
+/// # Errors
+///
+/// The [`spectral_module_ordering`] errors plus
+/// [`PartitionError::Budget`] when the meter trips.
+pub fn spectral_module_ordering_metered(
+    hg: &Hypergraph,
+    opts: &LanczosOptions,
+    meter: &BudgetMeter,
+) -> Result<Vec<ModuleId>, PartitionError> {
     if hg.num_modules() < 2 {
         return Err(PartitionError::TooSmall {
             modules: hg.num_modules(),
@@ -42,7 +62,7 @@ pub fn spectral_module_ordering(
         });
     }
     let q = clique_laplacian(hg);
-    let pair = fiedler(&q, opts)?;
+    let pair = fiedler_metered(&q, opts, meter)?;
     Ok(order_by_component(&pair.vector)
         .into_iter()
         .map(ModuleId)
@@ -61,6 +81,22 @@ pub fn spectral_net_ordering(
     weighting: IgWeighting,
     opts: &LanczosOptions,
 ) -> Result<Vec<NetId>, PartitionError> {
+    spectral_net_ordering_metered(hg, weighting, opts, &BudgetMeter::unlimited())
+}
+
+/// [`spectral_net_ordering`] with cooperative budget enforcement: every
+/// matvec of the eigensolve charges `meter`.
+///
+/// # Errors
+///
+/// The [`spectral_net_ordering`] errors plus [`PartitionError::Budget`]
+/// when the meter trips.
+pub fn spectral_net_ordering_metered(
+    hg: &Hypergraph,
+    weighting: IgWeighting,
+    opts: &LanczosOptions,
+    meter: &BudgetMeter,
+) -> Result<Vec<NetId>, PartitionError> {
     if hg.num_nets() < 2 {
         return Err(PartitionError::TooSmall {
             modules: hg.num_modules(),
@@ -68,7 +104,7 @@ pub fn spectral_net_ordering(
         });
     }
     let q = intersection_laplacian(hg, weighting);
-    let pair = fiedler(&q, opts)?;
+    let pair = fiedler_metered(&q, opts, meter)?;
     Ok(order_by_component(&pair.vector)
         .into_iter()
         .map(NetId)
@@ -105,7 +141,7 @@ pub fn spectral_net_ordering_thresholded(
     let sparsified = adjacency.drop_below(threshold);
     let dropped = adjacency.nnz() - sparsified.nnz();
     let q = np_sparse::Laplacian::from_adjacency(sparsified);
-    let pair = fiedler(&q, opts)?;
+    let pair = fiedler_metered(&q, opts, &BudgetMeter::unlimited())?;
     Ok((
         order_by_component(&pair.vector)
             .into_iter()
@@ -142,6 +178,25 @@ mod tests {
     fn order_by_component_stable() {
         let v = [0.3, -1.0, 0.3, 0.0];
         assert_eq!(order_by_component(&v), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn order_by_component_total_on_non_finite() {
+        // −∞ < finite < +∞ < NaN, deterministically, instead of a panic
+        let v = [f64::NAN, 1.0, f64::NEG_INFINITY, f64::INFINITY, 0.0];
+        assert_eq!(order_by_component(&v), vec![2, 4, 1, 3, 0]);
+    }
+
+    #[test]
+    fn metered_ordering_matches_unmetered() {
+        let hg = dumbbell();
+        let plain = spectral_net_ordering(&hg, IgWeighting::Paper, &Default::default()).unwrap();
+        let meter = np_sparse::BudgetMeter::unlimited();
+        let metered =
+            spectral_net_ordering_metered(&hg, IgWeighting::Paper, &Default::default(), &meter)
+                .unwrap();
+        assert_eq!(plain, metered);
+        assert!(meter.matvecs_used() > 0);
     }
 
     #[test]

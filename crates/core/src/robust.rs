@@ -1,0 +1,593 @@
+//! Resilient partitioning: a fallback chain with budgets and
+//! deterministic fault injection.
+//!
+//! The plain entry points ([`ig_match`](crate::ig_match),
+//! [`eig1`](crate::eig1()), …) propagate the first failure they hit. This
+//! module makes partitioning *total*: [`robust_partition`] runs a chain
+//! of progressively more conservative strategies and returns either a
+//! [`PartitionResult`] or a structured [`RobustFailure`] — never a panic,
+//! and (given a wall-clock [`Budget`]) never a hang. The chain is
+//!
+//! 1. **IG-Match** on the intersection model — the paper's algorithm,
+//!    best quality (§3);
+//! 2. **reseeded Lanczos restarts** — the same algorithm with fresh
+//!    eigensolver seeds, which recovers from unlucky start vectors;
+//! 3. **dense eigensolve** — the spectral ordering computed by the dense
+//!    Jacobi solver instead of Lanczos, immune to convergence stagnation;
+//! 4. **clique-model EIG1** — the Hagen–Kahng baseline on the module
+//!    graph, which sidesteps a pathological intersection graph entirely;
+//! 5. **FM baseline** — purely combinatorial Fiduccia–Mattheyses from a
+//!    deterministic seed partition, requiring no eigensolve at all.
+//!
+//! Every attempt is recorded in [`Diagnostics`], so callers can see which
+//! stage produced the answer and why earlier stages failed. Budget
+//! exhaustion ([`PartitionError::Budget`]) and structurally hopeless
+//! inputs ([`PartitionError::TooSmall`]) abort the chain immediately:
+//! later stages share the same spent budget / tiny input and would fail
+//! identically.
+//!
+//! With the `fault-inject` feature, a [`FaultPlan`] deterministically
+//! forces failures at chosen stages so every fallback link can be tested.
+
+use crate::eig1::sweep_module_ordering_metered;
+use crate::igmatch::ig_match_with_ordering_metered;
+use crate::models::{clique_laplacian, intersection_laplacian};
+use crate::ordering::order_by_component;
+use crate::{IgMatchOptions, PartitionError, PartitionResult};
+use np_baselines::{fm_bisect_metered, FmOptions};
+use np_eigen::{smallest_deflated_metered, EigenError, EigenPair, LanczosOptions};
+use np_netlist::{Bipartition, Hypergraph, ModuleId, NetId};
+use np_sparse::{
+    Budget, BudgetExceeded, BudgetMeter, BudgetResource, Laplacian, LinearOperator,
+};
+use std::fmt;
+use std::time::Duration;
+
+/// One link of the fallback chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FallbackStage {
+    /// IG-Match with the caller's eigensolver options.
+    IgMatch,
+    /// IG-Match retried with a reseeded Lanczos start vector.
+    ReseededLanczos,
+    /// IG-Match with the spectral ordering computed densely.
+    DenseEigensolve,
+    /// EIG1 on the clique model.
+    CliqueEig1,
+    /// Fiduccia–Mattheyses from a deterministic seed partition.
+    FmBaseline,
+}
+
+impl FallbackStage {
+    /// Human-readable stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackStage::IgMatch => "IG-Match",
+            FallbackStage::ReseededLanczos => "reseeded Lanczos",
+            FallbackStage::DenseEigensolve => "dense eigensolve",
+            FallbackStage::CliqueEig1 => "clique EIG1",
+            FallbackStage::FmBaseline => "FM baseline",
+        }
+    }
+}
+
+impl fmt::Display for FallbackStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The failure a [`FaultPlan`] forces at a stage (test-only machinery;
+/// plans only take effect when the `fault-inject` feature is enabled).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The stage fails up front with
+    /// [`EigenError::NoConvergence`], as if the eigensolve stagnated.
+    ForceNoConvergence,
+    /// The stage's operator is wrapped to emit NaN, exercising the
+    /// [`EigenError::NonFinite`] detection path. At the (eigensolve-free)
+    /// FM stage this short-circuits with `NonFinite` directly.
+    PoisonOperator,
+    /// The stage fails with [`PartitionError::Budget`] carrying the real
+    /// spend so far, as if the budget ran out on entry.
+    ExhaustBudget,
+}
+
+/// Deterministic fault plan: which [`FaultKind`] to force at which
+/// stage. Only consulted when the `fault-inject` feature is enabled;
+/// release builds never look at it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<(FallbackStage, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault at `stage` (builder style). A fault at
+    /// [`FallbackStage::ReseededLanczos`] fires on every reseed attempt.
+    #[must_use]
+    pub fn with(mut self, stage: FallbackStage, kind: FaultKind) -> Self {
+        self.faults.push((stage, kind));
+        self
+    }
+
+    /// The fault registered for `stage`, if any (first match wins).
+    pub fn fault_at(&self, stage: FallbackStage) -> Option<FaultKind> {
+        self.faults
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|&(_, k)| k)
+    }
+}
+
+/// Options for [`robust_partition`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RobustOptions {
+    /// Options for the primary IG-Match stages (weighting, eigensolver,
+    /// free-module refinement).
+    pub ig_match: IgMatchOptions,
+    /// Resource budget for the *whole* chain (all stages share one
+    /// meter). Unlimited by default.
+    pub budget: Budget,
+    /// Number of reseeded-Lanczos retries before escalating to the dense
+    /// eigensolve.
+    pub reseed_attempts: usize,
+    /// Options for the final FM stage.
+    pub fm: FmOptions,
+    /// Deterministic faults to force (testing the chain itself).
+    #[cfg(feature = "fault-inject")]
+    pub faults: FaultPlan,
+}
+
+impl Default for RobustOptions {
+    fn default() -> Self {
+        RobustOptions {
+            ig_match: IgMatchOptions::default(),
+            budget: Budget::UNLIMITED,
+            reseed_attempts: 2,
+            fm: FmOptions::default(),
+            #[cfg(feature = "fault-inject")]
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// Record of one stage execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageAttempt {
+    /// Which stage ran.
+    pub stage: FallbackStage,
+    /// `None` if the stage produced the final result, otherwise the error
+    /// that made the chain move on (or abort).
+    pub error: Option<PartitionError>,
+}
+
+/// What happened across the whole chain: every attempt in order, the
+/// winning stage (if any) and the total resource spend.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostics {
+    /// Every stage execution, in chain order. The last entry is the
+    /// winning stage on success.
+    pub attempts: Vec<StageAttempt>,
+    /// The stage that produced the result; `None` if the chain failed.
+    pub winning_stage: Option<FallbackStage>,
+    /// Matvec-equivalents charged across all stages.
+    pub matvecs: u64,
+    /// Wall-clock time for the whole chain.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.winning_stage {
+            Some(s) => write!(f, "solved by {s} after {} attempt(s)", self.attempts.len())?,
+            None => write!(f, "no stage succeeded in {} attempt(s)", self.attempts.len())?,
+        }
+        write!(f, ", {} matvecs, {:.1?} elapsed", self.matvecs, self.elapsed)
+    }
+}
+
+/// Successful outcome of [`robust_partition`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RobustOutcome {
+    /// The partition produced by the winning stage.
+    pub result: PartitionResult,
+    /// The chain's execution record.
+    pub diagnostics: Diagnostics,
+}
+
+/// Failure of the whole chain, with the execution record attached.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RobustFailure {
+    /// The error that ended the chain: the aborting error for budget
+    /// exhaustion / hopeless inputs, otherwise the last stage's error.
+    pub error: PartitionError,
+    /// The chain's execution record (partial progress included).
+    pub diagnostics: Diagnostics,
+}
+
+impl fmt::Display for RobustFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partitioning failed: {} ({})", self.error, self.diagnostics)
+    }
+}
+
+impl std::error::Error for RobustFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Runs the fallback chain until a stage produces a partition.
+///
+/// The stages and escalation policy are described in the
+/// [module docs](self). All stages share one [`BudgetMeter`] derived from
+/// `opts.budget`; charging is cooperative at per-iteration granularity,
+/// so a tripped budget surfaces within one iteration's work of the
+/// requested limits.
+///
+/// # Errors
+///
+/// [`RobustFailure`] carrying the decisive [`PartitionError`] and the
+/// full [`Diagnostics`]. The chain aborts early (without trying later
+/// stages) on [`PartitionError::Budget`] and
+/// [`PartitionError::TooSmall`]; anything else escalates to the next
+/// stage.
+///
+/// # Example
+///
+/// ```
+/// use np_core::robust::{robust_partition, FallbackStage, RobustOptions};
+/// use np_netlist::hypergraph_from_nets;
+///
+/// let hg = hypergraph_from_nets(
+///     6,
+///     &[vec![0, 1], vec![1, 2], vec![0, 2], vec![3, 4], vec![4, 5], vec![3, 5], vec![2, 3]],
+/// );
+/// let out = robust_partition(&hg, &RobustOptions::default()).unwrap();
+/// assert_eq!(out.result.stats.cut_nets, 1);
+/// assert_eq!(out.diagnostics.winning_stage, Some(FallbackStage::IgMatch));
+/// ```
+pub fn robust_partition(
+    hg: &Hypergraph,
+    opts: &RobustOptions,
+) -> Result<RobustOutcome, RobustFailure> {
+    let meter = BudgetMeter::new(&opts.budget);
+    let fault_for = |stage: FallbackStage| -> Option<FaultKind> {
+        #[cfg(feature = "fault-inject")]
+        {
+            opts.faults.fault_at(stage)
+        }
+        #[cfg(not(feature = "fault-inject"))]
+        {
+            let _ = stage;
+            None
+        }
+    };
+
+    let base = opts.ig_match.lanczos;
+    let weighting = opts.ig_match.weighting;
+    let refine = opts.ig_match.refine_free_modules;
+
+    // (stage, eigensolver options) for the three spectral IG-Match links
+    let mut spectral: Vec<(FallbackStage, LanczosOptions)> =
+        vec![(FallbackStage::IgMatch, base)];
+    for attempt in 0..opts.reseed_attempts {
+        let mut lanczos = base;
+        lanczos.seed = base
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64 + 1));
+        spectral.push((FallbackStage::ReseededLanczos, lanczos));
+    }
+    let mut dense = base;
+    dense.dense_cutoff = usize::MAX;
+    spectral.push((FallbackStage::DenseEigensolve, dense));
+
+    type StageFn<'a> = Box<dyn FnOnce() -> Result<PartitionResult, PartitionError> + 'a>;
+    let mut stages: Vec<(FallbackStage, StageFn<'_>)> = Vec::new();
+    for (stage, lanczos) in spectral {
+        let meter = &meter;
+        stages.push((
+            stage,
+            Box::new(move || {
+                spectral_ig_stage(hg, weighting, &lanczos, refine, meter, fault_for(stage))
+            }),
+        ));
+    }
+    {
+        let meter = &meter;
+        stages.push((
+            FallbackStage::CliqueEig1,
+            Box::new(move || {
+                clique_eig1_stage(hg, &base, meter, fault_for(FallbackStage::CliqueEig1))
+            }),
+        ));
+        stages.push((
+            FallbackStage::FmBaseline,
+            Box::new(move || {
+                fm_stage(hg, &opts.fm, meter, fault_for(FallbackStage::FmBaseline))
+            }),
+        ));
+    }
+
+    let mut attempts: Vec<StageAttempt> = Vec::new();
+    for (stage, run) in stages {
+        match run() {
+            Ok(result) => {
+                attempts.push(StageAttempt { stage, error: None });
+                return Ok(RobustOutcome {
+                    result,
+                    diagnostics: Diagnostics {
+                        attempts,
+                        winning_stage: Some(stage),
+                        matvecs: meter.matvecs_used(),
+                        elapsed: meter.elapsed(),
+                    },
+                });
+            }
+            Err(error) => {
+                // a spent budget or a structurally hopeless input dooms
+                // every later stage too: abort instead of burning time
+                let fatal = matches!(
+                    error,
+                    PartitionError::Budget(_) | PartitionError::TooSmall { .. }
+                );
+                attempts.push(StageAttempt {
+                    stage,
+                    error: Some(error.clone()),
+                });
+                if fatal {
+                    return Err(failure(error, attempts, &meter));
+                }
+            }
+        }
+    }
+    let error = attempts
+        .last()
+        .and_then(|a| a.error.clone())
+        .unwrap_or(PartitionError::Degenerate);
+    Err(failure(error, attempts, &meter))
+}
+
+fn failure(error: PartitionError, attempts: Vec<StageAttempt>, meter: &BudgetMeter) -> RobustFailure {
+    RobustFailure {
+        error,
+        diagnostics: Diagnostics {
+            attempts,
+            winning_stage: None,
+            matvecs: meter.matvecs_used(),
+            elapsed: meter.elapsed(),
+        },
+    }
+}
+
+/// Applies the stage-entry faults common to every stage.
+fn short_circuit(fault: Option<FaultKind>, meter: &BudgetMeter) -> Result<(), PartitionError> {
+    match fault {
+        Some(FaultKind::ForceNoConvergence) => Err(PartitionError::Eigen(
+            EigenError::NoConvergence {
+                iterations: 0,
+                residual: f64::INFINITY,
+            },
+        )),
+        Some(FaultKind::ExhaustBudget) => Err(PartitionError::Budget(BudgetExceeded {
+            resource: BudgetResource::Matvecs,
+            matvecs_used: meter.matvecs_used(),
+            elapsed: meter.elapsed(),
+        })),
+        _ => Ok(()),
+    }
+}
+
+/// Wrapper that corrupts the first output component of every operator
+/// application — the fault-injection stand-in for numerically poisoned
+/// input.
+struct PoisonedOperator<'a> {
+    inner: &'a Laplacian,
+}
+
+impl LinearOperator for PoisonedOperator<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply(x, y);
+        if let Some(first) = y.first_mut() {
+            *first = f64::NAN;
+        }
+    }
+}
+
+/// Fiedler pair of `q` with the all-ones nullvector deflated, honoring a
+/// possible poison fault.
+fn solve_fiedler(
+    q: &Laplacian,
+    lanczos: &LanczosOptions,
+    meter: &BudgetMeter,
+    fault: Option<FaultKind>,
+) -> Result<EigenPair, PartitionError> {
+    let n = q.dim();
+    let ones = vec![1.0; n];
+    let pair = if fault == Some(FaultKind::PoisonOperator) {
+        smallest_deflated_metered(&PoisonedOperator { inner: q }, &[ones], lanczos, meter)
+    } else {
+        smallest_deflated_metered(q, &[ones], lanczos, meter)
+    }?;
+    Ok(pair)
+}
+
+/// Stages 1–3: spectral net ordering on the intersection graph plus the
+/// IG-Match completion sweep.
+fn spectral_ig_stage(
+    hg: &Hypergraph,
+    weighting: crate::IgWeighting,
+    lanczos: &LanczosOptions,
+    refine: bool,
+    meter: &BudgetMeter,
+    fault: Option<FaultKind>,
+) -> Result<PartitionResult, PartitionError> {
+    short_circuit(fault, meter)?;
+    if hg.num_modules() < 2 || hg.num_nets() < 2 {
+        return Err(PartitionError::TooSmall {
+            modules: hg.num_modules(),
+            nets: hg.num_nets(),
+        });
+    }
+    let q = intersection_laplacian(hg, weighting);
+    let pair = solve_fiedler(&q, lanczos, meter, fault)?;
+    let order: Vec<NetId> = order_by_component(&pair.vector)
+        .into_iter()
+        .map(NetId)
+        .collect();
+    let out = ig_match_with_ordering_metered(hg, &order, refine, meter)?;
+    Ok(out.result)
+}
+
+/// Stage 4: EIG1 on the clique model.
+fn clique_eig1_stage(
+    hg: &Hypergraph,
+    lanczos: &LanczosOptions,
+    meter: &BudgetMeter,
+    fault: Option<FaultKind>,
+) -> Result<PartitionResult, PartitionError> {
+    short_circuit(fault, meter)?;
+    if hg.num_modules() < 2 {
+        return Err(PartitionError::TooSmall {
+            modules: hg.num_modules(),
+            nets: hg.num_nets(),
+        });
+    }
+    let q = clique_laplacian(hg);
+    let pair = solve_fiedler(&q, lanczos, meter, fault)?;
+    let order: Vec<ModuleId> = order_by_component(&pair.vector)
+        .into_iter()
+        .map(ModuleId)
+        .collect();
+    sweep_module_ordering_metered(hg, &order, "EIG1", meter)
+}
+
+/// Stage 5: FM from the deterministic "first half left" seed partition —
+/// no eigensolve, so it survives any numerical failure mode.
+fn fm_stage(
+    hg: &Hypergraph,
+    fm: &FmOptions,
+    meter: &BudgetMeter,
+    fault: Option<FaultKind>,
+) -> Result<PartitionResult, PartitionError> {
+    short_circuit(fault, meter)?;
+    if fault == Some(FaultKind::PoisonOperator) {
+        // FM has no operator to poison; fail the same way detection would
+        return Err(PartitionError::Eigen(EigenError::NonFinite {
+            stage: "fault injection",
+        }));
+    }
+    let n = hg.num_modules();
+    if n < 2 {
+        return Err(PartitionError::TooSmall {
+            modules: n,
+            nets: hg.num_nets(),
+        });
+    }
+    let start = Bipartition::from_left_set(n, (0..n as u32 / 2).map(ModuleId));
+    let improved = fm_bisect_metered(hg, &start, fm, meter)?;
+    let stats = improved.partition.cut_stats(hg);
+    if stats.left == 0 || stats.right == 0 {
+        return Err(PartitionError::Degenerate);
+    }
+    Ok(PartitionResult::evaluate(hg, improved.partition, "FM", None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::hypergraph_from_nets;
+
+    fn two_triangles() -> Hypergraph {
+        hypergraph_from_nets(
+            6,
+            &[
+                vec![0, 1],
+                vec![1, 2],
+                vec![0, 2],
+                vec![3, 4],
+                vec![4, 5],
+                vec![3, 5],
+                vec![2, 3],
+            ],
+        )
+    }
+
+    #[test]
+    fn healthy_input_solved_by_first_stage() {
+        let out = robust_partition(&two_triangles(), &RobustOptions::default()).unwrap();
+        assert_eq!(out.result.stats.cut_nets, 1);
+        assert_eq!(out.diagnostics.winning_stage, Some(FallbackStage::IgMatch));
+        assert_eq!(out.diagnostics.attempts.len(), 1);
+        assert!(out.diagnostics.attempts[0].error.is_none());
+        assert!(out.diagnostics.matvecs > 0);
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_aborts_with_budget_error() {
+        let opts = RobustOptions {
+            budget: Budget::default().with_wall_clock(Duration::ZERO),
+            ..Default::default()
+        };
+        let fail = robust_partition(&two_triangles(), &opts).unwrap_err();
+        assert!(matches!(fail.error, PartitionError::Budget(_)));
+        // budget exhaustion aborts: later stages are never attempted
+        assert_eq!(fail.diagnostics.attempts.len(), 1);
+        assert_eq!(fail.diagnostics.winning_stage, None);
+        assert!(fail.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn too_small_input_aborts_immediately() {
+        let hg = hypergraph_from_nets(1, &[vec![0]]);
+        let fail = robust_partition(&hg, &RobustOptions::default()).unwrap_err();
+        assert!(matches!(fail.error, PartitionError::TooSmall { .. }));
+        assert_eq!(fail.diagnostics.attempts.len(), 1);
+    }
+
+    #[test]
+    fn degenerate_intersection_model_falls_back_to_clique() {
+        // both nets span all modules: the IG-Match completion is
+        // degenerate at every split (all spectral stages fail), but the
+        // clique-model EIG1 sweep always returns a finite-ratio split
+        let hg = hypergraph_from_nets(4, &[vec![0, 1, 2, 3], vec![0, 1, 2, 3]]);
+        let out = robust_partition(&hg, &RobustOptions::default()).unwrap();
+        assert_eq!(out.diagnostics.winning_stage, Some(FallbackStage::CliqueEig1));
+        let s = &out.result.stats;
+        assert!(s.left > 0 && s.right > 0);
+        // 1 IG-Match + reseeds + dense all failed, then clique won
+        let reseeds = RobustOptions::default().reseed_attempts;
+        assert_eq!(out.diagnostics.attempts.len(), reseeds + 3);
+        for a in &out.diagnostics.attempts[..reseeds + 2] {
+            assert!(matches!(a.error, Some(PartitionError::Degenerate)), "{a:?}");
+        }
+    }
+
+    #[test]
+    fn diagnostics_display_mentions_stage() {
+        let out = robust_partition(&two_triangles(), &RobustOptions::default()).unwrap();
+        let s = out.diagnostics.to_string();
+        assert!(s.contains("IG-Match"), "{s}");
+        assert!(s.contains("matvecs"), "{s}");
+    }
+
+    #[test]
+    fn fault_plan_lookup() {
+        let plan = FaultPlan::new()
+            .with(FallbackStage::IgMatch, FaultKind::ForceNoConvergence)
+            .with(FallbackStage::FmBaseline, FaultKind::ExhaustBudget);
+        assert_eq!(
+            plan.fault_at(FallbackStage::IgMatch),
+            Some(FaultKind::ForceNoConvergence)
+        );
+        assert_eq!(plan.fault_at(FallbackStage::CliqueEig1), None);
+    }
+}

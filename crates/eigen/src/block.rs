@@ -13,7 +13,7 @@
 //! matrix and solved with the Jacobi eigensolver (the basis stays in the
 //! low hundreds of vectors).
 
-use crate::dense::jacobi_eigen;
+use crate::dense::try_jacobi_eigen;
 use crate::lanczos::{EigenPair, LanczosOptions};
 use crate::EigenError;
 use np_sparse::vecops::{axpy, dot, norm2, normalize};
@@ -197,7 +197,7 @@ pub fn smallest_deflated_block(
                     dense[i * k + j] = t[i][j];
                 }
             }
-            let eig = jacobi_eigen(&dense, k);
+            let eig = try_jacobi_eigen(&dense, k)?;
             let theta = eig.values[0];
             let y = &eig.vectors[0];
             let mut x = vec![0.0f64; n];

@@ -4,6 +4,7 @@
 //! on small operators) and as a direct solver when an operator is small
 //! enough that the iterative machinery is pointless.
 
+use crate::EigenError;
 use np_sparse::LinearOperator;
 
 /// Eigendecomposition of a dense symmetric matrix.
@@ -22,8 +23,9 @@ pub struct DenseEigen {
 ///
 /// # Panics
 ///
-/// Panics if `a.len() != n * n` or if the sweep limit is exceeded (only
-/// possible for non-finite input).
+/// Panics if `a.len() != n * n` or if the input contains non-finite
+/// values. Use [`try_jacobi_eigen`] when the matrix entries come from
+/// untrusted or numerically suspect sources.
 ///
 /// # Example
 ///
@@ -33,12 +35,29 @@ pub struct DenseEigen {
 /// assert!((e.values[1] - 3.0).abs() < 1e-12);
 /// ```
 pub fn jacobi_eigen(a: &[f64], n: usize) -> DenseEigen {
+    try_jacobi_eigen(a, n).expect("non-finite input to jacobi_eigen")
+}
+
+/// Fallible variant of [`jacobi_eigen`]: returns
+/// [`EigenError::NonFinite`] for NaN/∞ entries and
+/// [`EigenError::NoConvergence`] if the sweep limit is exceeded, instead
+/// of panicking.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n` (a shape mismatch is a caller bug).
+pub fn try_jacobi_eigen(a: &[f64], n: usize) -> Result<DenseEigen, EigenError> {
     assert_eq!(a.len(), n * n, "matrix buffer must be n*n");
     if n == 0 {
-        return DenseEigen {
+        return Ok(DenseEigen {
             values: Vec::new(),
             vectors: Vec::new(),
-        };
+        });
+    }
+    if !a.iter().all(|v| v.is_finite()) {
+        return Err(EigenError::NonFinite {
+            stage: "dense matrix input",
+        });
     }
     let mut m = a.to_vec();
     let mut v = vec![0.0f64; n * n];
@@ -57,7 +76,12 @@ pub fn jacobi_eigen(a: &[f64], n: usize) -> DenseEigen {
     let mut sweeps = 0;
     while off(&m) > 1e-24 * (n * n) as f64 {
         sweeps += 1;
-        assert!(sweeps <= 100, "jacobi failed to converge");
+        if sweeps > 100 {
+            return Err(EigenError::NoConvergence {
+                iterations: sweeps,
+                residual: off(&m).sqrt(),
+            });
+        }
         for p in 0..n {
             for q in p + 1..n {
                 let apq = m[p * n + q];
@@ -96,19 +120,16 @@ pub fn jacobi_eigen(a: &[f64], n: usize) -> DenseEigen {
             }
         }
     }
+    // input was verified finite, so total_cmp matches the numeric order
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&x, &y| {
-        m[x * n + x]
-            .partial_cmp(&m[y * n + y])
-            .expect("non-finite eigenvalue")
-    });
-    DenseEigen {
+    order.sort_by(|&x, &y| m[x * n + x].total_cmp(&m[y * n + y]));
+    Ok(DenseEigen {
         values: order.iter().map(|&j| m[j * n + j]).collect(),
         vectors: order
             .iter()
             .map(|&j| (0..n).map(|k| v[k * n + j]).collect())
             .collect(),
-    }
+    })
 }
 
 /// Materializes any [`LinearOperator`] into a dense row-major buffer by
@@ -215,6 +236,25 @@ mod tests {
         // cycle C4 eigenvalues: 0, 2, 2, 4
         assert!((e.values[1] - 2.0).abs() < 1e-10);
         assert!((e.values[3] - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn try_variant_rejects_non_finite() {
+        let e = try_jacobi_eigen(&[1.0, f64::NAN, f64::NAN, 1.0], 2).unwrap_err();
+        assert_eq!(
+            e,
+            EigenError::NonFinite {
+                stage: "dense matrix input"
+            }
+        );
+        let e = try_jacobi_eigen(&[f64::INFINITY], 1).unwrap_err();
+        assert!(matches!(e, EigenError::NonFinite { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite input")]
+    fn panicking_variant_still_panics_on_nan() {
+        jacobi_eigen(&[f64::NAN], 1);
     }
 
     #[test]

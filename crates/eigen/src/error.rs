@@ -1,5 +1,6 @@
 //! Error type for the eigensolvers.
 
+use np_sparse::BudgetExceeded;
 use std::error::Error;
 use std::fmt;
 
@@ -20,6 +21,20 @@ pub enum EigenError {
         /// Dimension of the offending operator.
         dim: usize,
     },
+    /// A non-finite value (NaN or ±∞) was found in solver input or
+    /// produced by the operator during iteration.
+    NonFinite {
+        /// Where the non-finite value was detected.
+        stage: &'static str,
+    },
+    /// A cooperative resource budget was exhausted mid-computation.
+    Budget(BudgetExceeded),
+}
+
+impl From<BudgetExceeded> for EigenError {
+    fn from(e: BudgetExceeded) -> Self {
+        EigenError::Budget(e)
+    }
 }
 
 impl fmt::Display for EigenError {
@@ -35,6 +50,10 @@ impl fmt::Display for EigenError {
             EigenError::TooSmall { dim } => {
                 write!(f, "operator dimension {dim} is too small for this computation")
             }
+            EigenError::NonFinite { stage } => {
+                write!(f, "non-finite value encountered in {stage}")
+            }
+            EigenError::Budget(e) => write!(f, "{e}"),
         }
     }
 }
@@ -56,5 +75,16 @@ mod tests {
             residual: 0.5,
         };
         assert!(e.to_string().contains("converge"));
+    }
+
+    #[test]
+    fn non_finite_and_budget_display() {
+        let e = EigenError::NonFinite { stage: "lanczos" };
+        assert!(e.to_string().contains("non-finite"));
+        let meter = np_sparse::BudgetMeter::new(&np_sparse::Budget::default().with_matvecs(1));
+        let exceeded = meter.charge(2).unwrap_err();
+        let e: EigenError = exceeded.into();
+        assert!(matches!(e, EigenError::Budget(_)));
+        assert!(e.to_string().contains("budget"));
     }
 }

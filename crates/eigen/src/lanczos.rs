@@ -22,11 +22,11 @@
 //! `‖M x − θ x‖ ≤ tol · max(1, |θ|)`, measured with a fresh matvec — not
 //! just the cheap `β·|y_k|` estimate.
 
-use crate::dense::{jacobi_eigen, materialize};
+use crate::dense::{materialize, try_jacobi_eigen};
 use crate::tridiag::eigh_tridiagonal;
 use crate::EigenError;
 use np_sparse::vecops::{axpy, dot, norm2, normalize};
-use np_sparse::LinearOperator;
+use np_sparse::{BudgetMeter, LinearOperator};
 
 /// An eigenvalue/eigenvector pair.
 #[derive(Clone, Debug, PartialEq)]
@@ -128,13 +128,34 @@ pub fn smallest_deflated(
     deflate: &[Vec<f64>],
     opts: &LanczosOptions,
 ) -> Result<EigenPair, EigenError> {
+    smallest_deflated_metered(op, deflate, opts, &BudgetMeter::unlimited())
+}
+
+/// [`smallest_deflated`] with cooperative budget enforcement and
+/// non-finite detection: every operator application charges one matvec to
+/// `meter`, and NaN/∞ values produced by the operator surface as
+/// [`EigenError::NonFinite`] instead of corrupting the iteration.
+///
+/// # Errors
+///
+/// In addition to the [`smallest_deflated`] errors:
+///
+/// * [`EigenError::Budget`] when `meter` reports a limit hit (the partial
+///   spend is inside the error);
+/// * [`EigenError::NonFinite`] if the operator produces NaN or ±∞.
+pub fn smallest_deflated_metered(
+    op: &impl LinearOperator,
+    deflate: &[Vec<f64>],
+    opts: &LanczosOptions,
+    meter: &BudgetMeter,
+) -> Result<EigenPair, EigenError> {
     let n = op.dim();
     let deflate = orthonormalize(deflate);
     if n == 0 || deflate.len() >= n {
         return Err(EigenError::TooSmall { dim: n });
     }
     if n <= opts.dense_cutoff {
-        return Ok(dense_smallest_deflated(op, &deflate));
+        return dense_smallest_deflated(op, &deflate, meter);
     }
 
     let mut rand = splitmix_stream(opts.seed);
@@ -162,7 +183,13 @@ pub fn smallest_deflated(
         for j in 0..opts.max_basis {
             op.apply(&basis[j], &mut w);
             matvecs += 1;
+            meter.charge(1)?;
             let alpha = dot(&w, &basis[j]);
+            if !alpha.is_finite() {
+                return Err(EigenError::NonFinite {
+                    stage: "lanczos iteration",
+                });
+            }
             alphas.push(alpha);
             axpy(-alpha, &basis[j], &mut w);
             if j > 0 {
@@ -179,12 +206,17 @@ pub fn smallest_deflated(
                 }
             }
             let beta = norm2(&w);
+            if !beta.is_finite() {
+                return Err(EigenError::NonFinite {
+                    stage: "lanczos iteration",
+                });
+            }
             let invariant = beta <= 1e-13;
 
             let last_step = j + 1 == opts.max_basis;
             let check = invariant || last_step || (j >= 4 && (j + 1).is_multiple_of(5));
             if check {
-                let eig = eigh_tridiagonal(&alphas, &betas);
+                let eig = eigh_tridiagonal(&alphas, &betas)?;
                 let theta = eig.values[0];
                 let y = &eig.vectors[0];
                 // assemble the Ritz vector
@@ -198,8 +230,14 @@ pub fn smallest_deflated(
                     let mut mx = vec![0.0f64; n];
                     op.apply(&x, &mut mx);
                     matvecs += 1;
+                    meter.charge(1)?;
                     axpy(-theta, &x, &mut mx);
                     let resid = norm2(&mx);
+                    if !resid.is_finite() {
+                        return Err(EigenError::NonFinite {
+                            stage: "lanczos residual",
+                        });
+                    }
                     let tol = opts.tol * theta.abs().max(1.0);
                     if best.as_ref().is_none_or(|(r, _)| resid < *r) {
                         best = Some((
@@ -251,8 +289,14 @@ pub fn smallest_deflated(
 
 /// Direct dense solve for small operators: materialize, shift the deflated
 /// directions to the top of the spectrum, take the smallest eigenpair.
-fn dense_smallest_deflated(op: &impl LinearOperator, deflate: &[Vec<f64>]) -> EigenPair {
+fn dense_smallest_deflated(
+    op: &impl LinearOperator,
+    deflate: &[Vec<f64>],
+    meter: &BudgetMeter,
+) -> Result<EigenPair, EigenError> {
     let n = op.dim();
+    // materialization applies the operator to each basis vector
+    meter.charge(n as u64)?;
     let mut a = materialize(op);
     // sigma strictly above the spectral radius (Gershgorin)
     let sigma = 1.0
@@ -277,21 +321,22 @@ fn dense_smallest_deflated(op: &impl LinearOperator, deflate: &[Vec<f64>]) -> Ei
             }
         }
     }
-    let eig = jacobi_eigen(&a, n);
+    let eig = try_jacobi_eigen(&a, n)?;
     // smallest eigenpair of the shifted matrix lives in the complement
     let mut vector = eig.vectors[0].clone();
     project_out(deflate, &mut vector);
     normalize(&mut vector);
-    EigenPair {
+    Ok(EigenPair {
         value: eig.values[0],
         vector,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use np_sparse::{CsrMatrix, Laplacian, TripletBuilder};
+    use crate::dense::jacobi_eigen;
+    use np_sparse::{Budget, CsrMatrix, Laplacian, TripletBuilder};
 
     fn path_laplacian(n: usize) -> Laplacian {
         let mut b = TripletBuilder::new(n);
@@ -454,5 +499,80 @@ mod tests {
         let z = CsrMatrix::zero(70);
         let pair = smallest_deflated(&z, &[ones(70)], &LanczosOptions::default()).unwrap();
         assert!(pair.value.abs() < 1e-10);
+    }
+
+    /// Operator that returns NaN after a set number of applications —
+    /// stands in for numerically poisoned input.
+    struct PoisonOp {
+        inner: Laplacian,
+        poison_after: std::cell::Cell<usize>,
+    }
+
+    impl LinearOperator for PoisonOp {
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            self.inner.apply(x, y);
+            let left = self.poison_after.get();
+            if left == 0 {
+                y[0] = f64::NAN;
+            } else {
+                self.poison_after.set(left - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_operator_surfaces_non_finite() {
+        for poison_after in [0usize, 3, 10] {
+            let op = PoisonOp {
+                inner: path_laplacian(100),
+                poison_after: std::cell::Cell::new(poison_after),
+            };
+            let err =
+                smallest_deflated(&op, &[ones(100)], &LanczosOptions::default()).unwrap_err();
+            assert!(
+                matches!(err, EigenError::NonFinite { .. }),
+                "poison_after={poison_after}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matvec_budget_trips_mid_iteration() {
+        let q = path_laplacian(300);
+        let meter = BudgetMeter::new(&Budget::default().with_matvecs(7));
+        let err = smallest_deflated_metered(
+            &q,
+            &[ones(300)],
+            &LanczosOptions::default(),
+            &meter,
+        )
+        .unwrap_err();
+        match err {
+            EigenError::Budget(e) => assert!(e.matvecs_used >= 7),
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dense_path_charges_meter() {
+        let q = path_laplacian(8); // below dense_cutoff
+        let meter = BudgetMeter::unlimited();
+        smallest_deflated_metered(&q, &[ones(8)], &LanczosOptions::default(), &meter).unwrap();
+        assert_eq!(meter.matvecs_used(), 8);
+    }
+
+    #[test]
+    fn generous_budget_converges_and_reports_spend() {
+        let q = path_laplacian(150);
+        let meter = BudgetMeter::new(&Budget::default().with_matvecs(1_000_000));
+        let pair =
+            smallest_deflated_metered(&q, &[ones(150)], &LanczosOptions::default(), &meter)
+                .unwrap();
+        let expect = 2.0 - 2.0 * (std::f64::consts::PI / 150.0).cos();
+        assert!((pair.value - expect).abs() < 1e-7);
+        assert!(meter.matvecs_used() > 0);
     }
 }

@@ -46,9 +46,9 @@ pub mod tridiag;
 
 pub use block::{smallest_deflated_block, BlockLanczosOptions};
 pub use error::EigenError;
-pub use lanczos::{smallest_deflated, EigenPair, LanczosOptions};
+pub use lanczos::{smallest_deflated, smallest_deflated_metered, EigenPair, LanczosOptions};
 
-use np_sparse::Laplacian;
+use np_sparse::{BudgetMeter, Laplacian};
 
 /// Computes the Fiedler pair (`λ₂` and its eigenvector) of a graph
 /// Laplacian.
@@ -65,10 +65,27 @@ use np_sparse::Laplacian;
 /// the requested tolerance within the configured restarts, and
 /// [`EigenError::TooSmall`] for operators of dimension `< 2`.
 pub fn fiedler(lap: &Laplacian, opts: &LanczosOptions) -> Result<EigenPair, EigenError> {
+    fiedler_metered(lap, opts, &BudgetMeter::unlimited())
+}
+
+/// [`fiedler`] with cooperative budget enforcement: every matvec charges
+/// `meter`, and exhaustion surfaces as [`EigenError::Budget`] with the
+/// partial spend attached. Non-finite operator output is reported as
+/// [`EigenError::NonFinite`] instead of corrupting the iteration.
+///
+/// # Errors
+///
+/// The [`fiedler`] errors plus [`EigenError::Budget`] and
+/// [`EigenError::NonFinite`].
+pub fn fiedler_metered(
+    lap: &Laplacian,
+    opts: &LanczosOptions,
+    meter: &BudgetMeter,
+) -> Result<EigenPair, EigenError> {
     let n = np_sparse::LinearOperator::dim(lap);
     if n < 2 {
         return Err(EigenError::TooSmall { dim: n });
     }
     let ones = vec![1.0 / (n as f64).sqrt(); n];
-    smallest_deflated(lap, &[ones], opts)
+    lanczos::smallest_deflated_metered(lap, &[ones], opts, meter)
 }

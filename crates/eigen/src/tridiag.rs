@@ -7,6 +7,8 @@
 //! in the tens-to-hundreds, so the classic dense `O(k³)` QL algorithm
 //! (EISPACK `tql2`) is entirely adequate.
 
+use crate::EigenError;
+
 /// Eigendecomposition of a symmetric tridiagonal matrix.
 #[derive(Clone, Debug)]
 pub struct TridiagEigen {
@@ -23,28 +25,37 @@ pub struct TridiagEigen {
 /// Implicit QL with Wilkinson shifts; eigenpairs are returned sorted by
 /// ascending eigenvalue.
 ///
+/// # Errors
+///
+/// * [`EigenError::NonFinite`] if any input entry is NaN or infinite —
+///   Lanczos feeds this solver values computed from operator output, so a
+///   poisoned operator surfaces here as a recoverable error;
+/// * [`EigenError::NoConvergence`] if the QL iteration exceeds its (very
+///   generous) sweep limit, which finite symmetric input never does.
+///
 /// # Panics
 ///
-/// Panics if `off.len() + 1 != diag.len()`, if `diag` is empty, or if the
-/// QL iteration exceeds its (very generous) sweep limit — which for a
-/// symmetric tridiagonal input indicates non-finite values in the input.
+/// Panics if `off.len() + 1 != diag.len()` or if `diag` is empty — shape
+/// mismatches are caller bugs, not data-dependent conditions.
 ///
 /// # Example
 ///
 /// ```
 /// // T = [[2, 1], [1, 2]] has eigenvalues 1 and 3
-/// let e = np_eigen::tridiag::eigh_tridiagonal(&[2.0, 2.0], &[1.0]);
+/// let e = np_eigen::tridiag::eigh_tridiagonal(&[2.0, 2.0], &[1.0])?;
 /// assert!((e.values[0] - 1.0).abs() < 1e-12);
 /// assert!((e.values[1] - 3.0).abs() < 1e-12);
+/// # Ok::<(), np_eigen::EigenError>(())
 /// ```
-pub fn eigh_tridiagonal(diag: &[f64], off: &[f64]) -> TridiagEigen {
+pub fn eigh_tridiagonal(diag: &[f64], off: &[f64]) -> Result<TridiagEigen, EigenError> {
     let n = diag.len();
     assert!(n > 0, "empty tridiagonal matrix");
     assert_eq!(off.len() + 1, n, "subdiagonal length must be n - 1");
-    assert!(
-        diag.iter().chain(off).all(|v| v.is_finite()),
-        "non-finite entry in tridiagonal matrix"
-    );
+    if !diag.iter().chain(off).all(|v| v.is_finite()) {
+        return Err(EigenError::NonFinite {
+            stage: "tridiagonal input",
+        });
+    }
 
     let mut d = diag.to_vec();
     // e[i] couples rows i and i+1; e[n-1] is a zero sentinel
@@ -73,7 +84,12 @@ pub fn eigh_tridiagonal(diag: &[f64], off: &[f64]) -> TridiagEigen {
                 break;
             }
             iter += 1;
-            assert!(iter <= 64, "QL iteration failed to converge");
+            if iter > 64 {
+                return Err(EigenError::NoConvergence {
+                    iterations: iter,
+                    residual: e[l].abs(),
+                });
+            }
             // Wilkinson shift
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
             let mut r = g.hypot(1.0);
@@ -117,15 +133,16 @@ pub fn eigh_tridiagonal(diag: &[f64], off: &[f64]) -> TridiagEigen {
         }
     }
 
-    // sort ascending, permuting eigenvector columns alongside
+    // sort ascending, permuting eigenvector columns alongside (input was
+    // verified finite, so total_cmp agrees with the numeric order here)
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("non-finite eigenvalue"));
+    order.sort_by(|&a, &b| d[a].total_cmp(&d[b]));
     let values: Vec<f64> = order.iter().map(|&j| d[j]).collect();
     let vectors: Vec<Vec<f64>> = order
         .iter()
         .map(|&j| (0..n).map(|k| z[k * n + j]).collect())
         .collect();
-    TridiagEigen { values, vectors }
+    Ok(TridiagEigen { values, vectors })
 }
 
 #[cfg(test)]
@@ -148,7 +165,7 @@ mod tests {
     }
 
     fn check_decomposition(diag: &[f64], off: &[f64]) {
-        let e = eigh_tridiagonal(diag, off);
+        let e = eigh_tridiagonal(diag, off).unwrap();
         let n = diag.len();
         // ascending
         assert!(e.values.windows(2).all(|w| w[0] <= w[1] + 1e-12));
@@ -181,21 +198,21 @@ mod tests {
 
     #[test]
     fn one_by_one() {
-        let e = eigh_tridiagonal(&[5.0], &[]);
+        let e = eigh_tridiagonal(&[5.0], &[]).unwrap();
         assert_eq!(e.values, vec![5.0]);
         assert_eq!(e.vectors, vec![vec![1.0]]);
     }
 
     #[test]
     fn two_by_two_exact() {
-        let e = eigh_tridiagonal(&[2.0, 2.0], &[1.0]);
+        let e = eigh_tridiagonal(&[2.0, 2.0], &[1.0]).unwrap();
         assert!((e.values[0] - 1.0).abs() < 1e-12);
         assert!((e.values[1] - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn diagonal_matrix() {
-        let e = eigh_tridiagonal(&[3.0, 1.0, 2.0], &[0.0, 0.0]);
+        let e = eigh_tridiagonal(&[3.0, 1.0, 2.0], &[0.0, 0.0]).unwrap();
         assert_eq!(e.values, vec![1.0, 2.0, 3.0]);
     }
 
@@ -204,7 +221,7 @@ mod tests {
         // Laplacian of the path P4: eigenvalues 2 - 2cos(kπ/4), k=0..3
         let diag = [1.0, 2.0, 2.0, 1.0];
         let off = [-1.0, -1.0, -1.0];
-        let e = eigh_tridiagonal(&diag, &off);
+        let e = eigh_tridiagonal(&diag, &off).unwrap();
         for (k, ev) in e.values.iter().enumerate() {
             let expect = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / 4.0).cos();
             assert!((ev - expect).abs() < 1e-10, "k={k}: {ev} vs {expect}");
@@ -231,7 +248,7 @@ mod tests {
     fn trace_preserved() {
         let diag = [1.0, -2.0, 3.5, 0.25];
         let off = [0.5, -1.5, 2.0];
-        let e = eigh_tridiagonal(&diag, &off);
+        let e = eigh_tridiagonal(&diag, &off).unwrap();
         let trace: f64 = diag.iter().sum();
         let sum: f64 = e.values.iter().sum();
         assert!((trace - sum).abs() < 1e-10);
@@ -240,12 +257,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "subdiagonal length")]
     fn wrong_off_length_panics() {
-        eigh_tridiagonal(&[1.0, 2.0], &[1.0, 1.0]);
+        let _ = eigh_tridiagonal(&[1.0, 2.0], &[1.0, 1.0]);
     }
 
     #[test]
-    #[should_panic(expected = "non-finite")]
-    fn nan_input_panics() {
-        eigh_tridiagonal(&[1.0, f64::NAN], &[0.5]);
+    fn nan_input_errors() {
+        for (diag, off) in [
+            (vec![1.0, f64::NAN], vec![0.5]),
+            (vec![1.0, 2.0], vec![f64::INFINITY]),
+            (vec![f64::NEG_INFINITY, 2.0], vec![0.5]),
+        ] {
+            assert_eq!(
+                eigh_tridiagonal(&diag, &off).unwrap_err(),
+                EigenError::NonFinite {
+                    stage: "tridiagonal input"
+                }
+            );
+        }
     }
 }

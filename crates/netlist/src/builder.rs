@@ -34,12 +34,30 @@ pub struct HypergraphBuilder {
 impl HypergraphBuilder {
     /// Creates a builder for a hypergraph with `num_modules` modules and no
     /// nets yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_modules` exceeds `u32::MAX`. Use
+    /// [`try_new`](Self::try_new) when the count comes from untrusted
+    /// input.
     pub fn new(num_modules: usize) -> Self {
-        HypergraphBuilder {
-            num_modules: u32::try_from(num_modules).expect("module count exceeds u32::MAX"),
+        Self::try_new(num_modules).expect("module count exceeds u32::MAX")
+    }
+
+    /// Fallible variant of [`new`](Self::new) for untrusted module counts.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::TooManyModules`] if `num_modules` exceeds
+    /// `u32::MAX`.
+    pub fn try_new(num_modules: usize) -> Result<Self, NetlistError> {
+        let num_modules = u32::try_from(num_modules)
+            .map_err(|_| NetlistError::TooManyModules { count: num_modules })?;
+        Ok(HypergraphBuilder {
+            num_modules,
             net_offsets: vec![0],
             net_pins: Vec::new(),
-        }
+        })
     }
 
     /// Number of modules declared for the hypergraph under construction.
@@ -198,6 +216,18 @@ mod tests {
     fn rejects_zero_modules() {
         let b = HypergraphBuilder::new(0);
         assert_eq!(b.finish().unwrap_err(), NetlistError::NoModules);
+    }
+
+    #[test]
+    fn try_new_rejects_unindexable_module_count() {
+        let err = HypergraphBuilder::try_new(u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(
+            err,
+            NetlistError::TooManyModules {
+                count: u32::MAX as usize + 1
+            }
+        );
+        assert!(HypergraphBuilder::try_new(16).is_ok());
     }
 
     #[test]

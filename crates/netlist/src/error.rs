@@ -21,6 +21,12 @@ pub enum NetlistError {
     },
     /// The declared number of modules was zero.
     NoModules,
+    /// The declared number of modules exceeds what the representation can
+    /// index (`u32::MAX`).
+    TooManyModules {
+        /// The declared module count.
+        count: usize,
+    },
     /// A text-format parse failed.
     Parse {
         /// 1-based line number of the offending input line.
@@ -44,6 +50,9 @@ impl fmt::Display for NetlistError {
                 write!(f, "net {net} has no pins")
             }
             NetlistError::NoModules => write!(f, "hypergraph must have at least one module"),
+            NetlistError::TooManyModules { count } => {
+                write!(f, "module count {count} exceeds the representable maximum")
+            }
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }

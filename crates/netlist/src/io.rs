@@ -17,6 +17,15 @@
 use crate::{Hypergraph, HypergraphBuilder, ModuleId, NetlistError};
 use std::io::{BufRead, Write};
 
+/// Upper bound on the module / net counts a `.hgr` header may declare.
+///
+/// The reader allocates `O(num_modules)` up front, so an adversarial
+/// header like `1 99999999999999` must be rejected *before* any
+/// allocation happens — otherwise a two-line file could exhaust memory.
+/// 2²⁴ (≈16.7M) is far beyond every benchmark this workspace targets
+/// while keeping the worst-case upfront allocation at tens of megabytes.
+pub const MAX_DECLARED_COUNT: usize = 1 << 24;
+
 /// Parses a hypergraph from hMETIS `.hgr` text.
 ///
 /// Blank lines and lines starting with `%` are skipped. Pins are 1-indexed
@@ -25,8 +34,10 @@ use std::io::{BufRead, Write};
 /// # Errors
 ///
 /// Returns [`NetlistError::Parse`] for malformed input (bad header, bad
-/// token, wrong net count, unsupported weight format), or the underlying
-/// builder error for structurally invalid nets.
+/// token, wrong net count, unsupported weight format, or a declared
+/// module/net count above [`MAX_DECLARED_COUNT`]), or the underlying
+/// builder error for structurally invalid nets. Never panics, whatever
+/// bytes arrive.
 ///
 /// # Example
 ///
@@ -74,8 +85,22 @@ pub fn read_hgr<R: BufRead>(reader: R) -> Result<Hypergraph, NetlistError> {
             ));
         }
     }
+    if num_nets > MAX_DECLARED_COUNT {
+        return Err(parse_err(
+            header_line_no,
+            format!("declared net count {num_nets} exceeds the supported maximum {MAX_DECLARED_COUNT}"),
+        ));
+    }
+    if num_modules > MAX_DECLARED_COUNT {
+        return Err(parse_err(
+            header_line_no,
+            format!(
+                "declared module count {num_modules} exceeds the supported maximum {MAX_DECLARED_COUNT}"
+            ),
+        ));
+    }
 
-    let mut builder = HypergraphBuilder::new(num_modules);
+    let mut builder = HypergraphBuilder::try_new(num_modules)?;
     let mut nets_read = 0usize;
     for (i, line) in lines {
         let line = line.map_err(|e| parse_err(i + 1, format!("read failure: {e}")))?;
@@ -233,5 +258,30 @@ mod tests {
     fn fmt_zero_accepted() {
         let hg = parse_hgr("1 2 0\n1 2\n").unwrap();
         assert_eq!(hg.num_nets(), 1);
+    }
+
+    #[test]
+    fn rejects_oversized_declared_counts_without_allocating() {
+        // would panic in HypergraphBuilder::new before the cap existed
+        let err = parse_hgr("1 99999999999999\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("module count"), "{err}");
+        // u32-representable but allocation-hostile module count
+        let err = parse_hgr("1 4294967295\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("supported maximum"), "{err}");
+        let err = parse_hgr("99999999999999 2\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("net count"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_pins_in_net_line_collapse() {
+        let hg = parse_hgr("1 3\n2 2 2 1\n").unwrap();
+        assert_eq!(hg.pins(crate::NetId(0)), &[ModuleId(0), ModuleId(1)]);
+    }
+
+    #[test]
+    fn truncated_net_line_reports_shortfall() {
+        // header declares 2 nets, file ends after 1
+        let err = parse_hgr("2 3\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("declared 2 nets"), "{err}");
     }
 }

@@ -1,0 +1,220 @@
+//! Cooperative resource budgets for the numerical kernels.
+//!
+//! Long-running stages — Lanczos matvec loops, the IG-Match split sweep,
+//! FM passes — periodically *charge* a shared [`BudgetMeter`] and bail
+//! out with [`BudgetExceeded`] when the caller's limits are spent. The
+//! meter is cheap enough to consult inside inner loops (an atomic add
+//! plus, for the wall clock, one `Instant::now` per check) and is `Sync`,
+//! so one meter can be threaded through an entire partitioning attempt
+//! regardless of how the work is structured.
+//!
+//! Budgets are *cooperative*: code must call [`BudgetMeter::charge`] /
+//! [`BudgetMeter::check`] at its natural checkpoints. All kernels in this
+//! workspace do so at per-iteration granularity, which bounds overshoot
+//! to a single iteration's work.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Resource limits for one partitioning attempt. `None` means unlimited.
+///
+/// # Example
+///
+/// ```
+/// use np_sparse::{Budget, BudgetMeter};
+/// use std::time::Duration;
+///
+/// let budget = Budget::default().with_matvecs(100);
+/// let meter = BudgetMeter::new(&budget);
+/// assert!(meter.charge(99).is_ok());
+/// assert!(meter.charge(99).is_err());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum wall-clock time for the attempt.
+    pub wall_clock: Option<Duration>,
+    /// Maximum number of operator–vector products (the unit of numerical
+    /// work in this workspace; non-numerical stages charge comparable
+    /// units, e.g. one per sweep position or FM pass).
+    pub matvecs: Option<u64>,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub const UNLIMITED: Budget = Budget {
+        wall_clock: None,
+        matvecs: None,
+    };
+
+    /// Sets the wall-clock limit.
+    pub fn with_wall_clock(mut self, limit: Duration) -> Self {
+        self.wall_clock = Some(limit);
+        self
+    }
+
+    /// Sets the matvec limit.
+    pub fn with_matvecs(mut self, limit: u64) -> Self {
+        self.matvecs = Some(limit);
+        self
+    }
+
+    /// `true` if neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_clock.is_none() && self.matvecs.is_none()
+    }
+}
+
+/// Which resource ran out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// The wall-clock deadline passed.
+    WallClock,
+    /// The matvec allowance was spent.
+    Matvecs,
+}
+
+/// Returned when a [`BudgetMeter`] limit is hit, carrying the partial
+/// progress made up to that point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BudgetExceeded {
+    /// The exhausted resource.
+    pub resource: BudgetResource,
+    /// Matvec-equivalents charged before exhaustion.
+    pub matvecs_used: u64,
+    /// Wall-clock time elapsed since the meter was created.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.resource {
+            BudgetResource::WallClock => "wall-clock budget",
+            BudgetResource::Matvecs => "matvec budget",
+        };
+        write!(
+            f,
+            "{what} exceeded after {:?} and {} matvecs",
+            self.elapsed, self.matvecs_used
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Tracks spending against a [`Budget`]. `Sync`, so one meter can be
+/// shared by reference across the whole attempt.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    started: Instant,
+    deadline: Option<Instant>,
+    matvec_cap: Option<u64>,
+    matvecs: AtomicU64,
+}
+
+impl BudgetMeter {
+    /// Creates a meter for `budget`, starting the wall clock now.
+    pub fn new(budget: &Budget) -> Self {
+        let started = Instant::now();
+        BudgetMeter {
+            started,
+            deadline: budget.wall_clock.map(|d| started + d),
+            matvec_cap: budget.matvecs,
+            matvecs: AtomicU64::new(0),
+        }
+    }
+
+    /// A meter that never trips.
+    pub fn unlimited() -> Self {
+        BudgetMeter::new(&Budget::UNLIMITED)
+    }
+
+    /// Charges `n` matvec-equivalents and then checks both limits.
+    pub fn charge(&self, n: u64) -> Result<(), BudgetExceeded> {
+        self.matvecs.fetch_add(n, Ordering::Relaxed);
+        self.check()
+    }
+
+    /// Checks both limits without charging.
+    pub fn check(&self) -> Result<(), BudgetExceeded> {
+        let used = self.matvecs_used();
+        if let Some(cap) = self.matvec_cap {
+            if used >= cap {
+                return Err(self.exceeded(BudgetResource::Matvecs, used));
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.exceeded(BudgetResource::WallClock, used));
+            }
+        }
+        Ok(())
+    }
+
+    /// Matvec-equivalents charged so far.
+    pub fn matvecs_used(&self) -> u64 {
+        self.matvecs.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the meter was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    fn exceeded(&self, resource: BudgetResource, used: u64) -> BudgetExceeded {
+        BudgetExceeded {
+            resource,
+            matvecs_used: used,
+            elapsed: self.elapsed(),
+        }
+    }
+}
+
+impl Default for BudgetMeter {
+    fn default() -> Self {
+        BudgetMeter::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let m = BudgetMeter::unlimited();
+        for _ in 0..1000 {
+            m.charge(1_000_000).unwrap();
+        }
+        assert_eq!(m.matvecs_used(), 1_000_000_000);
+    }
+
+    #[test]
+    fn matvec_cap_trips_with_diagnostics() {
+        let m = BudgetMeter::new(&Budget::default().with_matvecs(10));
+        m.charge(5).unwrap();
+        let e = m.charge(5).unwrap_err();
+        assert_eq!(e.resource, BudgetResource::Matvecs);
+        assert_eq!(e.matvecs_used, 10);
+    }
+
+    #[test]
+    fn elapsed_deadline_trips() {
+        let m = BudgetMeter::new(&Budget::default().with_wall_clock(Duration::ZERO));
+        let e = m.check().unwrap_err();
+        assert_eq!(e.resource, BudgetResource::WallClock);
+    }
+
+    #[test]
+    fn meter_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<BudgetMeter>();
+    }
+
+    #[test]
+    fn display_mentions_resource() {
+        let m = BudgetMeter::new(&Budget::default().with_matvecs(1));
+        let e = m.charge(2).unwrap_err();
+        assert!(e.to_string().contains("matvec budget"));
+    }
+}

@@ -23,11 +23,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 mod csr;
 mod laplacian;
 mod operator;
 pub mod vecops;
 
+pub use budget::{Budget, BudgetExceeded, BudgetMeter, BudgetResource};
 pub use csr::{CsrMatrix, TripletBuilder};
 pub use laplacian::Laplacian;
 pub use operator::LinearOperator;

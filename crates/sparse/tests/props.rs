@@ -1,19 +1,22 @@
 //! Property tests for the sparse-matrix substrate.
 
 use np_sparse::{CsrMatrix, Laplacian, LinearOperator, TripletBuilder};
-use proptest::prelude::*;
+use np_testkit::{check_cases, Gen};
 
-/// Strategy: dimension, symmetric triplets, and a dense vector of length
-/// `n`, generated together so nothing has to be rejected.
-fn arb_instance() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>, Vec<f64>)> {
-    (2usize..=12).prop_flat_map(|n| {
-        let entry = (0..n, 0..n, -4.0f64..4.0);
+/// One random instance: dimension, symmetric triplets, and a dense
+/// vector of length `n`, generated together so nothing has to be
+/// rejected.
+fn arb_instance(g: &mut Gen) -> (usize, Vec<(usize, usize, f64)>, Vec<f64>) {
+    let n = g.usize_in(2, 12);
+    let entries = g.vec_with(0, 40, |g| {
         (
-            proptest::collection::vec(entry, 0..40),
-            proptest::collection::vec(-3.0f64..3.0, n..=n),
+            g.usize_in(0, n - 1),
+            g.usize_in(0, n - 1),
+            g.f64_in(-4.0, 4.0),
         )
-            .prop_map(move |(es, x)| (n, es, x))
-    })
+    });
+    let x = (0..n).map(|_| g.f64_in(-3.0, 3.0)).collect();
+    (n, entries, x)
 }
 
 fn build(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
@@ -31,53 +34,67 @@ fn dense_of(m: &CsrMatrix) -> Vec<Vec<f64>> {
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn matvec_matches_dense((n, entries, x) in arb_instance()) {
+#[test]
+fn matvec_matches_dense() {
+    check_cases(128, 0x5A11, |g| {
+        let (n, entries, x) = arb_instance(g);
         let m = build(n, &entries);
         let d = dense_of(&m);
         let mut y = vec![0.0; n];
         m.apply(&x, &mut y);
         for i in 0..n {
             let expect: f64 = (0..n).map(|j| d[i][j] * x[j]).sum();
-            prop_assert!((y[i] - expect).abs() < 1e-9);
+            assert!((y[i] - expect).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn symmetric_by_construction((n, entries, _) in arb_instance()) {
+#[test]
+fn symmetric_by_construction() {
+    check_cases(128, 0x5A12, |g| {
+        let (n, entries, _) = arb_instance(g);
         let m = build(n, &entries);
-        prop_assert!(m.is_symmetric(1e-12));
-    }
+        assert!(m.is_symmetric(1e-12));
+    });
+}
 
-    #[test]
-    fn triplet_order_irrelevant_up_to_rounding((n, entries, _) in arb_instance()) {
+#[test]
+fn triplet_order_irrelevant_up_to_rounding() {
+    check_cases(128, 0x5A13, |g| {
         // duplicate summation order may differ, so compare within a
         // floating-point tolerance rather than bit-exactly
+        let (n, entries, _) = arb_instance(g);
         let a = build(n, &entries);
         let mut reversed = entries.clone();
         reversed.reverse();
         let b = build(n, &reversed);
-        prop_assert_eq!(a.nnz(), b.nnz());
+        assert_eq!(a.nnz(), b.nnz());
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
+                assert!((a.get(i, j) - b.get(i, j)).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn drop_below_is_idempotent((n, entries, _) in arb_instance(), t in 0.0f64..2.0) {
+#[test]
+fn drop_below_is_idempotent() {
+    check_cases(128, 0x5A14, |g| {
+        let (n, entries, _) = arb_instance(g);
+        let t = g.f64_in(0.0, 2.0);
         let m = build(n, &entries);
         let once = m.drop_below(t);
         let twice = once.drop_below(t);
-        prop_assert_eq!(&once, &twice);
-        prop_assert!(once.nnz() <= m.nnz());
-        prop_assert!(once.is_symmetric(1e-12));
-    }
+        assert_eq!(&once, &twice);
+        assert!(once.nnz() <= m.nnz());
+        assert!(once.is_symmetric(1e-12));
+    });
+}
 
-    #[test]
-    fn laplacian_annihilates_ones_and_is_psd((n, entries, x) in arb_instance()) {
+#[test]
+fn laplacian_annihilates_ones_and_is_psd() {
+    check_cases(128, 0x5A15, |g| {
+        let (n, entries, x) = arb_instance(g);
         // Laplacians need nonnegative weights for PSD-ness
         let nonneg: Vec<(usize, usize, f64)> = entries
             .iter()
@@ -88,18 +105,21 @@ proptest! {
         let mut y = vec![0.0; n];
         q.apply(&vec![1.0; n], &mut y);
         for v in &y {
-            prop_assert!(v.abs() < 1e-9, "Q·1 component {v}");
+            assert!(v.abs() < 1e-9, "Q·1 component {v}");
         }
-        prop_assert!(q.quadratic_form(&x) >= -1e-9);
-    }
+        assert!(q.quadratic_form(&x) >= -1e-9);
+    });
+}
 
-    #[test]
-    fn row_sums_match_dense((n, entries, _) in arb_instance()) {
+#[test]
+fn row_sums_match_dense() {
+    check_cases(128, 0x5A16, |g| {
+        let (n, entries, _) = arb_instance(g);
         let m = build(n, &entries);
         let d = dense_of(&m);
         for (i, s) in m.row_sums().iter().enumerate() {
             let expect: f64 = d[i].iter().sum();
-            prop_assert!((s - expect).abs() < 1e-9);
+            assert!((s - expect).abs() < 1e-9);
         }
-    }
+    });
 }

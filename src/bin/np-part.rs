@@ -5,20 +5,30 @@
 //! partition (one `0`/`1` per module line, hMETIS convention).
 //!
 //! ```text
-//! np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|hybrid]
+//! np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|hybrid|robust]
 //!                   [--refine] [--weighting paper|uniform|shared-count|size-scaled]
+//!                   [--budget-ms MS] [--fallback]
 //!                   [--output PART_FILE] [--table]
 //! ```
+//!
+//! `--fallback` is shorthand for `--algorithm robust`: run the resilient
+//! pipeline that falls back from IG-Match through reseeded Lanczos, a
+//! dense eigensolve and clique-model EIG1 down to plain FM, printing which
+//! stage produced the answer. `--budget-ms` caps the wall-clock spent in
+//! the numerical kernels (supported by `igmatch`, `eig1`, `hybrid` and
+//! `robust`); an exhausted budget exits with a structured error.
 
 use ig_match_repro::hybrid::{ig_match_refined, HybridOptions};
 use ig_match_repro::netlist::io::read_hgr;
 use ig_match_repro::netlist::stats::{CutBySize, NetlistSummary};
+use ig_match_repro::sparse::{Budget, BudgetMeter};
 use ig_match_repro::{
-    eig1, ig_match, ig_vote, rcut, Bipartition, Eig1Options, IgMatchOptions, IgVoteOptions,
-    IgWeighting, RcutOptions, Side,
+    eig1_metered, ig_match_metered, ig_vote, rcut, robust_partition, Bipartition, Eig1Options,
+    IgMatchOptions, IgVoteOptions, IgWeighting, RcutOptions, RobustOptions, Side,
 };
-use std::io::{BufReader, Write};
 use std::process::ExitCode;
+use std::io::{BufReader, Write};
+use std::time::Duration;
 
 #[derive(Debug)]
 struct Args {
@@ -26,13 +36,14 @@ struct Args {
     algorithm: String,
     weighting: IgWeighting,
     refine: bool,
+    budget_ms: Option<u64>,
     output: Option<String>,
     table: bool,
 }
 
-const USAGE: &str = "usage: np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|hybrid] \
+const USAGE: &str = "usage: np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|hybrid|robust] \
                      [--refine] [--weighting paper|uniform|shared-count|size-scaled] \
-                     [--output FILE] [--table]";
+                     [--budget-ms MS] [--fallback] [--output FILE] [--table]";
 
 fn parse_args<I>(args: I) -> Result<Args, String>
 where
@@ -42,6 +53,7 @@ where
     let mut algorithm = "igmatch".to_string();
     let mut weighting = IgWeighting::Paper;
     let mut refine = false;
+    let mut budget_ms = None;
     let mut output = None;
     let mut table = false;
     let mut iter = args.into_iter();
@@ -58,6 +70,14 @@ where
                     .ok_or_else(|| format!("unknown weighting '{w}'"))?;
             }
             "--refine" => refine = true,
+            "--fallback" => algorithm = "robust".to_string(),
+            "--budget-ms" => {
+                let v = iter.next().ok_or("--budget-ms needs a value")?;
+                budget_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--budget-ms expects milliseconds, got '{v}'"))?,
+                );
+            }
             "--table" => table = true,
             "--output" => output = Some(iter.next().ok_or("--output needs a value")?),
             "--help" | "-h" => return Err(USAGE.into()),
@@ -72,9 +92,30 @@ where
         algorithm,
         weighting,
         refine,
+        budget_ms,
         output,
         table,
     })
+}
+
+/// Resolves `--budget-ms` into a [`Budget`]; `None` means unlimited.
+fn budget_of(args: &Args) -> Budget {
+    match args.budget_ms {
+        Some(ms) => Budget::UNLIMITED.with_wall_clock(Duration::from_millis(ms)),
+        None => Budget::UNLIMITED,
+    }
+}
+
+/// Errors out when `--budget-ms` was given for an algorithm that has no
+/// metered code path.
+fn reject_budget(args: &Args) -> Result<(), String> {
+    if args.budget_ms.is_some() {
+        return Err(format!(
+            "--budget-ms is not supported by algorithm '{}'",
+            args.algorithm
+        ));
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -84,15 +125,18 @@ fn run() -> Result<(), String> {
     let hg = read_hgr(BufReader::new(file)).map_err(|e| format!("parse failed: {e}"))?;
     eprintln!("{}: {}", args.input, NetlistSummary::of(&hg));
 
+    let budget = budget_of(&args);
     let (label, partition): (String, Bipartition) = match args.algorithm.as_str() {
         "igmatch" => {
-            let out = ig_match(
+            let meter = BudgetMeter::new(&budget);
+            let out = ig_match_metered(
                 &hg,
                 &IgMatchOptions {
                     weighting: args.weighting,
                     refine_free_modules: args.refine,
                     ..Default::default()
                 },
+                &meter,
             )
             .map_err(|e| e.to_string())?;
             eprintln!(
@@ -102,6 +146,7 @@ fn run() -> Result<(), String> {
             ("IG-Match".into(), out.result.partition)
         }
         "igvote" => {
+            reject_budget(&args)?;
             let r = ig_vote(
                 &hg,
                 &IgVoteOptions {
@@ -113,16 +158,50 @@ fn run() -> Result<(), String> {
             ("IG-Vote".into(), r.partition)
         }
         "eig1" => {
-            let r = eig1(&hg, &Eig1Options::default()).map_err(|e| e.to_string())?;
+            let meter = BudgetMeter::new(&budget);
+            let r = eig1_metered(&hg, &Eig1Options::default(), &meter)
+                .map_err(|e| e.to_string())?;
             ("EIG1".into(), r.partition)
         }
         "rcut" => {
+            reject_budget(&args)?;
             let r = rcut(&hg, &RcutOptions::default());
             ("RCut".into(), r.partition)
         }
         "hybrid" => {
-            let r = ig_match_refined(&hg, &HybridOptions::default()).map_err(|e| e.to_string())?;
+            let r = ig_match_refined(
+                &hg,
+                &HybridOptions {
+                    budget,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
             ("IG-Match+FM".into(), r.partition)
+        }
+        "robust" => {
+            let opts = RobustOptions {
+                ig_match: IgMatchOptions {
+                    weighting: args.weighting,
+                    refine_free_modules: args.refine,
+                    ..Default::default()
+                },
+                budget,
+                ..Default::default()
+            };
+            match robust_partition(&hg, &opts) {
+                Ok(outcome) => {
+                    eprintln!("{}", outcome.diagnostics);
+                    (
+                        format!("robust[{}]", outcome.result.algorithm),
+                        outcome.result.partition,
+                    )
+                }
+                Err(failure) => {
+                    eprintln!("{}", failure.diagnostics);
+                    return Err(failure.to_string());
+                }
+            }
         }
         other => return Err(format!("unknown algorithm '{other}'\n{USAGE}")),
     };
@@ -208,5 +287,35 @@ mod tests {
     #[test]
     fn dangling_value_flag_rejected() {
         assert!(parse(&["x.hgr", "--output"]).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn fallback_selects_robust_algorithm() {
+        let a = parse(&["x.hgr", "--fallback"]).unwrap();
+        assert_eq!(a.algorithm, "robust");
+    }
+
+    #[test]
+    fn budget_ms_parsed() {
+        let a = parse(&["x.hgr", "--budget-ms", "250"]).unwrap();
+        assert_eq!(a.budget_ms, Some(250));
+        assert_eq!(
+            budget_of(&a).wall_clock,
+            Some(Duration::from_millis(250))
+        );
+    }
+
+    #[test]
+    fn budget_ms_rejects_non_numeric() {
+        let err = parse(&["x.hgr", "--budget-ms", "soon"]).unwrap_err();
+        assert!(err.contains("milliseconds"), "{err}");
+    }
+
+    #[test]
+    fn budget_rejected_for_unmetered_algorithms() {
+        let a = parse(&["x.hgr", "--algorithm", "rcut", "--budget-ms", "10"]).unwrap();
+        assert!(reject_budget(&a).unwrap_err().contains("not supported"));
+        let b = parse(&["x.hgr", "--algorithm", "rcut"]).unwrap();
+        assert!(reject_budget(&b).is_ok());
     }
 }

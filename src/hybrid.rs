@@ -2,9 +2,10 @@
 //! post-improvement — the §5 suggestion that "the ratio cuts so obtained
 //! may optionally be improved by using standard iterative techniques".
 
-use np_baselines::rcut::refine_ratio_cut;
-use np_core::{ig_match, IgMatchOptions, PartitionError, PartitionResult};
+use np_baselines::rcut::refine_ratio_cut_metered;
+use np_core::{ig_match_metered, IgMatchOptions, PartitionError, PartitionResult};
 use np_netlist::Hypergraph;
+use np_sparse::{Budget, BudgetMeter};
 
 /// Options for [`ig_match_refined`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -13,6 +14,11 @@ pub struct HybridOptions {
     pub ig_match: IgMatchOptions,
     /// Upper bound on ratio-objective FM passes in the refinement stage.
     pub max_refine_passes: usize,
+    /// Cooperative resource budget covering both pipeline stages: the
+    /// eigensolve and split sweep check it inside IG-Match, and each
+    /// refinement pass charges one unit. Defaults to
+    /// [`Budget::UNLIMITED`].
+    pub budget: Budget,
 }
 
 impl Default for HybridOptions {
@@ -20,6 +26,7 @@ impl Default for HybridOptions {
         HybridOptions {
             ig_match: IgMatchOptions::default(),
             max_refine_passes: 20,
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -29,11 +36,17 @@ impl Default for HybridOptions {
 /// the ratio cut, so the result is never worse than plain IG-Match — and
 /// the pipeline stays fully deterministic (no random restarts anywhere).
 ///
+/// Both stages share the single [`HybridOptions::budget`]; a budget that
+/// trips during refinement aborts the whole run rather than returning the
+/// unrefined partition, so callers see budget exhaustion uniformly (use
+/// [`np_core::robust_partition`] when a best-effort answer is wanted).
+///
 /// # Errors
 ///
 /// Propagates IG-Match failures
 /// ([`PartitionError::TooSmall`] / [`Eigen`](PartitionError::Eigen) /
-/// [`Degenerate`](PartitionError::Degenerate)).
+/// [`Degenerate`](PartitionError::Degenerate)) and surfaces budget
+/// exhaustion from either stage as [`PartitionError::Budget`].
 ///
 /// # Example
 ///
@@ -52,9 +65,10 @@ pub fn ig_match_refined(
     hg: &Hypergraph,
     opts: &HybridOptions,
 ) -> Result<PartitionResult, PartitionError> {
-    let out = ig_match(hg, &opts.ig_match)?;
+    let meter = BudgetMeter::new(&opts.budget);
+    let out = ig_match_metered(hg, &opts.ig_match, &meter)?;
     let (partition, stats) =
-        refine_ratio_cut(hg, &out.result.partition, opts.max_refine_passes);
+        refine_ratio_cut_metered(hg, &out.result.partition, opts.max_refine_passes, &meter)?;
     debug_assert!(stats.ratio() <= out.result.ratio() + 1e-12);
     Ok(PartitionResult {
         partition,
@@ -67,7 +81,9 @@ pub fn ig_match_refined(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use np_core::ig_match;
     use np_netlist::generate::{generate, GeneratorConfig};
+    use std::time::Duration;
 
     #[test]
     fn hybrid_never_worse_than_plain() {
@@ -100,5 +116,34 @@ mod tests {
         )
         .unwrap();
         assert_eq!(hybrid.partition, plain.result.partition);
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_as_budget_error() {
+        let hg = generate(&GeneratorConfig::new(150, 170, 3));
+        let err = ig_match_refined(
+            &hg,
+            &HybridOptions {
+                budget: Budget::UNLIMITED.with_wall_clock(Duration::ZERO),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PartitionError::Budget(_)), "{err}");
+    }
+
+    #[test]
+    fn generous_budget_matches_unlimited() {
+        let hg = generate(&GeneratorConfig::new(150, 170, 3));
+        let unlimited = ig_match_refined(&hg, &HybridOptions::default()).unwrap();
+        let budgeted = ig_match_refined(
+            &hg,
+            &HybridOptions {
+                budget: Budget::UNLIMITED.with_wall_clock(Duration::from_secs(600)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unlimited.partition, budgeted.partition);
     }
 }

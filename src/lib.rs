@@ -37,9 +37,11 @@ pub use np_eigen as eigen;
 pub use np_netlist as netlist;
 pub use np_sparse as sparse;
 
-pub use np_baselines::{fm_bisect, kl_bisect, rcut, FmOptions, KlOptions, RcutOptions};
+pub use np_baselines::{fm_bisect, fm_bisect_metered, kl_bisect, rcut, FmOptions, KlOptions, RcutOptions};
 pub use np_core::{
-    eig1, ig_match, ig_vote, Eig1Options, IgMatchOptions, IgMatchOutcome, IgVoteOptions,
-    IgWeighting, PartitionError, PartitionResult,
+    eig1, eig1_metered, ig_match, ig_match_metered, ig_vote, robust_partition, Diagnostics,
+    Eig1Options, FallbackStage, IgMatchOptions, IgMatchOutcome, IgVoteOptions, IgWeighting,
+    PartitionError, PartitionResult, RobustFailure, RobustOptions, RobustOutcome,
 };
 pub use np_netlist::{Bipartition, CutStats, Hypergraph, HypergraphBuilder, ModuleId, NetId, Side};
+pub use np_sparse::{Budget, BudgetExceeded, BudgetMeter};

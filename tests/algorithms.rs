@@ -14,118 +14,156 @@ use ig_match_repro::netlist::named::NamedNetlist;
 use ig_match_repro::{
     eig1, ig_match, ig_vote, rcut, Eig1Options, IgMatchOptions, IgVoteOptions, RcutOptions,
 };
-use proptest::prelude::*;
+use np_testkit::{check_cases, Gen};
 
-fn arb_circuit() -> impl Strategy<Value = ig_match_repro::Hypergraph> {
-    (30usize..150, 0usize..40, 0u64..400, prop::bool::ANY).prop_map(
-        |(modules, extra, seed, satellite)| {
-            let mut cfg = GeneratorConfig::new(modules, modules + extra, seed);
-            if satellite {
-                cfg = cfg.with_satellite(0.15, 3);
-            }
-            generate(&cfg)
-        },
-    )
+fn arb_circuit(g: &mut Gen) -> ig_match_repro::Hypergraph {
+    let modules = g.usize_in(30, 149);
+    let extra = g.usize_in(0, 39);
+    let seed = g.u64_below(400);
+    let satellite = g.flip();
+    let mut cfg = GeneratorConfig::new(modules, modules + extra, seed);
+    if satellite {
+        cfg = cfg.with_satellite(0.15, 3);
+    }
+    generate(&cfg)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_partitioner_valid_and_consistent(hg in arb_circuit()) {
+#[test]
+fn every_partitioner_valid_and_consistent() {
+    check_cases(24, 0xA101, |g| {
+        let hg = arb_circuit(g);
         let n = hg.num_modules();
         let igm = ig_match(&hg, &IgMatchOptions::default()).unwrap();
         let igv = ig_vote(&hg, &IgVoteOptions::default()).unwrap();
         let e1 = eig1(&hg, &Eig1Options::default()).unwrap();
-        let rc = rcut(&hg, &RcutOptions { runs: 2, ..Default::default() });
+        let rc = rcut(
+            &hg,
+            &RcutOptions {
+                runs: 2,
+                ..Default::default()
+            },
+        );
         for (name, partition, stats) in [
             ("igmatch", &igm.result.partition, igm.result.stats),
             ("igvote", &igv.partition, igv.stats),
             ("eig1", &e1.partition, e1.stats),
             ("rcut", &rc.partition, rc.stats),
         ] {
-            prop_assert_eq!(partition.len(), n, "{}", name);
-            prop_assert_eq!(stats, partition.cut_stats(&hg), "{}", name);
-            prop_assert!(stats.left > 0 && stats.right > 0, "{}", name);
+            assert_eq!(partition.len(), n, "{name}");
+            assert_eq!(stats, partition.cut_stats(&hg), "{name}");
+            assert!(stats.left > 0 && stats.right > 0, "{name}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn theorem1_bound_below_all_results(hg in arb_circuit()) {
+#[test]
+fn theorem1_bound_below_all_results() {
+    check_cases(24, 0xA102, |g| {
+        let hg = arb_circuit(g);
         let bound = ratio_cut_lower_bound(&hg, &Default::default()).unwrap();
         for ratio in [
-            ig_match(&hg, &IgMatchOptions::default()).unwrap().result.ratio(),
+            ig_match(&hg, &IgMatchOptions::default())
+                .unwrap()
+                .result
+                .ratio(),
             ig_vote(&hg, &IgVoteOptions::default()).unwrap().ratio(),
             eig1(&hg, &Eig1Options::default()).unwrap().ratio(),
         ] {
-            prop_assert!(ratio >= bound.bound - 1e-9);
+            assert!(ratio >= bound.bound - 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hybrid_and_refined_never_worse(hg in arb_circuit()) {
+#[test]
+fn hybrid_and_refined_never_worse() {
+    check_cases(24, 0xA103, |g| {
+        let hg = arb_circuit(g);
         let plain = ig_match(&hg, &IgMatchOptions::default()).unwrap();
         let refined = ig_match(
             &hg,
-            &IgMatchOptions { refine_free_modules: true, ..Default::default() },
+            &IgMatchOptions {
+                refine_free_modules: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         let hybrid = ig_match_refined(&hg, &HybridOptions::default()).unwrap();
-        prop_assert!(refined.result.ratio() <= plain.result.ratio() + 1e-12);
-        prop_assert!(hybrid.ratio() <= plain.result.ratio() + 1e-12);
-    }
+        assert!(refined.result.ratio() <= plain.result.ratio() + 1e-12);
+        assert!(hybrid.ratio() <= plain.result.ratio() + 1e-12);
+    });
+}
 
-    #[test]
-    fn bisection_is_balanced(hg in arb_circuit()) {
+#[test]
+fn bisection_is_balanced() {
+    check_cases(24, 0xA104, |g| {
+        let hg = arb_circuit(g);
         let r = spectral_bisect(&hg, 0.0, &Eig1Options::default()).unwrap();
-        prop_assert!(r.stats.left.abs_diff(r.stats.right) <= 3);
-    }
+        assert!(r.stats.left.abs_diff(r.stats.right) <= 3);
+    });
+}
 
-    #[test]
-    fn multiway_blocks_cover_and_fit(hg in arb_circuit()) {
+#[test]
+fn multiway_blocks_cover_and_fit() {
+    check_cases(24, 0xA105, |g| {
+        let hg = arb_circuit(g);
         let budget = (hg.num_modules() / 3).max(8);
         let mw = recursive_ig_match(
             &hg,
-            &MultiwayOptions { max_block_size: budget, ..Default::default() },
+            &MultiwayOptions {
+                max_block_size: budget,
+                ..Default::default()
+            },
         )
         .unwrap();
         let sizes = mw.block_sizes();
-        prop_assert_eq!(sizes.iter().sum::<usize>(), hg.num_modules());
-        prop_assert!(sizes.iter().all(|&s| s <= budget));
-        prop_assert!(mw.crossing_nets(&hg) <= hg.num_nets());
-    }
+        assert_eq!(sizes.iter().sum::<usize>(), hg.num_modules());
+        assert!(sizes.iter().all(|&s| s <= budget));
+        assert!(mw.crossing_nets(&hg) <= hg.num_nets());
+    });
+}
 
-    #[test]
-    fn clustered_partition_valid(hg in arb_circuit()) {
+#[test]
+fn clustered_partition_valid() {
+    check_cases(24, 0xA106, |g| {
+        let hg = arb_circuit(g);
         let r = clustered_ig_match(&hg, &ClusterOptions::default()).unwrap();
-        prop_assert_eq!(r.stats, r.partition.cut_stats(&hg));
-        prop_assert!(r.stats.left > 0 && r.stats.right > 0);
-    }
+        assert_eq!(r.stats, r.partition.cut_stats(&hg));
+        assert!(r.stats.left > 0 && r.stats.right > 0);
+    });
+}
 
-    #[test]
-    fn area_metric_consistent_with_counts_for_uniform_areas(hg in arb_circuit()) {
+#[test]
+fn area_metric_consistent_with_counts_for_uniform_areas() {
+    check_cases(24, 0xA107, |g| {
+        let hg = arb_circuit(g);
         let igm = ig_match(&hg, &IgMatchOptions::default()).unwrap();
         let areas = ModuleAreas::uniform(hg.num_modules());
         let a = area_cut_stats(&hg, &igm.result.partition, &areas);
-        prop_assert_eq!(a.cut_nets, igm.result.stats.cut_nets);
-        prop_assert!((a.ratio() - igm.result.ratio()).abs() < 1e-12);
-    }
+        assert_eq!(a.cut_nets, igm.result.stats.cut_nets);
+        assert!((a.ratio() - igm.result.ratio()).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn placement_first_axis_matches_eig1_ordering_signs(hg in arb_circuit()) {
+#[test]
+fn placement_first_axis_matches_eig1_ordering_signs() {
+    check_cases(24, 0xA108, |g| {
+        let hg = arb_circuit(g);
         // the 1-D Hall placement IS the EIG1 ordering vector
         let p = module_placement(&hg, 1, &Default::default()).unwrap();
-        prop_assert_eq!(p.len(), hg.num_modules());
-        prop_assert!(p.eigenvalues[0] >= -1e-9);
-    }
+        assert_eq!(p.len(), hg.num_modules());
+        assert!(p.eigenvalues[0] >= -1e-9);
+    });
+}
 
-    #[test]
-    fn named_netlist_roundtrip_generated(hg in arb_circuit()) {
+#[test]
+fn named_netlist_roundtrip_generated() {
+    check_cases(24, 0xA109, |g| {
+        let hg = arb_circuit(g);
         // module indices are assigned by first occurrence when parsing, so
         // the round trip is an isomorphism: compare per-net *name* sets
         let nl = NamedNetlist::from_hypergraph(hg.clone());
         let back = NamedNetlist::parse(&nl.to_string()).unwrap();
-        prop_assert_eq!(back.hypergraph().num_nets(), hg.num_nets());
+        assert_eq!(back.hypergraph().num_nets(), hg.num_nets());
         for net in hg.nets() {
             let orig_net = nl.net_by_name(nl.net_name(net)).unwrap();
             let back_net = back.net_by_name(nl.net_name(net)).unwrap();
@@ -143,7 +181,7 @@ proptest! {
                 .collect();
             orig.sort_unstable();
             round.sort_unstable();
-            prop_assert_eq!(orig, round, "net {}", nl.net_name(net));
+            assert_eq!(orig, round, "net {}", nl.net_name(net));
         }
-    }
+    });
 }

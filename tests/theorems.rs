@@ -1,5 +1,5 @@
 //! Property-based verification of the paper's theorems on random
-//! hypergraphs (proptest).
+//! hypergraphs.
 //!
 //! * Theorems 2–3 (König duality): `|MIS| + |MVC| = |L| + |R|` and
 //!   `|MVC| = |MM|` in the induced bipartite conflict graph;
@@ -10,44 +10,15 @@
 //! * metric consistency: incremental cut tracking matches from-scratch
 //!   evaluation under arbitrary move sequences.
 
+use ig_match_repro::core::igmatch::ig_match_with_ordering;
 use ig_match_repro::core::igmatch::SplitMatcher;
 use ig_match_repro::core::models::{clique_laplacian, intersection_neighbors};
-use ig_match_repro::core::igmatch::ig_match_with_ordering;
 use ig_match_repro::core::PartitionError;
 use ig_match_repro::eigen::{fiedler, LanczosOptions};
 use ig_match_repro::netlist::partition::CutTracker;
-use ig_match_repro::netlist::{Hypergraph, HypergraphBuilder, ModuleId, NetId};
+use ig_match_repro::netlist::{ModuleId, NetId};
 use ig_match_repro::{ig_match, Bipartition, IgMatchOptions, Side};
-use proptest::prelude::*;
-
-/// Strategy: a random connected-ish hypergraph with `modules` in 4..=16
-/// and a handful of nets of size 2..=5.
-fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    (4usize..=16).prop_flat_map(|n| {
-        let net = proptest::collection::vec(0..n as u32, 2..=5);
-        proptest::collection::vec(net, 2..=20).prop_filter_map(
-            "nets must be non-degenerate after dedup",
-            move |nets| {
-                let mut b = HypergraphBuilder::new(n);
-                let mut added = 0;
-                for pins in nets {
-                    let mut p: Vec<u32> = pins;
-                    p.sort_unstable();
-                    p.dedup();
-                    if p.len() >= 2 {
-                        b.add_net(p.into_iter().map(ModuleId)).ok()?;
-                        added += 1;
-                    }
-                }
-                if added >= 2 {
-                    b.finish().ok()
-                } else {
-                    None
-                }
-            },
-        )
-    })
-}
+use np_testkit::{check_cases, small_hypergraph};
 
 /// Kuhn's algorithm: reference maximum matching over crossing edges.
 fn brute_force_mm(neighbors: &[Vec<u32>], in_r: &[bool]) -> usize {
@@ -86,34 +57,34 @@ fn brute_force_mm(neighbors: &[Vec<u32>], in_r: &[bool]) -> usize {
     size
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn incremental_matching_is_maximum(hg in arb_hypergraph(), seed in 0u64..1000) {
+#[test]
+fn incremental_matching_is_maximum() {
+    check_cases(64, 0x7E01, |g| {
+        let hg = small_hypergraph(g);
         let neighbors = intersection_neighbors(&hg);
         let m = hg.num_nets();
-        // pseudo-random move order derived from the seed
+        // pseudo-random move order derived from the case seed
         let mut order: Vec<u32> = (0..m as u32).collect();
-        let mut rng = ig_match_repro::netlist::rng::Rng64::new(seed);
-        rng.shuffle(&mut order);
+        g.rng().shuffle(&mut order);
         let mut matcher = SplitMatcher::new(&neighbors);
         let mut in_r = vec![false; m];
         for &v in &order[..m - 1] {
             matcher.move_to_r(v);
             in_r[v as usize] = true;
-            prop_assert!(matcher.matching_is_valid());
-            prop_assert_eq!(matcher.matching_size(), brute_force_mm(&neighbors, &in_r));
+            assert!(matcher.matching_is_valid());
+            assert_eq!(matcher.matching_size(), brute_force_mm(&neighbors, &in_r));
         }
-    }
+    });
+}
 
-    #[test]
-    fn konig_duality_holds(hg in arb_hypergraph(), seed in 0u64..1000) {
+#[test]
+fn konig_duality_holds() {
+    check_cases(64, 0x7E02, |g| {
+        let hg = small_hypergraph(g);
         let neighbors = intersection_neighbors(&hg);
         let m = hg.num_nets();
         let mut order: Vec<u32> = (0..m as u32).collect();
-        let mut rng = ig_match_repro::netlist::rng::Rng64::new(seed);
-        rng.shuffle(&mut order);
+        g.rng().shuffle(&mut order);
         let mut matcher = SplitMatcher::new(&neighbors);
         for &v in &order[..m / 2 + 1] {
             matcher.move_to_r(v);
@@ -124,11 +95,11 @@ proptest! {
         // MIS = winners + larger B' side; MVC = losers + smaller B' side
         let mis = c.winners_l.len() + c.winners_r.len() + c.bprime_l.len().max(c.bprime_r.len());
         let mvc = c.losers.len() + c.bprime_l.len().min(c.bprime_r.len());
-        prop_assert_eq!(mis + mvc, m, "Theorem 2: |MIS| + |MVC| = n");
+        assert_eq!(mis + mvc, m, "Theorem 2: |MIS| + |MVC| = n");
         // B' sides pair up through the matching, so either orientation
         // gives a cover of size = mm
-        prop_assert_eq!(c.bprime_l.len(), c.bprime_r.len());
-        prop_assert_eq!(mvc, mm, "Theorem 3: |MVC| = |MM|");
+        assert_eq!(c.bprime_l.len(), c.bprime_r.len());
+        assert_eq!(mvc, mm, "Theorem 3: |MVC| = |MM|");
 
         // cover property (Theorem 4): every crossing edge touches a loser
         // or a B' vertex of the chosen orientation (take B'_R as losers)
@@ -142,7 +113,7 @@ proptest! {
         for v in 0..m as u32 {
             for &u in &neighbors[v as usize] {
                 if side_of[v as usize] == Side::Left && side_of[u as usize] == Side::Right {
-                    prop_assert!(
+                    assert!(
                         is_loser[v as usize] || is_loser[u as usize],
                         "crossing edge ({v},{u}) uncovered"
                     );
@@ -161,56 +132,66 @@ proptest! {
         for v in 0..m as u32 {
             for &u in &neighbors[v as usize] {
                 let crossing = side_of[v as usize] != side_of[u as usize];
-                prop_assert!(
+                assert!(
                     !(crossing && is_winner[v as usize] && is_winner[u as usize]),
                     "independent set violated on edge ({v},{u})"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn igmatch_cut_bounded_by_matching(hg in arb_hypergraph(), seed in 0u64..1000) {
+#[test]
+fn igmatch_cut_bounded_by_matching() {
+    check_cases(64, 0x7E03, |g| {
+        let hg = small_hypergraph(g);
         let m = hg.num_nets();
         let mut order: Vec<u32> = (0..m as u32).collect();
-        let mut rng = ig_match_repro::netlist::rng::Rng64::new(seed);
-        rng.shuffle(&mut order);
+        g.rng().shuffle(&mut order);
         let order: Vec<NetId> = order.into_iter().map(NetId).collect();
         match ig_match_with_ordering(&hg, &order, false) {
             Ok(out) => {
-                prop_assert!(out.result.stats.cut_nets <= out.loser_count);
-                prop_assert!(out.loser_count <= out.matching_size);
-                prop_assert_eq!(
-                    out.result.stats,
-                    out.result.partition.cut_stats(&hg)
-                );
+                assert!(out.result.stats.cut_nets <= out.loser_count);
+                assert!(out.loser_count <= out.matching_size);
+                assert_eq!(out.result.stats, out.result.partition.cut_stats(&hg));
             }
             Err(PartitionError::Degenerate) => {} // legal on tiny instances
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Err(e) => panic!("unexpected error {e}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn cut_tracker_matches_scratch(hg in arb_hypergraph(), moves in proptest::collection::vec((0u32..16, proptest::bool::ANY), 1..40)) {
+#[test]
+fn cut_tracker_matches_scratch() {
+    check_cases(64, 0x7E04, |g| {
+        let hg = small_hypergraph(g);
+        let moves = g.vec_with(1, 39, |g| (g.usize_in(0, 15) as u32, g.flip()));
         let mut tracker = CutTracker::all_on(&hg, Side::Right);
         for (m, to_left) in moves {
             let m = ModuleId(m % hg.num_modules() as u32);
             let side = if to_left { Side::Left } else { Side::Right };
             tracker.move_module(m, side);
             let scratch = tracker.to_partition().cut_stats(&hg);
-            prop_assert_eq!(tracker.stats(), scratch);
+            assert_eq!(tracker.stats(), scratch);
         }
-    }
+    });
+}
 
-    #[test]
-    fn hagen_kahng_lower_bound(hg in arb_hypergraph()) {
+#[test]
+fn hagen_kahng_lower_bound() {
+    check_cases(64, 0x7E05, |g| {
         // Theorem 1: optimal ratio cut of the clique-model *graph* is
         // >= lambda_2 / n. Brute-force the optimum over all bipartitions.
+        let hg = small_hypergraph(g);
         let n = hg.num_modules();
-        prop_assume!(n <= 12);
+        if n > 12 {
+            return;
+        }
         let q = clique_laplacian(&hg);
         let pair = fiedler(&q, &LanczosOptions::default()).unwrap();
-        prop_assume!(pair.value > 1e-9); // skip disconnected instances
+        if pair.value <= 1e-9 {
+            return; // skip disconnected instances
+        }
         let adj = q.adjacency();
         let mut best = f64::INFINITY;
         for mask in 1..(1u32 << n) - 1 {
@@ -227,49 +208,64 @@ proptest! {
             let l = left.iter().filter(|&&x| x).count();
             best = best.min(cut / (l as f64 * (n - l) as f64));
         }
-        prop_assert!(
+        assert!(
             best >= pair.value / n as f64 - 1e-7,
             "optimal ratio cut {best} < lambda2/n = {}",
             pair.value / n as f64
         );
-    }
+    });
+}
 
-    #[test]
-    fn fiedler_orthogonal_to_ones_and_nonnegative(hg in arb_hypergraph()) {
+#[test]
+fn fiedler_orthogonal_to_ones_and_nonnegative() {
+    check_cases(64, 0x7E06, |g| {
+        let hg = small_hypergraph(g);
         let q = clique_laplacian(&hg);
         let pair = fiedler(&q, &LanczosOptions::default()).unwrap();
         let s: f64 = pair.vector.iter().sum();
-        prop_assert!(s.abs() < 1e-6, "sum {s}");
-        prop_assert!(pair.value >= -1e-9, "lambda2 {}", pair.value);
-    }
+        assert!(s.abs() < 1e-6, "sum {s}");
+        assert!(pair.value >= -1e-9, "lambda2 {}", pair.value);
+    });
+}
 
-    #[test]
-    fn igmatch_spectral_valid_on_random_instances(hg in arb_hypergraph()) {
+#[test]
+fn igmatch_spectral_valid_on_random_instances() {
+    check_cases(64, 0x7E07, |g| {
+        let hg = small_hypergraph(g);
         match ig_match(&hg, &IgMatchOptions::default()) {
             Ok(out) => {
                 let s = &out.result.stats;
-                prop_assert!(s.left > 0 && s.right > 0);
-                prop_assert!(s.cut_nets <= out.matching_size);
+                assert!(s.left > 0 && s.right > 0);
+                assert!(s.cut_nets <= out.matching_size);
             }
             Err(PartitionError::Degenerate) | Err(PartitionError::TooSmall { .. }) => {}
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Err(e) => panic!("unexpected error {e}"),
         }
-    }
+    });
+}
 
-    #[test]
-    fn hgr_roundtrip(hg in arb_hypergraph()) {
+#[test]
+fn hgr_roundtrip() {
+    check_cases(64, 0x7E08, |g| {
+        let hg = small_hypergraph(g);
         let text = ig_match_repro::netlist::io::to_hgr_string(&hg);
         let back = ig_match_repro::netlist::io::parse_hgr(&text).unwrap();
-        prop_assert_eq!(hg, back);
-    }
+        assert_eq!(hg, back);
+    });
+}
 
-    #[test]
-    fn random_partition_stats_sane(hg in arb_hypergraph(), mask in 0u32..65536) {
+#[test]
+fn random_partition_stats_sane() {
+    check_cases(64, 0x7E09, |g| {
+        let hg = small_hypergraph(g);
+        let mask = g.u64_below(65536) as u32;
         let n = hg.num_modules();
-        let left = (0..n as u32).filter(|i| mask & (1 << (i % 16)) != 0).map(ModuleId);
+        let left = (0..n as u32)
+            .filter(|i| mask & (1 << (i % 16)) != 0)
+            .map(ModuleId);
         let p = Bipartition::from_left_set(n, left);
         let s = p.cut_stats(&hg);
-        prop_assert_eq!(s.left + s.right, n);
-        prop_assert!(s.cut_nets <= hg.num_nets());
-    }
+        assert_eq!(s.left + s.right, n);
+        assert!(s.cut_nets <= hg.num_nets());
+    });
 }
