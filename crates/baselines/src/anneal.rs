@@ -91,8 +91,7 @@ pub fn anneal(hg: &Hypergraph, opts: &AnnealOptions) -> AnnealResult {
     // random balanced start
     let mut order: Vec<u32> = (0..n as u32).collect();
     rng.shuffle(&mut order);
-    let start =
-        Bipartition::from_left_set(n, order[..n / 2].iter().copied().map(ModuleId));
+    let start = Bipartition::from_left_set(n, order[..n / 2].iter().copied().map(ModuleId));
     let mut tracker = CutTracker::from_partition(hg, &start);
 
     let mut best_partition = tracker.to_partition();

@@ -125,13 +125,7 @@ pub fn fm_bisect_metered(
     while passes < opts.max_passes {
         meter.charge(1)?;
         passes += 1;
-        let improved = run_pass(
-            hg,
-            &mut tracker,
-            min_left,
-            max_left,
-            PrefixObjective::Cut,
-        );
+        let improved = run_pass(hg, &mut tracker, min_left, max_left, PrefixObjective::Cut);
         if !improved {
             break;
         }
@@ -231,7 +225,12 @@ pub(crate) fn run_swap_pass(
     objective: PrefixObjective,
 ) -> bool {
     let n = hg.num_modules();
-    let max_gain = hg.modules().map(|m| hg.degree(m) as i64).max().unwrap_or(0).max(1);
+    let max_gain = hg
+        .modules()
+        .map(|m| hg.degree(m) as i64)
+        .max()
+        .unwrap_or(0)
+        .max(1);
     let mut left = GainBuckets::new(n, max_gain);
     let mut right = GainBuckets::new(n, max_gain);
     for m in hg.modules() {
@@ -316,7 +315,12 @@ pub(crate) fn run_pass(
     objective: PrefixObjective,
 ) -> bool {
     let n = hg.num_modules();
-    let max_gain = hg.modules().map(|m| hg.degree(m) as i64).max().unwrap_or(0).max(1);
+    let max_gain = hg
+        .modules()
+        .map(|m| hg.degree(m) as i64)
+        .max()
+        .unwrap_or(0)
+        .max(1);
     let mut left = GainBuckets::new(n, max_gain);
     let mut right = GainBuckets::new(n, max_gain);
     for m in hg.modules() {
@@ -554,7 +558,9 @@ mod tests {
     fn larger_random_instance_improves() {
         // ring of 40 modules: optimal bisection cut = 2
         let n = 40;
-        let nets: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32, ((i + 1) % n) as u32]).collect();
+        let nets: Vec<Vec<u32>> = (0..n)
+            .map(|i| vec![i as u32, ((i + 1) % n) as u32])
+            .collect();
         let hg = hypergraph_from_nets(n, &nets);
         let mut rng = Rng64::new(7);
         let left = (0..n as u32).filter(|_| rng.gen_bool(0.5)).map(ModuleId);

@@ -12,7 +12,7 @@
 //! improvement.
 
 use np_netlist::rng::Rng64;
-use np_sparse::{CsrMatrix, LinearOperator};
+use np_sparse::{BudgetExceeded, BudgetMeter, CsrMatrix, LinearOperator};
 
 /// Options for [`kl_bisect`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -70,6 +70,27 @@ pub struct KlResult {
 /// assert!((r.cut_weight - 0.5).abs() < 1e-12);
 /// ```
 pub fn kl_bisect(graph: &CsrMatrix, opts: &KlOptions) -> KlResult {
+    kl_bisect_metered(graph, opts, &BudgetMeter::unlimited())
+        .expect("unlimited budget cannot be exceeded")
+}
+
+/// Budget-aware variant of [`kl_bisect`] — the single implementation
+/// behind both entry points. Each improvement pass charges one unit
+/// against `meter`; with an unlimited meter the run is bit-identical to
+/// [`kl_bisect`].
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] when `meter` trips before the search completes.
+///
+/// # Panics
+///
+/// Panics if the graph has fewer than 2 vertices.
+pub fn kl_bisect_metered(
+    graph: &CsrMatrix,
+    opts: &KlOptions,
+    meter: &BudgetMeter,
+) -> Result<KlResult, BudgetExceeded> {
     let n = graph.dim();
     assert!(n >= 2, "need at least 2 vertices");
     let mut rng = Rng64::new(opts.seed);
@@ -81,7 +102,7 @@ pub fn kl_bisect(graph: &CsrMatrix, opts: &KlOptions) -> KlResult {
         for &v in &order[..n / 2] {
             left[v as usize] = true;
         }
-        let result = kl_from(graph, left, opts.max_passes);
+        let result = kl_from(graph, left, opts.max_passes, meter)?;
         if best
             .as_ref()
             .is_none_or(|b| result.cut_weight < b.cut_weight)
@@ -89,7 +110,7 @@ pub fn kl_bisect(graph: &CsrMatrix, opts: &KlOptions) -> KlResult {
             best = Some(result);
         }
     }
-    best.expect("runs >= 1")
+    Ok(best.expect("runs >= 1"))
 }
 
 fn cut_weight(graph: &CsrMatrix, left: &[bool]) -> f64 {
@@ -105,7 +126,12 @@ fn cut_weight(graph: &CsrMatrix, left: &[bool]) -> f64 {
     cut
 }
 
-fn kl_from(graph: &CsrMatrix, mut left: Vec<bool>, max_passes: usize) -> KlResult {
+fn kl_from(
+    graph: &CsrMatrix,
+    mut left: Vec<bool>,
+    max_passes: usize,
+    meter: &BudgetMeter,
+) -> Result<KlResult, BudgetExceeded> {
     let n = graph.dim();
     // D[v] = external − internal connection weight
     let compute_d = |left: &[bool]| -> Vec<f64> {
@@ -121,6 +147,7 @@ fn kl_from(graph: &CsrMatrix, mut left: Vec<bool>, max_passes: usize) -> KlResul
     };
 
     for _ in 0..max_passes {
+        meter.charge(1)?;
         let mut d = compute_d(&left);
         let mut locked = vec![false; n];
         let mut swaps: Vec<(usize, usize)> = Vec::new();
@@ -128,18 +155,19 @@ fn kl_from(graph: &CsrMatrix, mut left: Vec<bool>, max_passes: usize) -> KlResul
         let pairs = n / 2;
         for _ in 0..pairs {
             // best unlocked vertex on each side by D value
-            let pick = |want_left: bool, d: &[f64], locked: &[bool], left: &[bool]| -> Option<usize> {
-                let mut best: Option<usize> = None;
-                for v in 0..n {
-                    if locked[v] || left[v] != want_left {
-                        continue;
+            let pick =
+                |want_left: bool, d: &[f64], locked: &[bool], left: &[bool]| -> Option<usize> {
+                    let mut best: Option<usize> = None;
+                    for v in 0..n {
+                        if locked[v] || left[v] != want_left {
+                            continue;
+                        }
+                        if best.is_none_or(|b| d[v] > d[b]) {
+                            best = Some(v);
+                        }
                     }
-                    if best.is_none_or(|b| d[v] > d[b]) {
-                        best = Some(v);
-                    }
-                }
-                best
-            };
+                    best
+                };
             let (Some(a), Some(b)) = (
                 pick(true, &d, &locked, &left),
                 pick(false, &d, &locked, &left),
@@ -191,10 +219,10 @@ fn kl_from(graph: &CsrMatrix, mut left: Vec<bool>, max_passes: usize) -> KlResul
         }
     }
     let cut = cut_weight(graph, &left);
-    KlResult {
+    Ok(KlResult {
         left,
         cut_weight: cut,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -252,6 +280,23 @@ mod tests {
         }
         let r = kl_bisect(&b.into_csr(), &KlOptions::default());
         assert!((r.cut_weight - 2.0).abs() < 1e-9, "cut {}", r.cut_weight);
+    }
+
+    #[test]
+    fn metered_unlimited_matches_plain() {
+        let g = dumbbell();
+        let plain = kl_bisect(&g, &KlOptions::default());
+        let metered =
+            kl_bisect_metered(&g, &KlOptions::default(), &BudgetMeter::unlimited()).unwrap();
+        assert_eq!(plain, metered);
+    }
+
+    #[test]
+    fn metered_exhaustion_surfaces() {
+        let g = dumbbell();
+        let budget = np_sparse::Budget::default().with_matvecs(1);
+        let meter = BudgetMeter::new(&budget);
+        assert!(kl_bisect_metered(&g, &KlOptions::default(), &meter).is_err());
     }
 
     #[test]

@@ -19,9 +19,9 @@
 
 use crate::fm::{run_pass, run_swap_pass, PrefixObjective};
 use np_netlist::partition::CutTracker;
-use np_sparse::{BudgetExceeded, BudgetMeter};
 use np_netlist::rng::Rng64;
 use np_netlist::{Bipartition, CutStats, Hypergraph, ModuleId};
+use np_sparse::{BudgetExceeded, BudgetMeter};
 
 /// Options for [`rcut`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -86,6 +86,27 @@ impl RcutResult {
 /// assert_eq!(r.stats.cut_nets, 1);
 /// ```
 pub fn rcut(hg: &Hypergraph, opts: &RcutOptions) -> RcutResult {
+    rcut_metered(hg, opts, &BudgetMeter::unlimited()).expect("unlimited budget cannot be exceeded")
+}
+
+/// Budget-aware variant of [`rcut`] — the single implementation behind
+/// both entry points. Each shifting/swapping pass round charges one unit
+/// against `meter`; with an unlimited meter the run is bit-identical to
+/// [`rcut`].
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] when `meter` trips mid-optimization; partial runs
+/// are discarded (restart-based search has no meaningful partial result).
+///
+/// # Panics
+///
+/// Same structural panics as [`rcut`].
+pub fn rcut_metered(
+    hg: &Hypergraph,
+    opts: &RcutOptions,
+    meter: &BudgetMeter,
+) -> Result<RcutResult, BudgetExceeded> {
     let n = hg.num_modules();
     assert!(n >= 2, "need at least 2 modules");
     assert!(opts.runs > 0, "need at least one run");
@@ -101,6 +122,7 @@ pub fn rcut(hg: &Hypergraph, opts: &RcutOptions) -> RcutResult {
 
         let mut tracker = CutTracker::from_partition(hg, &start);
         for _ in 0..opts.max_passes {
+            meter.charge(1)?;
             // one shifting pass, then one group-swapping pass; stop when
             // neither improves the ratio
             let shifted = run_pass(hg, &mut tracker, 1, n - 1, PrefixObjective::Ratio);
@@ -117,11 +139,11 @@ pub fn rcut(hg: &Hypergraph, opts: &RcutOptions) -> RcutResult {
     }
 
     let (_, best_run, partition, stats) = best.expect("runs > 0");
-    RcutResult {
+    Ok(RcutResult {
         partition,
         stats,
         best_run,
-    }
+    })
 }
 
 /// Like [`rcut`], but optimizes the *area-weighted* ratio cut
@@ -372,6 +394,23 @@ mod tests {
         let (improved, stats) = refine_ratio_cut(&hg, &p, 20);
         assert_eq!(stats.cut_nets, 1);
         assert_eq!(improved.cut_stats(&hg), stats);
+    }
+
+    #[test]
+    fn metered_unlimited_matches_plain() {
+        let hg = two_triangles();
+        let plain = rcut(&hg, &RcutOptions::default());
+        let metered =
+            rcut_metered(&hg, &RcutOptions::default(), &BudgetMeter::unlimited()).unwrap();
+        assert_eq!(plain, metered);
+    }
+
+    #[test]
+    fn metered_exhaustion_surfaces() {
+        let hg = two_triangles();
+        let budget = np_sparse::Budget::default().with_matvecs(1);
+        let meter = BudgetMeter::new(&budget);
+        assert!(rcut_metered(&hg, &RcutOptions::default(), &meter).is_err());
     }
 
     #[test]

@@ -12,7 +12,9 @@ fn main() {
     for name in ["Prim2", "Test05"] {
         let b = mcnc_benchmark(name).expect("suite benchmark");
         let hg = b.hypergraph;
-        bench_case(&format!("models/clique/{name}"), 20, || clique_adjacency(&hg));
+        bench_case(&format!("models/clique/{name}"), 20, || {
+            clique_adjacency(&hg)
+        });
         bench_case(&format!("models/intersection/{name}"), 20, || {
             intersection_adjacency(&hg, IgWeighting::Paper)
         });

@@ -3,7 +3,10 @@
 
 use bench::bench_case;
 use np_baselines::{rcut, RcutOptions};
-use np_core::{eig1, ig_match, ig_vote, Eig1Options, IgMatchOptions, IgVoteOptions};
+use np_core::engine::stages::IgMatchStage;
+use np_core::{
+    eig1, ig_match, ig_vote, Eig1Options, IgMatchOptions, IgVoteOptions, RunContext, Stage,
+};
 use np_netlist::generate::mcnc_benchmark;
 
 fn main() {
@@ -13,6 +16,13 @@ fn main() {
     let name = &b.name;
     bench_case(&format!("ig_match/{name}"), 10, || {
         ig_match(hg, &IgMatchOptions::default()).unwrap()
+    });
+    // the same algorithm through the stage engine — measures the
+    // Stage/RunContext dispatch overhead (should be noise)
+    bench_case(&format!("ig_match_stage/{name}"), 10, || {
+        IgMatchStage::new(IgMatchOptions::default())
+            .run(hg, None, &RunContext::unlimited())
+            .unwrap()
     });
     bench_case(&format!("ig_vote/{name}"), 10, || {
         ig_vote(hg, &IgVoteOptions::default()).unwrap()

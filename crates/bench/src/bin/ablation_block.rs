@@ -24,7 +24,11 @@ fn main() {
         let (single, t1) = timed(|| fiedler(&q, &LanczosOptions::default()));
         let single = single.unwrap_or_else(|e| panic!("single failed on {}: {e}", b.name));
         let (block2, t2) = timed(|| {
-            smallest_deflated_block(&q, std::slice::from_ref(&ones), &BlockLanczosOptions::default())
+            smallest_deflated_block(
+                &q,
+                std::slice::from_ref(&ones),
+                &BlockLanczosOptions::default(),
+            )
         });
         let block2 = block2.unwrap_or_else(|e| panic!("block2 failed on {}: {e}", b.name));
         let (block4, t4) = timed(|| {

@@ -36,5 +36,7 @@ fn main() {
             bound.gap(achieved)
         );
     }
-    println!("\n(gap = achieved/bound; the bound certifies how far any heuristic can possibly improve)");
+    println!(
+        "\n(gap = achieved/bound; the bound certifies how far any heuristic can possibly improve)"
+    );
 }

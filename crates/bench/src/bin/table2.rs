@@ -18,11 +18,7 @@ fn main() {
         let igm = igm.unwrap_or_else(|e| panic!("IG-Match failed on {}: {e}", b.name));
         eprintln!(
             "{:<8} rcut(10 runs) {:>8.2?}  ig-match {:>8.2?}  (mm bound {} >= cut {})",
-            b.name,
-            t_rcut,
-            t_igm,
-            igm.matching_size,
-            igm.result.stats.cut_nets
+            b.name, t_rcut, t_igm, igm.matching_size, igm.result.stats.cut_nets
         );
         rows.push(ComparisonRow {
             name: b.name.clone(),

@@ -97,9 +97,7 @@ pub fn print_comparison(
         sum += r.improvement_percent();
     }
     let avg = sum / rows.len().max(1) as f64;
-    println!(
-        "average ratio-cut improvement of {contender_name} over {baseline_name}: {avg:.1}%"
-    );
+    println!("average ratio-cut improvement of {contender_name} over {baseline_name}: {avg:.1}%");
     avg
 }
 

@@ -206,7 +206,10 @@ mod tests {
 
     #[test]
     fn coarsen_halves_a_chain() {
-        let hg = hypergraph_from_nets(6, &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]]);
+        let hg = hypergraph_from_nets(
+            6,
+            &[vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![4, 5]],
+        );
         let c = coarsen(&hg);
         assert_eq!(c.condensed.num_modules(), 3);
         // every module mapped

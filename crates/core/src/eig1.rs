@@ -8,7 +8,8 @@
 //! `CutTracker`-based incremental sweep costs
 //! `O(pins)` on top of the eigensolve.
 
-use crate::ordering::{spectral_module_ordering, spectral_module_ordering_metered};
+use crate::engine::RunContext;
+use crate::ordering::{spectral_module_ordering, spectral_module_ordering_ctx};
 use crate::{PartitionError, PartitionResult};
 use np_eigen::LanczosOptions;
 use np_netlist::partition::CutTracker;
@@ -45,25 +46,40 @@ pub struct Eig1Options {
 /// # Ok::<(), np_core::PartitionError>(())
 /// ```
 pub fn eig1(hg: &Hypergraph, opts: &Eig1Options) -> Result<PartitionResult, PartitionError> {
-    let order = spectral_module_ordering(hg, &opts.lanczos)?;
-    Ok(sweep_module_ordering(hg, &order, "EIG1"))
+    eig1_ctx(hg, opts, &RunContext::unlimited())
 }
 
-/// [`eig1`] with cooperative budget enforcement: the eigensolve charges
-/// one matvec-equivalent per operator application and the prefix sweep
-/// checks the wall clock at every rank.
+/// [`eig1`] with cooperative budget enforcement.
 ///
 /// # Errors
 ///
 /// The [`eig1`] errors plus [`PartitionError::Budget`] when `meter`
 /// reports a limit hit.
+#[deprecated(since = "0.2.0", note = "use `eig1_ctx`")]
 pub fn eig1_metered(
     hg: &Hypergraph,
     opts: &Eig1Options,
     meter: &BudgetMeter,
 ) -> Result<PartitionResult, PartitionError> {
-    let order = spectral_module_ordering_metered(hg, &opts.lanczos, meter)?;
-    sweep_module_ordering_metered(hg, &order, "EIG1", meter)
+    eig1_ctx(hg, opts, &RunContext::with_meter(meter))
+}
+
+/// [`eig1`] against an execution context — the single implementation
+/// behind every entry point. The eigensolve charges one
+/// matvec-equivalent per operator application against the context's meter
+/// and the prefix sweep checks the wall clock at every rank.
+///
+/// # Errors
+///
+/// The [`eig1`] errors plus [`PartitionError::Budget`] when the
+/// context's meter reports a limit hit.
+pub fn eig1_ctx(
+    hg: &Hypergraph,
+    opts: &Eig1Options,
+    ctx: &RunContext<'_>,
+) -> Result<PartitionResult, PartitionError> {
+    let order = spectral_module_ordering_ctx(hg, &opts.lanczos, ctx)?;
+    sweep_module_ordering_ctx(hg, &order, "EIG1", ctx)
 }
 
 /// Evaluates every prefix split of a module ordering and returns the best
@@ -79,12 +95,11 @@ pub fn sweep_module_ordering(
     order: &[ModuleId],
     algorithm: &'static str,
 ) -> PartitionResult {
-    sweep_module_ordering_metered(hg, order, algorithm, &BudgetMeter::unlimited())
+    sweep_module_ordering_ctx(hg, order, algorithm, &RunContext::unlimited())
         .expect("unlimited meter never trips")
 }
 
-/// [`sweep_module_ordering`] with cooperative budget enforcement: the
-/// meter's wall clock is checked once per splitting rank.
+/// [`sweep_module_ordering`] with cooperative budget enforcement.
 ///
 /// # Errors
 ///
@@ -94,14 +109,38 @@ pub fn sweep_module_ordering(
 ///
 /// Panics if `order` is not a permutation of the modules of `hg` or has
 /// fewer than 2 entries.
+#[deprecated(since = "0.2.0", note = "use `sweep_module_ordering_ctx`")]
 pub fn sweep_module_ordering_metered(
     hg: &Hypergraph,
     order: &[ModuleId],
     algorithm: &'static str,
     meter: &BudgetMeter,
 ) -> Result<PartitionResult, PartitionError> {
+    sweep_module_ordering_ctx(hg, order, algorithm, &RunContext::with_meter(meter))
+}
+
+/// [`sweep_module_ordering`] against an execution context — the single
+/// implementation behind every entry point. The context meter's wall
+/// clock is checked once per splitting rank.
+///
+/// # Errors
+///
+/// [`PartitionError::Budget`] when the context's meter reports a limit
+/// hit.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the modules of `hg` or has
+/// fewer than 2 entries.
+pub fn sweep_module_ordering_ctx(
+    hg: &Hypergraph,
+    order: &[ModuleId],
+    algorithm: &'static str,
+    ctx: &RunContext<'_>,
+) -> Result<PartitionResult, PartitionError> {
     assert_eq!(order.len(), hg.num_modules(), "ordering length mismatch");
     assert!(order.len() >= 2, "cannot sweep fewer than 2 modules");
+    let meter = ctx.meter();
     let mut tracker = CutTracker::all_on(hg, Side::Right);
     let mut best_rank = 0usize;
     let mut best_ratio = f64::INFINITY;
@@ -249,18 +288,23 @@ mod tests {
     }
 
     #[test]
-    fn metered_matches_unmetered_and_trips_on_zero_clock() {
+    fn ctx_matches_plain_and_trips_on_zero_clock() {
         use np_sparse::Budget;
         use std::time::Duration;
         let hg = two_triangles();
         let plain = eig1(&hg, &Eig1Options::default()).unwrap();
         let meter = BudgetMeter::unlimited();
-        let metered = eig1_metered(&hg, &Eig1Options::default(), &meter).unwrap();
-        assert_eq!(plain.partition, metered.partition);
+        let via_ctx = eig1_ctx(
+            &hg,
+            &Eig1Options::default(),
+            &RunContext::with_meter(&meter),
+        )
+        .unwrap();
+        assert_eq!(plain.partition, via_ctx.partition);
         assert!(meter.matvecs_used() > 0);
-        let tight = BudgetMeter::new(&Budget::default().with_wall_clock(Duration::ZERO));
+        let tight = RunContext::with_budget(&Budget::default().with_wall_clock(Duration::ZERO));
         assert!(matches!(
-            eig1_metered(&hg, &Eig1Options::default(), &tight),
+            eig1_ctx(&hg, &Eig1Options::default(), &tight),
             Err(PartitionError::Budget(_))
         ));
     }
@@ -303,7 +347,11 @@ mod tests {
         nets.push(vec![1, 2]);
         let hg = hypergraph_from_nets(8, &nets);
         let bal = spectral_bisect(&hg, 0.0, &Eig1Options::default()).unwrap();
-        assert!(bal.stats.left.abs_diff(bal.stats.right) <= 2, "{:?}", bal.stats);
+        assert!(
+            bal.stats.left.abs_diff(bal.stats.right) <= 2,
+            "{:?}",
+            bal.stats
+        );
         let ratio = eig1(&hg, &Eig1Options::default()).unwrap();
         assert_eq!(ratio.stats.areas(), "2:6");
     }

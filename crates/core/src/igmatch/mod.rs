@@ -30,8 +30,9 @@ mod refine;
 
 pub use bipartite::{SplitClassification, SplitMatcher};
 
+use crate::engine::RunContext;
 use crate::models::{intersection_neighbors, IgWeighting};
-use crate::ordering::spectral_net_ordering_metered;
+use crate::ordering::spectral_net_ordering_ctx;
 use crate::{PartitionError, PartitionResult};
 use np_eigen::LanczosOptions;
 use np_netlist::{Bipartition, CutStats, Hypergraph, NetId, Side};
@@ -90,22 +91,38 @@ pub struct IgMatchOutcome {
 /// # Ok::<(), np_core::PartitionError>(())
 /// ```
 pub fn ig_match(hg: &Hypergraph, opts: &IgMatchOptions) -> Result<IgMatchOutcome, PartitionError> {
-    ig_match_metered(hg, opts, &BudgetMeter::unlimited())
+    ig_match_ctx(hg, opts, &RunContext::unlimited())
 }
 
-/// [`ig_match`] with cooperative budget enforcement: the eigensolve
-/// charges one matvec-equivalent per operator application and the
-/// completion sweep checks the wall clock at every split, so a tripped
-/// meter surfaces within one iteration's work.
+/// [`ig_match`] with cooperative budget enforcement.
 ///
 /// # Errors
 ///
 /// The [`ig_match`] errors plus [`PartitionError::Budget`] when `meter`
 /// reports a limit hit.
+#[deprecated(since = "0.2.0", note = "use `ig_match_ctx`")]
 pub fn ig_match_metered(
     hg: &Hypergraph,
     opts: &IgMatchOptions,
     meter: &BudgetMeter,
+) -> Result<IgMatchOutcome, PartitionError> {
+    ig_match_ctx(hg, opts, &RunContext::with_meter(meter))
+}
+
+/// [`ig_match`] against an execution context — the single implementation
+/// behind every entry point. The eigensolve charges one
+/// matvec-equivalent per operator application against the context's meter
+/// and the completion sweep checks the wall clock at every split, so a
+/// tripped meter surfaces within one iteration's work.
+///
+/// # Errors
+///
+/// The [`ig_match`] errors plus [`PartitionError::Budget`] when the
+/// context's meter reports a limit hit.
+pub fn ig_match_ctx(
+    hg: &Hypergraph,
+    opts: &IgMatchOptions,
+    ctx: &RunContext<'_>,
 ) -> Result<IgMatchOutcome, PartitionError> {
     if hg.num_modules() < 2 {
         return Err(PartitionError::TooSmall {
@@ -113,8 +130,8 @@ pub fn ig_match_metered(
             nets: hg.num_nets(),
         });
     }
-    let order = spectral_net_ordering_metered(hg, opts.weighting, &opts.lanczos, meter)?;
-    ig_match_with_ordering_metered(hg, &order, opts.refine_free_modules, meter)
+    let order = spectral_net_ordering_ctx(hg, opts.weighting, &opts.lanczos, ctx)?;
+    ig_match_with_ordering_ctx(hg, &order, opts.refine_free_modules, ctx)
 }
 
 /// Runs the IG-Match completion over every split of an explicit net
@@ -132,22 +149,45 @@ pub fn ig_match_with_ordering(
     order: &[NetId],
     refine_free_modules: bool,
 ) -> Result<IgMatchOutcome, PartitionError> {
-    ig_match_with_ordering_metered(hg, order, refine_free_modules, &BudgetMeter::unlimited())
+    ig_match_with_ordering_ctx(hg, order, refine_free_modules, &RunContext::unlimited())
 }
 
-/// [`ig_match_with_ordering`] with cooperative budget enforcement: the
-/// meter's wall clock is checked once per split of the sweep.
+/// [`ig_match_with_ordering`] with cooperative budget enforcement.
 ///
 /// # Errors
 ///
 /// The [`ig_match_with_ordering`] errors plus [`PartitionError::Budget`]
 /// when `meter` reports a limit hit.
+#[deprecated(since = "0.2.0", note = "use `ig_match_with_ordering_ctx`")]
 pub fn ig_match_with_ordering_metered(
     hg: &Hypergraph,
     order: &[NetId],
     refine_free_modules: bool,
     meter: &BudgetMeter,
 ) -> Result<IgMatchOutcome, PartitionError> {
+    ig_match_with_ordering_ctx(
+        hg,
+        order,
+        refine_free_modules,
+        &RunContext::with_meter(meter),
+    )
+}
+
+/// [`ig_match_with_ordering`] against an execution context — the single
+/// implementation behind every entry point. The context meter's wall
+/// clock is checked once per split of the sweep.
+///
+/// # Errors
+///
+/// The [`ig_match_with_ordering`] errors plus [`PartitionError::Budget`]
+/// when the context's meter reports a limit hit.
+pub fn ig_match_with_ordering_ctx(
+    hg: &Hypergraph,
+    order: &[NetId],
+    refine_free_modules: bool,
+    ctx: &RunContext<'_>,
+) -> Result<IgMatchOutcome, PartitionError> {
+    let meter = ctx.meter();
     validate_net_ordering(hg, order)?;
     let m = hg.num_nets();
     if m < 2 {
@@ -491,7 +531,10 @@ mod tests {
             Err(PartitionError::InvalidInput { .. })
         ));
         // out-of-range net id
-        let oob: Vec<NetId> = [0u32, 1, 2, 3, 4, 5, 99].iter().map(|&i| NetId(i)).collect();
+        let oob: Vec<NetId> = [0u32, 1, 2, 3, 4, 5, 99]
+            .iter()
+            .map(|&i| NetId(i))
+            .collect();
         assert!(matches!(
             ig_match_with_ordering(&hg, &oob, false),
             Err(PartitionError::InvalidInput { .. })
@@ -504,20 +547,25 @@ mod tests {
         use std::time::Duration;
         let hg = two_triangles();
         let order: Vec<NetId> = (0..7u32).map(NetId).collect();
-        let meter = BudgetMeter::new(&Budget::default().with_wall_clock(Duration::ZERO));
+        let ctx = RunContext::with_budget(&Budget::default().with_wall_clock(Duration::ZERO));
         assert!(matches!(
-            ig_match_with_ordering_metered(&hg, &order, false, &meter),
+            ig_match_with_ordering_ctx(&hg, &order, false, &ctx),
             Err(PartitionError::Budget(_))
         ));
     }
 
     #[test]
-    fn metered_matches_unmetered() {
+    fn ctx_matches_plain() {
         let hg = two_triangles();
         let plain = ig_match(&hg, &IgMatchOptions::default()).unwrap();
         let meter = BudgetMeter::unlimited();
-        let metered = ig_match_metered(&hg, &IgMatchOptions::default(), &meter).unwrap();
-        assert_eq!(plain.result.partition, metered.result.partition);
+        let via_ctx = ig_match_ctx(
+            &hg,
+            &IgMatchOptions::default(),
+            &RunContext::with_meter(&meter),
+        )
+        .unwrap();
+        assert_eq!(plain.result.partition, via_ctx.result.partition);
         assert!(meter.matvecs_used() > 0);
     }
 

@@ -28,7 +28,11 @@ const MAX_PASSES: usize = 8;
 /// `partition.len() != hg.num_modules()`.
 pub fn refine_free_components(hg: &Hypergraph, partition: &mut Bipartition, free_mask: &[bool]) {
     assert_eq!(free_mask.len(), hg.num_modules(), "mask length mismatch");
-    assert_eq!(partition.len(), hg.num_modules(), "partition length mismatch");
+    assert_eq!(
+        partition.len(),
+        hg.num_modules(),
+        "partition length mismatch"
+    );
 
     let components = free_components(hg, free_mask);
     if components.is_empty() {
@@ -121,10 +125,8 @@ mod tests {
                 vec![4, 5],
             ],
         );
-        let mut p = Bipartition::from_left_set(
-            6,
-            [ModuleId(0), ModuleId(1), ModuleId(4), ModuleId(5)],
-        );
+        let mut p =
+            Bipartition::from_left_set(6, [ModuleId(0), ModuleId(1), ModuleId(4), ModuleId(5)]);
         let before = p.ratio_cut(&hg);
         let mut mask = [false; 6];
         mask[4] = true;
@@ -148,7 +150,10 @@ mod tests {
             let before = p.ratio_cut(&hg);
             refine_free_components(&hg, &mut p, &[true; 5]);
             let after = p.ratio_cut(&hg);
-            assert!(after <= before + 1e-12, "bits {left_bits}: {after} > {before}");
+            assert!(
+                after <= before + 1e-12,
+                "bits {left_bits}: {after} > {before}"
+            );
         }
     }
 
@@ -167,10 +172,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let hg = hypergraph_from_nets(
-            6,
-            &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]],
-        );
+        let hg = hypergraph_from_nets(6, &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5], vec![0, 5]]);
         let run = || {
             let mut p = Bipartition::from_left_set(6, [ModuleId(0), ModuleId(1), ModuleId(2)]);
             refine_free_components(&hg, &mut p, &[true; 6]);

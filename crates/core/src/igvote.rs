@@ -9,12 +9,14 @@
 //! every net move, a second symmetric pass runs from the other end of the
 //! ordering, and the best of the up-to-`2(m−1)` candidate partitions wins.
 
+use crate::engine::RunContext;
 use crate::models::IgWeighting;
-use crate::ordering::spectral_net_ordering;
+use crate::ordering::spectral_net_ordering_ctx;
 use crate::{PartitionError, PartitionResult};
 use np_eigen::LanczosOptions;
 use np_netlist::partition::CutTracker;
 use np_netlist::{Hypergraph, NetId, Side};
+use np_sparse::BudgetMeter;
 
 /// Options for [`ig_vote`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -62,6 +64,46 @@ impl Default for IgVoteOptions {
 /// # Ok::<(), np_core::PartitionError>(())
 /// ```
 pub fn ig_vote(hg: &Hypergraph, opts: &IgVoteOptions) -> Result<PartitionResult, PartitionError> {
+    ig_vote_ctx(hg, opts, &RunContext::unlimited())
+}
+
+/// [`ig_vote`] with cooperative budget enforcement.
+///
+/// # Errors
+///
+/// The [`ig_vote`] errors plus [`PartitionError::Budget`] when `meter`
+/// reports a limit hit.
+///
+/// # Panics
+///
+/// Panics if `opts.threshold` is outside `(0, 1]`.
+#[deprecated(since = "0.2.0", note = "use `ig_vote_ctx`")]
+pub fn ig_vote_metered(
+    hg: &Hypergraph,
+    opts: &IgVoteOptions,
+    meter: &BudgetMeter,
+) -> Result<PartitionResult, PartitionError> {
+    ig_vote_ctx(hg, opts, &RunContext::with_meter(meter))
+}
+
+/// [`ig_vote`] against an execution context — the single implementation
+/// behind every entry point. The eigensolve charges the context's meter
+/// per matvec and the voting passes check its wall clock at every net
+/// step.
+///
+/// # Errors
+///
+/// The [`ig_vote`] errors plus [`PartitionError::Budget`] when the
+/// context's meter reports a limit hit.
+///
+/// # Panics
+///
+/// Panics if `opts.threshold` is outside `(0, 1]`.
+pub fn ig_vote_ctx(
+    hg: &Hypergraph,
+    opts: &IgVoteOptions,
+    ctx: &RunContext<'_>,
+) -> Result<PartitionResult, PartitionError> {
     if hg.num_modules() < 2 {
         return Err(PartitionError::TooSmall {
             modules: hg.num_modules(),
@@ -72,8 +114,8 @@ pub fn ig_vote(hg: &Hypergraph, opts: &IgVoteOptions) -> Result<PartitionResult,
         opts.threshold > 0.0 && opts.threshold <= 1.0,
         "voting threshold must be in (0, 1]"
     );
-    let order = spectral_net_ordering(hg, opts.weighting, &opts.lanczos)?;
-    vote_with_ordering_threshold(hg, &order, opts.threshold)
+    let order = spectral_net_ordering_ctx(hg, opts.weighting, &opts.lanczos, ctx)?;
+    vote_with_ordering_threshold_ctx(hg, &order, opts.threshold, ctx)
 }
 
 /// Runs the IG-Vote module-assignment given an explicit net ordering.
@@ -110,7 +152,30 @@ pub fn vote_with_ordering_threshold(
     order: &[NetId],
     threshold: f64,
 ) -> Result<PartitionResult, PartitionError> {
+    vote_with_ordering_threshold_ctx(hg, order, threshold, &RunContext::unlimited())
+}
+
+/// [`vote_with_ordering_threshold`] against an execution context — the
+/// single implementation behind every entry point. The voting passes
+/// check the context meter's wall clock at every net step.
+///
+/// # Errors
+///
+/// The [`vote_with_ordering_threshold`] errors plus
+/// [`PartitionError::Budget`] when the context's meter reports a limit
+/// hit.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the nets of `hg`.
+pub fn vote_with_ordering_threshold_ctx(
+    hg: &Hypergraph,
+    order: &[NetId],
+    threshold: f64,
+    ctx: &RunContext<'_>,
+) -> Result<PartitionResult, PartitionError> {
     assert_eq!(order.len(), hg.num_nets(), "net ordering length mismatch");
+    let meter = ctx.meter();
 
     // total incident net weight per module: w_i = Σ_{nets j ∋ i} 1/|s_j|
     let mut total_weight = vec![0.0f64; hg.num_modules()];
@@ -123,8 +188,8 @@ pub fn vote_with_ordering_threshold(
 
     // each pass returns (best ratio, best step index); the partition is
     // rebuilt afterwards by replaying the winning pass
-    let forward = vote_pass(hg, order, &total_weight, threshold, false);
-    let backward = vote_pass(hg, order, &total_weight, threshold, true);
+    let forward = vote_pass(hg, order, &total_weight, threshold, false, meter)?;
+    let backward = vote_pass(hg, order, &total_weight, threshold, true, meter)?;
 
     let (reverse, step) = match (forward, backward) {
         (Some((fr, fs)), Some((br, bs))) => {
@@ -149,20 +214,23 @@ pub fn vote_with_ordering_threshold(
 
 /// One voting pass. Returns the best `(ratio, step)` over all net moves,
 /// or `None` if every candidate had an empty side. `reverse = true` runs
-/// from the other end of the ordering (all modules start in `W`).
+/// from the other end of the ordering (all modules start in `W`). The
+/// meter's wall clock is checked at every net step.
 fn vote_pass(
     hg: &Hypergraph,
     order: &[NetId],
     total_weight: &[f64],
     threshold: f64,
     reverse: bool,
-) -> Option<(f64, usize)> {
+    meter: &BudgetMeter,
+) -> Result<Option<(f64, usize)>, PartitionError> {
     let start = if reverse { Side::Right } else { Side::Left };
     let dest = start.flip();
     let mut tracker = CutTracker::all_on(hg, start);
     let mut moved_weight = vec![0.0f64; hg.num_modules()];
     let mut best: Option<(f64, usize)> = None;
     for (step, &net) in iter_order(order, reverse).enumerate() {
+        meter.check()?;
         let w = 1.0 / hg.net_size(net) as f64;
         for &m in hg.pins(net) {
             moved_weight[m.index()] += w;
@@ -177,11 +245,12 @@ fn vote_pass(
             best = Some((ratio, step));
         }
     }
-    best
+    Ok(best)
 }
 
 /// Re-runs a voting pass up to and including `stop_step` and returns the
-/// resulting partition.
+/// resulting partition. Replays only what a (metered) [`vote_pass`]
+/// already completed, so it needs no meter of its own.
 fn replay_vote(
     hg: &Hypergraph,
     order: &[NetId],
@@ -319,6 +388,22 @@ mod tests {
                 ..Default::default()
             },
         );
+    }
+
+    #[test]
+    fn ctx_matches_plain_and_trips_on_zero_clock() {
+        use np_sparse::Budget;
+        use std::time::Duration;
+        let hg = two_triangles();
+        let plain = ig_vote(&hg, &IgVoteOptions::default()).unwrap();
+        let via_ctx =
+            ig_vote_ctx(&hg, &IgVoteOptions::default(), &RunContext::unlimited()).unwrap();
+        assert_eq!(plain.partition, via_ctx.partition);
+        let tight = RunContext::with_budget(&Budget::default().with_wall_clock(Duration::ZERO));
+        assert!(matches!(
+            ig_vote_ctx(&hg, &IgVoteOptions::default(), &tight),
+            Err(PartitionError::Budget(_))
+        ));
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   maximum-independent-set computation completes the net partition into a
 //!   module partition cutting at most `|maximum matching|` nets
 //!   (Theorems 2–5), in `O(|V|·(|V|+|E|))` total for all splits
-//!   (Theorem 6).
+//!   (Theorem 6);
+//! * [`engine`] — the composable stage layer: every algorithm above (plus
+//!   the baselines) as a uniform [`Stage`], glued together by
+//!   [`Pipeline`]s and [`FallbackChain`]s, sharing one [`RunContext`]
+//!   (budget meter, seed, instrumentation).
 //!
 //! # Quickstart
 //!
@@ -49,6 +53,7 @@ mod result;
 pub mod bounds;
 pub mod cluster;
 pub mod eig1;
+pub mod engine;
 pub mod igmatch;
 pub mod igvote;
 pub mod models;
@@ -57,12 +62,18 @@ pub mod ordering;
 pub mod placement;
 pub mod robust;
 
-pub use eig1::{eig1, eig1_metered, Eig1Options};
+#[allow(deprecated)]
+pub use eig1::eig1_metered;
+pub use eig1::{eig1, eig1_ctx, Eig1Options};
+pub use engine::{EventSink, FallbackChain, Partitioner, Pipeline, RunContext, Stage, StageEvent};
 pub use error::PartitionError;
-pub use igmatch::{ig_match, ig_match_metered, IgMatchOptions, IgMatchOutcome};
-pub use igvote::{ig_vote, IgVoteOptions};
+#[allow(deprecated)]
+pub use igmatch::ig_match_metered;
+pub use igmatch::{ig_match, ig_match_ctx, IgMatchOptions, IgMatchOutcome};
+pub use igvote::{ig_vote, ig_vote_ctx, IgVoteOptions};
 pub use models::IgWeighting;
 pub use result::PartitionResult;
 pub use robust::{
-    robust_partition, Diagnostics, FallbackStage, RobustFailure, RobustOptions, RobustOutcome,
+    robust_partition, robust_partition_ctx, Diagnostics, FallbackStage, RobustFailure,
+    RobustOptions, RobustOutcome,
 };

@@ -236,7 +236,9 @@ mod tests {
             .iter()
             .map(|&w| {
                 let a = intersection_adjacency(&hg, w);
-                (0..hg.num_nets()).flat_map(|r| a.row(r).0.to_vec()).collect()
+                (0..hg.num_nets())
+                    .flat_map(|r| a.row(r).0.to_vec())
+                    .collect()
             })
             .collect();
         for p in &pattern[1..] {

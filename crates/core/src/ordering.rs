@@ -6,6 +6,7 @@
 //! EIG1 the vertices are *modules* (clique model); for IG-Vote and
 //! IG-Match they are *nets* (intersection graph).
 
+use crate::engine::RunContext;
 use crate::models::{clique_laplacian, intersection_laplacian, IgWeighting};
 use crate::PartitionError;
 use np_eigen::{fiedler_metered, LanczosOptions};
@@ -40,20 +41,36 @@ pub fn spectral_module_ordering(
     hg: &Hypergraph,
     opts: &LanczosOptions,
 ) -> Result<Vec<ModuleId>, PartitionError> {
-    spectral_module_ordering_metered(hg, opts, &BudgetMeter::unlimited())
+    spectral_module_ordering_ctx(hg, opts, &RunContext::unlimited())
 }
 
-/// [`spectral_module_ordering`] with cooperative budget enforcement:
-/// every matvec of the eigensolve charges `meter`.
+/// [`spectral_module_ordering`] with cooperative budget enforcement.
 ///
 /// # Errors
 ///
 /// The [`spectral_module_ordering`] errors plus
 /// [`PartitionError::Budget`] when the meter trips.
+#[deprecated(since = "0.2.0", note = "use `spectral_module_ordering_ctx`")]
 pub fn spectral_module_ordering_metered(
     hg: &Hypergraph,
     opts: &LanczosOptions,
     meter: &BudgetMeter,
+) -> Result<Vec<ModuleId>, PartitionError> {
+    spectral_module_ordering_ctx(hg, opts, &RunContext::with_meter(meter))
+}
+
+/// [`spectral_module_ordering`] against an execution context — the single
+/// implementation behind every entry point. Every matvec of the
+/// eigensolve charges the context's meter.
+///
+/// # Errors
+///
+/// The [`spectral_module_ordering`] errors plus
+/// [`PartitionError::Budget`] when the meter trips.
+pub fn spectral_module_ordering_ctx(
+    hg: &Hypergraph,
+    opts: &LanczosOptions,
+    ctx: &RunContext<'_>,
 ) -> Result<Vec<ModuleId>, PartitionError> {
     if hg.num_modules() < 2 {
         return Err(PartitionError::TooSmall {
@@ -62,7 +79,7 @@ pub fn spectral_module_ordering_metered(
         });
     }
     let q = clique_laplacian(hg);
-    let pair = fiedler_metered(&q, opts, meter)?;
+    let pair = fiedler_metered(&q, opts, ctx.meter())?;
     Ok(order_by_component(&pair.vector)
         .into_iter()
         .map(ModuleId)
@@ -81,21 +98,38 @@ pub fn spectral_net_ordering(
     weighting: IgWeighting,
     opts: &LanczosOptions,
 ) -> Result<Vec<NetId>, PartitionError> {
-    spectral_net_ordering_metered(hg, weighting, opts, &BudgetMeter::unlimited())
+    spectral_net_ordering_ctx(hg, weighting, opts, &RunContext::unlimited())
 }
 
-/// [`spectral_net_ordering`] with cooperative budget enforcement: every
-/// matvec of the eigensolve charges `meter`.
+/// [`spectral_net_ordering`] with cooperative budget enforcement.
 ///
 /// # Errors
 ///
 /// The [`spectral_net_ordering`] errors plus [`PartitionError::Budget`]
 /// when the meter trips.
+#[deprecated(since = "0.2.0", note = "use `spectral_net_ordering_ctx`")]
 pub fn spectral_net_ordering_metered(
     hg: &Hypergraph,
     weighting: IgWeighting,
     opts: &LanczosOptions,
     meter: &BudgetMeter,
+) -> Result<Vec<NetId>, PartitionError> {
+    spectral_net_ordering_ctx(hg, weighting, opts, &RunContext::with_meter(meter))
+}
+
+/// [`spectral_net_ordering`] against an execution context — the single
+/// implementation behind every entry point. Every matvec of the
+/// eigensolve charges the context's meter.
+///
+/// # Errors
+///
+/// The [`spectral_net_ordering`] errors plus [`PartitionError::Budget`]
+/// when the meter trips.
+pub fn spectral_net_ordering_ctx(
+    hg: &Hypergraph,
+    weighting: IgWeighting,
+    opts: &LanczosOptions,
+    ctx: &RunContext<'_>,
 ) -> Result<Vec<NetId>, PartitionError> {
     if hg.num_nets() < 2 {
         return Err(PartitionError::TooSmall {
@@ -104,7 +138,7 @@ pub fn spectral_net_ordering_metered(
         });
     }
     let q = intersection_laplacian(hg, weighting);
-    let pair = fiedler_metered(&q, opts, meter)?;
+    let pair = fiedler_metered(&q, opts, ctx.meter())?;
     Ok(order_by_component(&pair.vector)
         .into_iter()
         .map(NetId)
@@ -188,14 +222,14 @@ mod tests {
     }
 
     #[test]
-    fn metered_ordering_matches_unmetered() {
+    fn ctx_ordering_matches_plain() {
         let hg = dumbbell();
         let plain = spectral_net_ordering(&hg, IgWeighting::Paper, &Default::default()).unwrap();
         let meter = np_sparse::BudgetMeter::unlimited();
-        let metered =
-            spectral_net_ordering_metered(&hg, IgWeighting::Paper, &Default::default(), &meter)
-                .unwrap();
-        assert_eq!(plain, metered);
+        let ctx = RunContext::with_meter(&meter);
+        let via_ctx =
+            spectral_net_ordering_ctx(&hg, IgWeighting::Paper, &Default::default(), &ctx).unwrap();
+        assert_eq!(plain, via_ctx);
         assert!(meter.matvecs_used() > 0);
     }
 

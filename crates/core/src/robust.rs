@@ -19,6 +19,11 @@
 //! 5. **FM baseline** — purely combinatorial Fiduccia–Mattheyses from a
 //!    deterministic seed partition, requiring no eigensolve at all.
 //!
+//! Since 0.2.0 the chain is *declarative*: an internal builder assembles
+//! a [`FallbackChain`] of engine stages (one link per strategy above) and
+//! [`robust_partition_ctx`] runs it against a shared
+//! [`RunContext`] — the escalation policy is data, not control flow.
+//!
 //! Every attempt is recorded in [`Diagnostics`], so callers can see which
 //! stage produced the answer and why earlier stages failed. Budget
 //! exhaustion ([`PartitionError::Budget`]) and structurally hopeless
@@ -29,17 +34,18 @@
 //! With the `fault-inject` feature, a [`FaultPlan`] deterministically
 //! forces failures at chosen stages so every fallback link can be tested.
 
-use crate::eig1::sweep_module_ordering_metered;
-use crate::igmatch::ig_match_with_ordering_metered;
+use crate::eig1::sweep_module_ordering_ctx;
+use crate::engine::stages::FmStage;
+use crate::engine::{ChainAttempt, FallbackChain, Partitioner, RunContext};
+use crate::igmatch::ig_match_with_ordering_ctx;
 use crate::models::{clique_laplacian, intersection_laplacian};
 use crate::ordering::order_by_component;
 use crate::{IgMatchOptions, PartitionError, PartitionResult};
-use np_baselines::{fm_bisect_metered, FmOptions};
+use np_baselines::FmOptions;
 use np_eigen::{smallest_deflated_metered, EigenError, EigenPair, LanczosOptions};
-use np_netlist::{Bipartition, Hypergraph, ModuleId, NetId};
-use np_sparse::{
-    Budget, BudgetExceeded, BudgetMeter, BudgetResource, Laplacian, LinearOperator,
-};
+use np_netlist::rng::derive_seed;
+use np_netlist::{Hypergraph, ModuleId, NetId};
+use np_sparse::{Budget, BudgetExceeded, BudgetMeter, BudgetResource, Laplacian, LinearOperator};
 use std::fmt;
 use std::time::Duration;
 
@@ -185,9 +191,17 @@ impl fmt::Display for Diagnostics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.winning_stage {
             Some(s) => write!(f, "solved by {s} after {} attempt(s)", self.attempts.len())?,
-            None => write!(f, "no stage succeeded in {} attempt(s)", self.attempts.len())?,
+            None => write!(
+                f,
+                "no stage succeeded in {} attempt(s)",
+                self.attempts.len()
+            )?,
         }
-        write!(f, ", {} matvecs, {:.1?} elapsed", self.matvecs, self.elapsed)
+        write!(
+            f,
+            ", {} matvecs, {:.1?} elapsed",
+            self.matvecs, self.elapsed
+        )
     }
 }
 
@@ -212,7 +226,11 @@ pub struct RobustFailure {
 
 impl fmt::Display for RobustFailure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "partitioning failed: {} ({})", self.error, self.diagnostics)
+        write!(
+            f,
+            "partitioning failed: {} ({})",
+            self.error, self.diagnostics
+        )
     }
 }
 
@@ -257,6 +275,44 @@ pub fn robust_partition(
     opts: &RobustOptions,
 ) -> Result<RobustOutcome, RobustFailure> {
     let meter = BudgetMeter::new(&opts.budget);
+    robust_partition_ctx(hg, opts, &RunContext::with_meter(&meter))
+}
+
+/// [`robust_partition`] against an execution context — the single
+/// implementation behind every entry point. The context's meter governs
+/// the whole chain; `opts.budget` is *not* consulted here (the plain
+/// entry point builds its context from it), so a caller-supplied context
+/// can share one allowance across several runs.
+///
+/// An event sink on the context sees every link of the chain as
+/// `Started`/`Finished` stage events.
+///
+/// # Errors
+///
+/// Same as [`robust_partition`].
+pub fn robust_partition_ctx(
+    hg: &Hypergraph,
+    opts: &RobustOptions,
+    ctx: &RunContext<'_>,
+) -> Result<RobustOutcome, RobustFailure> {
+    let chain = build_chain(opts);
+    match chain.run(hg, ctx) {
+        Ok(out) => Ok(RobustOutcome {
+            result: out.result,
+            diagnostics: diagnostics(out.attempts, Some(out.winner), ctx.meter()),
+        }),
+        Err(fail) => Err(RobustFailure {
+            error: fail.error,
+            diagnostics: diagnostics(fail.attempts, None, ctx.meter()),
+        }),
+    }
+}
+
+/// Declares the five-link escalation policy of the module docs as engine
+/// data: one [`FallbackChain`] whose links are fault-aware stages. The
+/// chain's [`default_fatal`](crate::engine::default_fatal) policy
+/// provides the budget-exhaustion / hopeless-input abort behavior.
+fn build_chain(opts: &RobustOptions) -> FallbackChain<FallbackStage> {
     let fault_for = |stage: FallbackStage| -> Option<FaultKind> {
         #[cfg(feature = "fault-inject")]
         {
@@ -272,108 +328,78 @@ pub fn robust_partition(
     let base = opts.ig_match.lanczos;
     let weighting = opts.ig_match.weighting;
     let refine = opts.ig_match.refine_free_modules;
+    let spectral = |stage: FallbackStage, lanczos: LanczosOptions| SpectralIgLink {
+        name: stage.name(),
+        weighting,
+        lanczos,
+        refine,
+        fault: fault_for(stage),
+    };
 
-    // (stage, eigensolver options) for the three spectral IG-Match links
-    let mut spectral: Vec<(FallbackStage, LanczosOptions)> =
-        vec![(FallbackStage::IgMatch, base)];
+    let mut chain = FallbackChain::new().link(
+        FallbackStage::IgMatch,
+        spectral(FallbackStage::IgMatch, base),
+    );
     for attempt in 0..opts.reseed_attempts {
         let mut lanczos = base;
-        lanczos.seed = base
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(attempt as u64 + 1));
-        spectral.push((FallbackStage::ReseededLanczos, lanczos));
+        lanczos.seed = derive_seed(base.seed, attempt as u64 + 1);
+        chain = chain.link(
+            FallbackStage::ReseededLanczos,
+            spectral(FallbackStage::ReseededLanczos, lanczos),
+        );
     }
     let mut dense = base;
     dense.dense_cutoff = usize::MAX;
-    spectral.push((FallbackStage::DenseEigensolve, dense));
-
-    type StageFn<'a> = Box<dyn FnOnce() -> Result<PartitionResult, PartitionError> + 'a>;
-    let mut stages: Vec<(FallbackStage, StageFn<'_>)> = Vec::new();
-    for (stage, lanczos) in spectral {
-        let meter = &meter;
-        stages.push((
-            stage,
-            Box::new(move || {
-                spectral_ig_stage(hg, weighting, &lanczos, refine, meter, fault_for(stage))
-            }),
-        ));
-    }
-    {
-        let meter = &meter;
-        stages.push((
+    chain
+        .link(
+            FallbackStage::DenseEigensolve,
+            spectral(FallbackStage::DenseEigensolve, dense),
+        )
+        .link(
             FallbackStage::CliqueEig1,
-            Box::new(move || {
-                clique_eig1_stage(hg, &base, meter, fault_for(FallbackStage::CliqueEig1))
-            }),
-        ));
-        stages.push((
+            CliqueEig1Link {
+                lanczos: base,
+                fault: fault_for(FallbackStage::CliqueEig1),
+            },
+        )
+        .link(
             FallbackStage::FmBaseline,
-            Box::new(move || {
-                fm_stage(hg, &opts.fm, meter, fault_for(FallbackStage::FmBaseline))
-            }),
-        ));
-    }
-
-    let mut attempts: Vec<StageAttempt> = Vec::new();
-    for (stage, run) in stages {
-        match run() {
-            Ok(result) => {
-                attempts.push(StageAttempt { stage, error: None });
-                return Ok(RobustOutcome {
-                    result,
-                    diagnostics: Diagnostics {
-                        attempts,
-                        winning_stage: Some(stage),
-                        matvecs: meter.matvecs_used(),
-                        elapsed: meter.elapsed(),
-                    },
-                });
-            }
-            Err(error) => {
-                // a spent budget or a structurally hopeless input dooms
-                // every later stage too: abort instead of burning time
-                let fatal = matches!(
-                    error,
-                    PartitionError::Budget(_) | PartitionError::TooSmall { .. }
-                );
-                attempts.push(StageAttempt {
-                    stage,
-                    error: Some(error.clone()),
-                });
-                if fatal {
-                    return Err(failure(error, attempts, &meter));
-                }
-            }
-        }
-    }
-    let error = attempts
-        .last()
-        .and_then(|a| a.error.clone())
-        .unwrap_or(PartitionError::Degenerate);
-    Err(failure(error, attempts, &meter))
+            FmLink {
+                fm: opts.fm,
+                fault: fault_for(FallbackStage::FmBaseline),
+            },
+        )
 }
 
-fn failure(error: PartitionError, attempts: Vec<StageAttempt>, meter: &BudgetMeter) -> RobustFailure {
-    RobustFailure {
-        error,
-        diagnostics: Diagnostics {
-            attempts,
-            winning_stage: None,
-            matvecs: meter.matvecs_used(),
-            elapsed: meter.elapsed(),
-        },
+/// Converts the chain's attempt record into the public [`Diagnostics`].
+fn diagnostics(
+    attempts: Vec<ChainAttempt<FallbackStage>>,
+    winning_stage: Option<FallbackStage>,
+    meter: &BudgetMeter,
+) -> Diagnostics {
+    Diagnostics {
+        attempts: attempts
+            .into_iter()
+            .map(|a| StageAttempt {
+                stage: a.label,
+                error: a.error,
+            })
+            .collect(),
+        winning_stage,
+        matvecs: meter.matvecs_used(),
+        elapsed: meter.elapsed(),
     }
 }
 
 /// Applies the stage-entry faults common to every stage.
 fn short_circuit(fault: Option<FaultKind>, meter: &BudgetMeter) -> Result<(), PartitionError> {
     match fault {
-        Some(FaultKind::ForceNoConvergence) => Err(PartitionError::Eigen(
-            EigenError::NoConvergence {
+        Some(FaultKind::ForceNoConvergence) => {
+            Err(PartitionError::Eigen(EigenError::NoConvergence {
                 iterations: 0,
                 residual: f64::INFINITY,
-            },
-        )),
+            }))
+        }
         Some(FaultKind::ExhaustBudget) => Err(PartitionError::Budget(BudgetExceeded {
             resource: BudgetResource::Matvecs,
             matvecs_used: meter.matvecs_used(),
@@ -420,85 +446,109 @@ fn solve_fiedler(
     Ok(pair)
 }
 
-/// Stages 1–3: spectral net ordering on the intersection graph plus the
-/// IG-Match completion sweep.
-fn spectral_ig_stage(
-    hg: &Hypergraph,
+/// Links 1–3: spectral net ordering on the intersection graph plus the
+/// IG-Match completion sweep, with a link-specific eigensolver
+/// configuration (base seed, reseeded, or dense).
+struct SpectralIgLink {
+    name: &'static str,
     weighting: crate::IgWeighting,
-    lanczos: &LanczosOptions,
+    lanczos: LanczosOptions,
     refine: bool,
-    meter: &BudgetMeter,
     fault: Option<FaultKind>,
-) -> Result<PartitionResult, PartitionError> {
-    short_circuit(fault, meter)?;
-    if hg.num_modules() < 2 || hg.num_nets() < 2 {
-        return Err(PartitionError::TooSmall {
-            modules: hg.num_modules(),
-            nets: hg.num_nets(),
-        });
-    }
-    let q = intersection_laplacian(hg, weighting);
-    let pair = solve_fiedler(&q, lanczos, meter, fault)?;
-    let order: Vec<NetId> = order_by_component(&pair.vector)
-        .into_iter()
-        .map(NetId)
-        .collect();
-    let out = ig_match_with_ordering_metered(hg, &order, refine, meter)?;
-    Ok(out.result)
 }
 
-/// Stage 4: EIG1 on the clique model.
-fn clique_eig1_stage(
-    hg: &Hypergraph,
-    lanczos: &LanczosOptions,
-    meter: &BudgetMeter,
-    fault: Option<FaultKind>,
-) -> Result<PartitionResult, PartitionError> {
-    short_circuit(fault, meter)?;
-    if hg.num_modules() < 2 {
-        return Err(PartitionError::TooSmall {
-            modules: hg.num_modules(),
-            nets: hg.num_nets(),
-        });
+impl Partitioner for SpectralIgLink {
+    fn name(&self) -> &'static str {
+        self.name
     }
-    let q = clique_laplacian(hg);
-    let pair = solve_fiedler(&q, lanczos, meter, fault)?;
-    let order: Vec<ModuleId> = order_by_component(&pair.vector)
-        .into_iter()
-        .map(ModuleId)
-        .collect();
-    sweep_module_ordering_metered(hg, &order, "EIG1", meter)
+
+    fn partition(
+        &self,
+        hg: &Hypergraph,
+        ctx: &RunContext<'_>,
+    ) -> Result<PartitionResult, PartitionError> {
+        let meter = ctx.meter();
+        short_circuit(self.fault, meter)?;
+        if hg.num_modules() < 2 || hg.num_nets() < 2 {
+            return Err(PartitionError::TooSmall {
+                modules: hg.num_modules(),
+                nets: hg.num_nets(),
+            });
+        }
+        let q = intersection_laplacian(hg, self.weighting);
+        let pair = solve_fiedler(&q, &self.lanczos, meter, self.fault)?;
+        let order: Vec<NetId> = order_by_component(&pair.vector)
+            .into_iter()
+            .map(NetId)
+            .collect();
+        let out = ig_match_with_ordering_ctx(hg, &order, self.refine, ctx)?;
+        Ok(out.result)
+    }
 }
 
-/// Stage 5: FM from the deterministic "first half left" seed partition —
-/// no eigensolve, so it survives any numerical failure mode.
-fn fm_stage(
-    hg: &Hypergraph,
-    fm: &FmOptions,
-    meter: &BudgetMeter,
+/// Link 4: EIG1 on the clique model. Distinct from
+/// [`Eig1Stage`](crate::engine::stages::Eig1Stage) only in supporting
+/// fault injection through the poisonable deflated eigensolve.
+struct CliqueEig1Link {
+    lanczos: LanczosOptions,
     fault: Option<FaultKind>,
-) -> Result<PartitionResult, PartitionError> {
-    short_circuit(fault, meter)?;
-    if fault == Some(FaultKind::PoisonOperator) {
-        // FM has no operator to poison; fail the same way detection would
-        return Err(PartitionError::Eigen(EigenError::NonFinite {
-            stage: "fault injection",
-        }));
+}
+
+impl Partitioner for CliqueEig1Link {
+    fn name(&self) -> &'static str {
+        FallbackStage::CliqueEig1.name()
     }
-    let n = hg.num_modules();
-    if n < 2 {
-        return Err(PartitionError::TooSmall {
-            modules: n,
-            nets: hg.num_nets(),
-        });
+
+    fn partition(
+        &self,
+        hg: &Hypergraph,
+        ctx: &RunContext<'_>,
+    ) -> Result<PartitionResult, PartitionError> {
+        let meter = ctx.meter();
+        short_circuit(self.fault, meter)?;
+        if hg.num_modules() < 2 {
+            return Err(PartitionError::TooSmall {
+                modules: hg.num_modules(),
+                nets: hg.num_nets(),
+            });
+        }
+        let q = clique_laplacian(hg);
+        let pair = solve_fiedler(&q, &self.lanczos, meter, self.fault)?;
+        let order: Vec<ModuleId> = order_by_component(&pair.vector)
+            .into_iter()
+            .map(ModuleId)
+            .collect();
+        sweep_module_ordering_ctx(hg, &order, "EIG1", ctx)
     }
-    let start = Bipartition::from_left_set(n, (0..n as u32 / 2).map(ModuleId));
-    let improved = fm_bisect_metered(hg, &start, fm, meter)?;
-    let stats = improved.partition.cut_stats(hg);
-    if stats.left == 0 || stats.right == 0 {
-        return Err(PartitionError::Degenerate);
+}
+
+/// Link 5: FM from the deterministic "first half left" seed partition —
+/// no eigensolve, so it survives any numerical failure mode. Delegates
+/// to the engine's [`FmStage`] after the fault checks.
+struct FmLink {
+    fm: FmOptions,
+    fault: Option<FaultKind>,
+}
+
+impl Partitioner for FmLink {
+    fn name(&self) -> &'static str {
+        FallbackStage::FmBaseline.name()
     }
-    Ok(PartitionResult::evaluate(hg, improved.partition, "FM", None))
+
+    fn partition(
+        &self,
+        hg: &Hypergraph,
+        ctx: &RunContext<'_>,
+    ) -> Result<PartitionResult, PartitionError> {
+        short_circuit(self.fault, ctx.meter())?;
+        if self.fault == Some(FaultKind::PoisonOperator) {
+            // FM has no operator to poison; fail the same way detection would
+            return Err(PartitionError::Eigen(EigenError::NonFinite {
+                stage: "fault injection",
+            }));
+        }
+        FmStage::new(self.fm).partition(hg, ctx)
+    }
 }
 
 #[cfg(test)]
@@ -560,7 +610,10 @@ mod tests {
         // clique-model EIG1 sweep always returns a finite-ratio split
         let hg = hypergraph_from_nets(4, &[vec![0, 1, 2, 3], vec![0, 1, 2, 3]]);
         let out = robust_partition(&hg, &RobustOptions::default()).unwrap();
-        assert_eq!(out.diagnostics.winning_stage, Some(FallbackStage::CliqueEig1));
+        assert_eq!(
+            out.diagnostics.winning_stage,
+            Some(FallbackStage::CliqueEig1)
+        );
         let s = &out.result.stats;
         assert!(s.left > 0 && s.right > 0);
         // 1 IG-Match + reseeds + dense all failed, then clique won

@@ -40,17 +40,7 @@ impl Default for BlockLanczosOptions {
     }
 }
 
-fn splitmix_stream(seed: u64) -> impl FnMut() -> f64 {
-    let mut s = seed;
-    move || {
-        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = s;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        ((z >> 11) as f64) * (1.0 / (1u64 << 53) as f64) - 0.5
-    }
-}
+use crate::lanczos::splitmix_stream;
 
 /// Modified Gram–Schmidt of `v` against `basis` (twice) and `deflate`.
 fn full_orthogonalize(v: &mut [f64], basis: &[Vec<f64>], deflate: &[Vec<f64>]) {
@@ -181,8 +171,7 @@ pub fn smallest_deflated_block(
 
             // solving the projected problem is O(k³); do it only every few
             // block steps, when the basis is saturated, or on stagnation
-            let saturated =
-                new_vectors.is_empty() || basis.len() + new_vectors.len() > max_vectors;
+            let saturated = new_vectors.is_empty() || basis.len() + new_vectors.len() > max_vectors;
             steps += 1;
             if !saturated && !steps.is_multiple_of(4) {
                 basis.extend(new_vectors);

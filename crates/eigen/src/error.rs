@@ -48,7 +48,10 @@ impl fmt::Display for EigenError {
                 "lanczos failed to converge after {iterations} matvecs (residual {residual:.3e})"
             ),
             EigenError::TooSmall { dim } => {
-                write!(f, "operator dimension {dim} is too small for this computation")
+                write!(
+                    f,
+                    "operator dimension {dim} is too small for this computation"
+                )
             }
             EigenError::NonFinite { stage } => {
                 write!(f, "non-finite value encountered in {stage}")

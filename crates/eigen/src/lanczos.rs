@@ -66,8 +66,10 @@ impl Default for LanczosOptions {
     }
 }
 
-/// SplitMix64 — local deterministic stream for start vectors.
-fn splitmix_stream(seed: u64) -> impl FnMut() -> f64 {
+/// SplitMix64 — the crate's single deterministic stream for start
+/// vectors (shared with the block solver so both draw bit-identical
+/// sequences for a given seed).
+pub(crate) fn splitmix_stream(seed: u64) -> impl FnMut() -> f64 {
     let mut s = seed;
     move || {
         s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -315,9 +317,8 @@ fn dense_smallest_deflated(
         let uau: f64 = (0..n).map(|i| u[i] * au[i]).sum();
         for i in 0..n {
             for j in 0..n {
-                a[i * n + j] += -u[i] * au[j] - au[i] * u[j]
-                    + u[i] * u[j] * uau
-                    + sigma * u[i] * u[j];
+                a[i * n + j] +=
+                    -u[i] * au[j] - au[i] * u[j] + u[i] * u[j] * uau + sigma * u[i] * u[j];
             }
         }
     }
@@ -491,7 +492,9 @@ mod tests {
         assert!(pair.value < 0.01, "λ2 = {}", pair.value);
         let left_sign = pair.vector[1] > 0.0;
         assert!((0..32).all(|i| (pair.vector[i] > 0.0) == left_sign || pair.vector[i].abs() < 1e-9));
-        assert!((32..64).all(|i| (pair.vector[i] > 0.0) != left_sign || pair.vector[i].abs() < 1e-9));
+        assert!(
+            (32..64).all(|i| (pair.vector[i] > 0.0) != left_sign || pair.vector[i].abs() < 1e-9)
+        );
     }
 
     #[test]
@@ -530,8 +533,7 @@ mod tests {
                 inner: path_laplacian(100),
                 poison_after: std::cell::Cell::new(poison_after),
             };
-            let err =
-                smallest_deflated(&op, &[ones(100)], &LanczosOptions::default()).unwrap_err();
+            let err = smallest_deflated(&op, &[ones(100)], &LanczosOptions::default()).unwrap_err();
             assert!(
                 matches!(err, EigenError::NonFinite { .. }),
                 "poison_after={poison_after}: {err:?}"
@@ -543,13 +545,8 @@ mod tests {
     fn matvec_budget_trips_mid_iteration() {
         let q = path_laplacian(300);
         let meter = BudgetMeter::new(&Budget::default().with_matvecs(7));
-        let err = smallest_deflated_metered(
-            &q,
-            &[ones(300)],
-            &LanczosOptions::default(),
-            &meter,
-        )
-        .unwrap_err();
+        let err = smallest_deflated_metered(&q, &[ones(300)], &LanczosOptions::default(), &meter)
+            .unwrap_err();
         match err {
             EigenError::Budget(e) => assert!(e.matvecs_used >= 7),
             other => panic!("expected budget error, got {other:?}"),
@@ -568,9 +565,8 @@ mod tests {
     fn generous_budget_converges_and_reports_spend() {
         let q = path_laplacian(150);
         let meter = BudgetMeter::new(&Budget::default().with_matvecs(1_000_000));
-        let pair =
-            smallest_deflated_metered(&q, &[ones(150)], &LanczosOptions::default(), &meter)
-                .unwrap();
+        let pair = smallest_deflated_metered(&q, &[ones(150)], &LanczosOptions::default(), &meter)
+            .unwrap();
         let expect = 2.0 - 2.0 * (std::f64::consts::PI / 150.0).cos();
         assert!((pair.value - expect).abs() < 1e-7);
         assert!(meter.matvecs_used() > 0);

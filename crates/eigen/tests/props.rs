@@ -56,8 +56,7 @@ fn block_lanczos_agrees_with_classic() {
         let n = q.dim();
         let ones = vec![1.0; n];
         let classic = fiedler(&q, &LanczosOptions::default()).unwrap();
-        let block =
-            smallest_deflated_block(&q, &[ones], &BlockLanczosOptions::default()).unwrap();
+        let block = smallest_deflated_block(&q, &[ones], &BlockLanczosOptions::default()).unwrap();
         assert!((classic.value - block.value).abs() < 1e-6);
     });
 }

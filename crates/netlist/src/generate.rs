@@ -302,15 +302,22 @@ pub fn generate(cfg: &GeneratorConfig) -> Hypergraph {
     };
 
     match cfg.satellite {
-        None => gen_part(&mut rng, &mut builder, 0, cfg.modules, regular_nets, cfg, &hubs),
+        None => gen_part(
+            &mut rng,
+            &mut builder,
+            0,
+            cfg.modules,
+            regular_nets,
+            cfg,
+            &hubs,
+        ),
         Some(sat) => {
             assert!(
                 sat.fraction > 0.0 && sat.fraction <= 0.5,
                 "satellite fraction must be in (0, 0.5]"
             );
             let sat_modules = main_lo;
-            let sat_nets =
-                (((regular_nets - sat.coupling_nets) as f64) * sat.fraction) as usize;
+            let sat_nets = (((regular_nets - sat.coupling_nets) as f64) * sat.fraction) as usize;
             let main_nets = regular_nets - sat.coupling_nets - sat_nets;
             // satellite occupies [0, sat_modules)
             gen_part(&mut rng, &mut builder, 0, sat_modules, sat_nets, cfg, &hubs);
@@ -362,7 +369,9 @@ pub fn generate(cfg: &GeneratorConfig) -> Hypergraph {
 
     // connectivity repair: bridge every component to component 0 with a
     // 2-pin net between deterministic representatives
-    let hg = builder.finish().expect("generator built invalid hypergraph");
+    let hg = builder
+        .finish()
+        .expect("generator built invalid hypergraph");
     let cc = ModuleComponents::compute(&hg);
     if cc.is_connected() {
         return hg;
@@ -382,9 +391,7 @@ pub fn generate(cfg: &GeneratorConfig) -> Hypergraph {
     }
     let anchor = representative[0].expect("component 0 nonempty");
     for rep in representative.into_iter().skip(1).flatten() {
-        builder
-            .add_net([anchor, rep])
-            .expect("bridge net invalid");
+        builder.add_net([anchor, rep]).expect("bridge net invalid");
     }
     builder.finish().expect("bridged hypergraph invalid")
 }
@@ -437,18 +444,90 @@ pub fn mcnc_specs() -> Vec<BenchmarkSpec> {
     // way real inter-block buses do; they are what differentiates the
     // completion strategies (IG-Match vs IG-Vote) on this suite.
     vec![
-        spec("bm1", 882, 903, 0xB001, 0.72, Some((0.024, 1, (2, 2))), (2, (30, 55))),
-        spec("19ks", 2844, 3282, 0x19C5, 0.66, Some((0.23, 60, (3, 8))), (8, (50, 90))),
-        spec("Prim1", 833, 902, 0x0901, 0.70, Some((0.18, 12, (3, 8))), (3, (25, 45))),
+        spec(
+            "bm1",
+            882,
+            903,
+            0xB001,
+            0.72,
+            Some((0.024, 1, (2, 2))),
+            (2, (30, 55)),
+        ),
+        spec(
+            "19ks",
+            2844,
+            3282,
+            0x19C5,
+            0.66,
+            Some((0.23, 60, (3, 8))),
+            (8, (50, 90)),
+        ),
+        spec(
+            "Prim1",
+            833,
+            902,
+            0x0901,
+            0.70,
+            Some((0.18, 12, (3, 8))),
+            (3, (25, 45)),
+        ),
         // Prim2's widest nets stay at 37 pins, matching paper Table 1
-        spec("Prim2", 3014, 3029, 0x0902, 0.68, Some((0.25, 55, (3, 8))), (5, (34, 37))),
-        spec("Test02", 1663, 1720, 0x7E02, 0.71, Some((0.13, 30, (4, 10))), (8, (40, 80))),
-        spec("Test03", 1607, 1618, 0x7E03, 0.67, Some((0.49, 45, (3, 8))), (6, (40, 70))),
-        spec("Test04", 1515, 1658, 0x7E04, 0.72, Some((0.05, 5, (2, 2))), (10, (50, 90))),
+        spec(
+            "Prim2",
+            3014,
+            3029,
+            0x0902,
+            0.68,
+            Some((0.25, 55, (3, 8))),
+            (5, (34, 37)),
+        ),
+        spec(
+            "Test02",
+            1663,
+            1720,
+            0x7E02,
+            0.71,
+            Some((0.13, 30, (4, 10))),
+            (8, (40, 80)),
+        ),
+        spec(
+            "Test03",
+            1607,
+            1618,
+            0x7E03,
+            0.67,
+            Some((0.49, 45, (3, 8))),
+            (6, (40, 70)),
+        ),
+        spec(
+            "Test04",
+            1515,
+            1658,
+            0x7E04,
+            0.72,
+            Some((0.05, 5, (2, 2))),
+            (10, (50, 90)),
+        ),
         // Test05 carries the heavy clock-net tail behind the paper's
         // ">10x sparser" observation (19,935 vs 219,811 nonzeros)
-        spec("Test05", 2595, 2750, 0x7E05, 0.73, Some((0.04, 7, (2, 2))), (30, (100, 200))),
-        spec("Test06", 1752, 1541, 0x7E06, 0.70, Some((0.08, 14, (3, 6))), (8, (40, 80))),
+        spec(
+            "Test05",
+            2595,
+            2750,
+            0x7E05,
+            0.73,
+            Some((0.04, 7, (2, 2))),
+            (30, (100, 200)),
+        ),
+        spec(
+            "Test06",
+            1752,
+            1541,
+            0x7E06,
+            0.70,
+            Some((0.08, 14, (3, 6))),
+            (8, (40, 80)),
+        ),
     ]
 }
 

@@ -112,8 +112,7 @@ mod tests {
         // local net {0,1} corresponds to original {0,3}
         assert_eq!(sub.hypergraph.num_nets(), 1);
         let locals = sub.hypergraph.pins(NetId(0));
-        let originals: Vec<ModuleId> =
-            locals.iter().map(|l| sub.module_map[l.index()]).collect();
+        let originals: Vec<ModuleId> = locals.iter().map(|l| sub.module_map[l.index()]).collect();
         assert_eq!(originals, vec![ModuleId(3), ModuleId(0)]);
     }
 

@@ -88,7 +88,9 @@ pub fn read_hgr<R: BufRead>(reader: R) -> Result<Hypergraph, NetlistError> {
     if num_nets > MAX_DECLARED_COUNT {
         return Err(parse_err(
             header_line_no,
-            format!("declared net count {num_nets} exceeds the supported maximum {MAX_DECLARED_COUNT}"),
+            format!(
+                "declared net count {num_nets} exceeds the supported maximum {MAX_DECLARED_COUNT}"
+            ),
         ));
     }
     if num_modules > MAX_DECLARED_COUNT {

@@ -263,10 +263,7 @@ mod tests {
     #[test]
     fn duplicate_pins_collapsed() {
         let nl = NamedNetlist::parse("net X a b a\n").unwrap();
-        assert_eq!(
-            nl.hypergraph().net_size(nl.net_by_name("X").unwrap()),
-            2
-        );
+        assert_eq!(nl.hypergraph().net_size(nl.net_by_name("X").unwrap()), 2);
     }
 
     #[test]

@@ -215,7 +215,11 @@ impl CutStats {
 
     /// Formats the block sizes the way the paper's tables do, e.g. `152:681`.
     pub fn areas(&self) -> String {
-        format!("{}:{}", self.left.min(self.right), self.left.max(self.right))
+        format!(
+            "{}:{}",
+            self.left.min(self.right),
+            self.left.max(self.right)
+        )
     }
 }
 
@@ -271,10 +275,7 @@ impl<'a> CutTracker<'a> {
     /// Creates a tracker with every module on `side`.
     pub fn all_on(hg: &'a Hypergraph, side: Side) -> Self {
         let left_pins = match side {
-            Side::Left => hg
-                .nets()
-                .map(|n| hg.net_size(n) as u32)
-                .collect(),
+            Side::Left => hg.nets().map(|n| hg.net_size(n) as u32).collect(),
             Side::Right => vec![0; hg.num_nets()],
         };
         let left_count = match side {
@@ -330,7 +331,11 @@ impl<'a> CutTracker<'a> {
     ///
     /// Panics if `areas.len()` differs from the module count.
     pub fn set_areas(&mut self, areas: &crate::areas::ModuleAreas) {
-        assert_eq!(areas.len(), self.hg.num_modules(), "area vector size mismatch");
+        assert_eq!(
+            areas.len(),
+            self.hg.num_modules(),
+            "area vector size mismatch"
+        );
         let v = areas.as_slice().to_vec();
         self.total_area = v.iter().sum();
         self.left_area = self

@@ -159,7 +159,11 @@ impl CutBySize {
 impl fmt::Display for CutBySize {
     /// Renders in the three-column layout of paper Table 1.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:>8} {:>14} {:>11}", "Net Size", "Number of Nets", "Number Cut")?;
+        writeln!(
+            f,
+            "{:>8} {:>14} {:>11}",
+            "Net Size", "Number of Nets", "Number Cut"
+        )?;
         for r in &self.rows {
             writeln!(f, "{:>8} {:>14} {:>11}", r.size, r.nets, r.cut)?;
         }
@@ -241,7 +245,13 @@ mod tests {
     fn cut_by_size_totals_match_cut_stats() {
         let hg = hypergraph_from_nets(
             6,
-            &[vec![0, 1], vec![1, 2, 3], vec![3, 4], vec![4, 5], vec![0, 5]],
+            &[
+                vec![0, 1],
+                vec![1, 2, 3],
+                vec![3, 4],
+                vec![4, 5],
+                vec![0, 5],
+            ],
         );
         let p = Bipartition::from_left_set(6, [ModuleId(0), ModuleId(1), ModuleId(2)]);
         let t = CutBySize::compute(&hg, &p);

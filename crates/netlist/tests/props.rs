@@ -179,7 +179,11 @@ fn hgr_parser_never_panics_on_numeric_soup() {
         let mut text = String::new();
         for (i, n) in nums.iter().enumerate() {
             text.push_str(&n.to_string());
-            text.push(if (i + 1) % newline_every == 0 { '\n' } else { ' ' });
+            text.push(if (i + 1) % newline_every == 0 {
+                '\n'
+            } else {
+                ' '
+            });
         }
         let _ = np_netlist::io::parse_hgr(&text);
     });
@@ -197,7 +201,10 @@ fn hgr_parser_rejects_oversized_headers_without_panicking() {
             format!("1 {huge}\n1 2\n")
         };
         let err = np_netlist::io::parse_hgr(&text).unwrap_err();
-        assert!(matches!(err, np_netlist::NetlistError::Parse { .. }), "{err}");
+        assert!(
+            matches!(err, np_netlist::NetlistError::Parse { .. }),
+            "{err}"
+        );
     });
 }
 
@@ -230,7 +237,8 @@ fn hgr_parser_rejects_truncated_net_sections() {
         }
         let err = np_netlist::io::parse_hgr(&text).unwrap_err();
         assert!(
-            err.to_string().contains(&format!("declared {declared} nets")),
+            err.to_string()
+                .contains(&format!("declared {declared} nets")),
             "{err}"
         );
     });

@@ -130,12 +130,26 @@ impl BudgetMeter {
     }
 
     /// Charges `n` matvec-equivalents and then checks both limits.
+    ///
+    /// The counter saturates at `u64::MAX` rather than wrapping, so an
+    /// absurd charge can never roll an exhausted meter back under its cap.
     pub fn charge(&self, n: u64) -> Result<(), BudgetExceeded> {
-        self.matvecs.fetch_add(n, Ordering::Relaxed);
+        // fetch_update with a total closure always succeeds
+        let _ = self
+            .matvecs
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
         self.check()
     }
 
     /// Checks both limits without charging.
+    ///
+    /// The wall clock is sampled exactly once per check from the same
+    /// monotonic [`Instant`] timeline the deadline was derived from, and
+    /// that single sample is also used for the reported `elapsed`, so a
+    /// tripped check can never report an elapsed time that contradicts
+    /// the deadline it tripped on.
     pub fn check(&self) -> Result<(), BudgetExceeded> {
         let used = self.matvecs_used();
         if let Some(cap) = self.matvec_cap {
@@ -144,8 +158,13 @@ impl BudgetMeter {
             }
         }
         if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
-                return Err(self.exceeded(BudgetResource::WallClock, used));
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(BudgetExceeded {
+                    resource: BudgetResource::WallClock,
+                    matvecs_used: used,
+                    elapsed: now.duration_since(self.started),
+                });
             }
         }
         Ok(())
@@ -216,5 +235,65 @@ mod tests {
         let m = BudgetMeter::new(&Budget::default().with_matvecs(1));
         let e = m.charge(2).unwrap_err();
         assert!(e.to_string().contains("matvec budget"));
+    }
+
+    #[test]
+    fn charge_exactly_to_cap_exhausts() {
+        // the boundary is inclusive: spending the whole allowance trips
+        let m = BudgetMeter::new(&Budget::default().with_matvecs(10));
+        let e = m.charge(10).unwrap_err();
+        assert_eq!(e.resource, BudgetResource::Matvecs);
+        assert_eq!(e.matvecs_used, 10);
+    }
+
+    #[test]
+    fn charge_to_one_below_cap_survives() {
+        let m = BudgetMeter::new(&Budget::default().with_matvecs(10));
+        m.charge(9).unwrap();
+        m.check().unwrap();
+        assert_eq!(m.matvecs_used(), 9);
+    }
+
+    #[test]
+    fn exhausted_meter_stays_exhausted() {
+        let m = BudgetMeter::new(&Budget::default().with_matvecs(3));
+        assert!(m.charge(3).is_err());
+        for _ in 0..5 {
+            assert!(m.check().is_err(), "an exhausted meter must not recover");
+            assert!(m.charge(0).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_cap_trips_immediately() {
+        let m = BudgetMeter::new(&Budget::default().with_matvecs(0));
+        assert!(m.check().is_err());
+        assert_eq!(m.matvecs_used(), 0);
+    }
+
+    #[test]
+    fn charge_saturates_instead_of_wrapping() {
+        // a wrapped counter would dip back under the cap and "un-exhaust"
+        let m = BudgetMeter::new(&Budget::default().with_matvecs(100));
+        assert!(m.charge(u64::MAX).is_err());
+        assert!(m.charge(u64::MAX).is_err());
+        assert_eq!(m.matvecs_used(), u64::MAX);
+    }
+
+    #[test]
+    fn wall_clock_error_elapsed_consistent_with_deadline() {
+        // the elapsed reported by a wall-clock trip comes from the same
+        // Instant sample that beat the deadline, so it can never be
+        // shorter than the configured limit
+        let limit = Duration::from_millis(1);
+        let m = BudgetMeter::new(&Budget::default().with_wall_clock(limit));
+        std::thread::sleep(Duration::from_millis(2));
+        let e = m.check().unwrap_err();
+        assert_eq!(e.resource, BudgetResource::WallClock);
+        assert!(
+            e.elapsed >= limit,
+            "elapsed {:?} < limit {limit:?}",
+            e.elapsed
+        );
     }
 }

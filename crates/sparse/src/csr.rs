@@ -202,9 +202,7 @@ impl CsrMatrix {
     /// Row sums (the weighted degree vector `d` when the matrix is a graph
     /// adjacency matrix).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.n)
-            .map(|r| self.row(r).1.iter().sum())
-            .collect()
+        (0..self.n).map(|r| self.row(r).1.iter().sum()).collect()
     }
 
     /// Returns a copy with every entry of magnitude `< threshold` removed —

@@ -15,14 +15,16 @@ const HEIGHT: usize = 24;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Test04".into());
-    let b = mcnc_benchmark(&name)
-        .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    let b = mcnc_benchmark(&name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
     let hg = &b.hypergraph;
 
     let p = module_placement(hg, 2, &Default::default())?;
     println!(
         "{}: {} modules placed with eigenvalues λ2 = {:.3e}, λ3 = {:.3e}\n",
-        b.name, hg.num_modules(), p.eigenvalues[0], p.eigenvalues[1]
+        b.name,
+        hg.num_modules(),
+        p.eigenvalues[0],
+        p.eigenvalues[1]
     );
 
     // normalize coordinates into the character grid
@@ -48,8 +50,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         println!("|{line}|");
     }
-    println!(
-        "\n(x = Fiedler coordinate, y = third eigenvector; denser glyphs = more modules)"
-    );
+    println!("\n(x = Fiedler coordinate, y = third eigenvector; denser glyphs = more modules)");
     Ok(())
 }

@@ -1,5 +1,6 @@
-//! Quickstart: partition a small netlist with all four algorithms and
-//! compare their ratio cuts.
+//! Quickstart: partition a small netlist with all four algorithms,
+//! compare their ratio cuts, then run the same flow as a composable
+//! engine pipeline with stage tracing.
 //!
 //! Run with:
 //!
@@ -7,9 +8,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use ig_match_repro::core::engine::stages::{IgMatchStage, RatioRefineStage};
 use ig_match_repro::netlist::hypergraph_from_nets;
 use ig_match_repro::{
-    eig1, ig_match, ig_vote, rcut, Eig1Options, IgMatchOptions, IgVoteOptions, RcutOptions,
+    eig1, ig_match, ig_vote, rcut, Eig1Options, IgMatchOptions, IgVoteOptions, Pipeline,
+    RcutOptions, RunContext, Stage, StageEvent,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,6 +58,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rc.stats.areas(),
         rc.ratio()
     );
+
+    // The same algorithms are engine stages: compose IG-Match with
+    // ratio-objective FM refinement into one pipeline and watch it run.
+    println!("\nengine pipeline (IG-Match -> ratio refinement):");
+    let sink = |e: &StageEvent<'_>| {
+        if let StageEvent::Finished {
+            stage,
+            outcome: Ok(r),
+        } = e
+        {
+            println!("  stage {stage}: ratio {:.3e}", r.ratio());
+        }
+    };
+    let ctx = RunContext::unlimited().with_events(&sink);
+    let refined = Pipeline::named("IG-Match+FM")
+        .then(IgMatchStage::new(IgMatchOptions::default()))
+        .then(RatioRefineStage::new(20, "IG-Match+FM"))
+        .run(&hg, None, &ctx)?;
+    println!("{refined}");
 
     println!("\nmodules on the left side of the IG-Match partition:");
     let left = igm

@@ -20,8 +20,7 @@ use std::collections::HashSet;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "Prim1".into());
-    let b = mcnc_benchmark(&name)
-        .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+    let b = mcnc_benchmark(&name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
     let hg = &b.hypergraph;
 
     let order = spectral_net_ordering(hg, IgWeighting::Paper, &Default::default())?;

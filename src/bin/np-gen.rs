@@ -20,42 +20,43 @@ const USAGE: &str =
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (hg, name, out_path): (Hypergraph, String, Option<String>) = match args.first().map(String::as_str) {
-        Some("--list") => {
-            let mut listing = String::new();
-            for spec in mcnc_specs() {
-                listing.push_str(&format!(
-                    "{:<8} {:>6} modules {:>6} nets\n",
-                    spec.name, spec.config.modules, spec.config.nets
-                ));
+    let (hg, name, out_path): (Hypergraph, String, Option<String>) =
+        match args.first().map(String::as_str) {
+            Some("--list") => {
+                let mut listing = String::new();
+                for spec in mcnc_specs() {
+                    listing.push_str(&format!(
+                        "{:<8} {:>6} modules {:>6} nets\n",
+                        spec.name, spec.config.modules, spec.config.nets
+                    ));
+                }
+                // ignore broken pipes (e.g. `np-gen --list | head`)
+                let _ = std::io::stdout().write_all(listing.as_bytes());
+                return Ok(());
             }
-            // ignore broken pipes (e.g. `np-gen --list | head`)
-            let _ = std::io::stdout().write_all(listing.as_bytes());
-            return Ok(());
-        }
-        Some("--random") => {
-            let parse = |i: usize, what: &str| -> Result<u64, String> {
-                args.get(i)
-                    .ok_or(format!("missing {what}\n{USAGE}"))?
-                    .parse::<u64>()
-                    .map_err(|e| format!("bad {what}: {e}"))
-            };
-            let modules = parse(1, "MODULES")? as usize;
-            let nets = parse(2, "NETS")? as usize;
-            let seed = parse(3, "SEED")?;
-            (
-                generate(&GeneratorConfig::new(modules, nets, seed)),
-                format!("random-{modules}x{nets}@{seed}"),
-                args.get(4).cloned(),
-            )
-        }
-        Some(name) if !name.starts_with('-') => {
-            let b = mcnc_benchmark(name)
-                .ok_or_else(|| format!("unknown benchmark '{name}' (np-gen --list)"))?;
-            (b.hypergraph, b.name, args.get(1).cloned())
-        }
-        _ => return Err(USAGE.into()),
-    };
+            Some("--random") => {
+                let parse = |i: usize, what: &str| -> Result<u64, String> {
+                    args.get(i)
+                        .ok_or(format!("missing {what}\n{USAGE}"))?
+                        .parse::<u64>()
+                        .map_err(|e| format!("bad {what}: {e}"))
+                };
+                let modules = parse(1, "MODULES")? as usize;
+                let nets = parse(2, "NETS")? as usize;
+                let seed = parse(3, "SEED")?;
+                (
+                    generate(&GeneratorConfig::new(modules, nets, seed)),
+                    format!("random-{modules}x{nets}@{seed}"),
+                    args.get(4).cloned(),
+                )
+            }
+            Some(name) if !name.starts_with('-') => {
+                let b = mcnc_benchmark(name)
+                    .ok_or_else(|| format!("unknown benchmark '{name}' (np-gen --list)"))?;
+                (b.hypergraph, b.name, args.get(1).cloned())
+            }
+            _ => return Err(USAGE.into()),
+        };
     eprintln!("{name}: {}", NetlistSummary::of(&hg));
     match out_path {
         Some(path) => {

@@ -5,29 +5,39 @@
 //! partition (one `0`/`1` per module line, hMETIS convention).
 //!
 //! ```text
-//! np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|hybrid|robust]
+//! np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|fm|kl|hybrid|robust]
 //!                   [--refine] [--weighting paper|uniform|shared-count|size-scaled]
-//!                   [--budget-ms MS] [--fallback]
+//!                   [--budget-ms MS] [--fallback] [--trace]
 //!                   [--output PART_FILE] [--table]
 //! ```
 //!
+//! Every algorithm is an engine [`Stage`] assembled from the CLI flags
+//! and run against one shared [`RunContext`], so `--budget-ms` (a
+//! wall-clock cap on the whole run) applies uniformly and `--trace`
+//! streams the stage graph — including the links of the robust fallback
+//! chain and the stages of the hybrid pipeline — to stderr as it
+//! executes.
+//!
 //! `--fallback` is shorthand for `--algorithm robust`: run the resilient
-//! pipeline that falls back from IG-Match through reseeded Lanczos, a
-//! dense eigensolve and clique-model EIG1 down to plain FM, printing which
-//! stage produced the answer. `--budget-ms` caps the wall-clock spent in
-//! the numerical kernels (supported by `igmatch`, `eig1`, `hybrid` and
-//! `robust`); an exhausted budget exits with a structured error.
+//! chain that falls back from IG-Match through reseeded Lanczos, a dense
+//! eigensolve and clique-model EIG1 down to plain FM, printing which
+//! stage produced the answer. An exhausted budget exits with a
+//! structured error.
 
-use ig_match_repro::hybrid::{ig_match_refined, HybridOptions};
+use ig_match_repro::core::engine::run_stage;
+use ig_match_repro::core::engine::stages::{
+    Eig1Stage, FmStage, IgMatchStage, IgVoteStage, KlStage, RcutStage,
+};
+use ig_match_repro::hybrid::{hybrid_pipeline, HybridOptions};
 use ig_match_repro::netlist::io::read_hgr;
 use ig_match_repro::netlist::stats::{CutBySize, NetlistSummary};
 use ig_match_repro::sparse::{Budget, BudgetMeter};
 use ig_match_repro::{
-    eig1_metered, ig_match_metered, ig_vote, rcut, robust_partition, Bipartition, Eig1Options,
-    IgMatchOptions, IgVoteOptions, IgWeighting, RcutOptions, RobustOptions, Side,
+    robust_partition_ctx, Bipartition, IgMatchOptions, IgVoteOptions, IgWeighting, RobustOptions,
+    RunContext, Side, Stage, StageEvent,
 };
-use std::process::ExitCode;
 use std::io::{BufReader, Write};
+use std::process::ExitCode;
 use std::time::Duration;
 
 #[derive(Debug)]
@@ -37,13 +47,15 @@ struct Args {
     weighting: IgWeighting,
     refine: bool,
     budget_ms: Option<u64>,
+    trace: bool,
     output: Option<String>,
     table: bool,
 }
 
-const USAGE: &str = "usage: np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|hybrid|robust] \
+const USAGE: &str =
+    "usage: np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|fm|kl|hybrid|robust] \
                      [--refine] [--weighting paper|uniform|shared-count|size-scaled] \
-                     [--budget-ms MS] [--fallback] [--output FILE] [--table]";
+                     [--budget-ms MS] [--fallback] [--trace] [--output FILE] [--table]";
 
 fn parse_args<I>(args: I) -> Result<Args, String>
 where
@@ -54,6 +66,7 @@ where
     let mut weighting = IgWeighting::Paper;
     let mut refine = false;
     let mut budget_ms = None;
+    let mut trace = false;
     let mut output = None;
     let mut table = false;
     let mut iter = args.into_iter();
@@ -78,6 +91,7 @@ where
                         .map_err(|_| format!("--budget-ms expects milliseconds, got '{v}'"))?,
                 );
             }
+            "--trace" => trace = true,
             "--table" => table = true,
             "--output" => output = Some(iter.next().ok_or("--output needs a value")?),
             "--help" | "-h" => return Err(USAGE.into()),
@@ -93,6 +107,7 @@ where
         weighting,
         refine,
         budget_ms,
+        trace,
         output,
         table,
     })
@@ -106,104 +121,81 @@ fn budget_of(args: &Args) -> Budget {
     }
 }
 
-/// Errors out when `--budget-ms` was given for an algorithm that has no
-/// metered code path.
-fn reject_budget(args: &Args) -> Result<(), String> {
-    if args.budget_ms.is_some() {
-        return Err(format!(
-            "--budget-ms is not supported by algorithm '{}'",
-            args.algorithm
-        ));
-    }
-    Ok(())
+/// Builds the engine stage the CLI flags describe. `robust` is handled
+/// separately (its chain reports structured diagnostics).
+fn stage_for(args: &Args) -> Result<Box<dyn Stage>, String> {
+    let ig_match = IgMatchOptions {
+        weighting: args.weighting,
+        refine_free_modules: args.refine,
+        ..Default::default()
+    };
+    Ok(match args.algorithm.as_str() {
+        "igmatch" => Box::new(IgMatchStage::new(ig_match)),
+        "igvote" => Box::new(IgVoteStage::new(IgVoteOptions {
+            weighting: args.weighting,
+            ..Default::default()
+        })),
+        "eig1" => Box::new(Eig1Stage::default()),
+        "rcut" => Box::new(RcutStage::default()),
+        "fm" => Box::new(FmStage::default()),
+        "kl" => Box::new(KlStage::default()),
+        "hybrid" => Box::new(hybrid_pipeline(&HybridOptions {
+            ig_match,
+            ..Default::default()
+        })),
+        other => return Err(format!("unknown algorithm '{other}'\n{USAGE}")),
+    })
 }
 
 fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
-    let file = std::fs::File::open(&args.input)
-        .map_err(|e| format!("cannot open {}: {e}", args.input))?;
+    let file =
+        std::fs::File::open(&args.input).map_err(|e| format!("cannot open {}: {e}", args.input))?;
     let hg = read_hgr(BufReader::new(file)).map_err(|e| format!("parse failed: {e}"))?;
     eprintln!("{}: {}", args.input, NetlistSummary::of(&hg));
 
     let budget = budget_of(&args);
-    let (label, partition): (String, Bipartition) = match args.algorithm.as_str() {
-        "igmatch" => {
-            let meter = BudgetMeter::new(&budget);
-            let out = ig_match_metered(
-                &hg,
-                &IgMatchOptions {
-                    weighting: args.weighting,
-                    refine_free_modules: args.refine,
-                    ..Default::default()
-                },
-                &meter,
-            )
-            .map_err(|e| e.to_string())?;
-            eprintln!(
-                "matching bound: cut {} <= max matching {}",
-                out.result.stats.cut_nets, out.matching_size
-            );
-            ("IG-Match".into(), out.result.partition)
-        }
-        "igvote" => {
-            reject_budget(&args)?;
-            let r = ig_vote(
-                &hg,
-                &IgVoteOptions {
-                    weighting: args.weighting,
-                    ..Default::default()
-                },
-            )
-            .map_err(|e| e.to_string())?;
-            ("IG-Vote".into(), r.partition)
-        }
-        "eig1" => {
-            let meter = BudgetMeter::new(&budget);
-            let r = eig1_metered(&hg, &Eig1Options::default(), &meter)
-                .map_err(|e| e.to_string())?;
-            ("EIG1".into(), r.partition)
-        }
-        "rcut" => {
-            reject_budget(&args)?;
-            let r = rcut(&hg, &RcutOptions::default());
-            ("RCut".into(), r.partition)
-        }
-        "hybrid" => {
-            let r = ig_match_refined(
-                &hg,
-                &HybridOptions {
-                    budget,
-                    ..Default::default()
-                },
-            )
-            .map_err(|e| e.to_string())?;
-            ("IG-Match+FM".into(), r.partition)
-        }
-        "robust" => {
-            let opts = RobustOptions {
-                ig_match: IgMatchOptions {
-                    weighting: args.weighting,
-                    refine_free_modules: args.refine,
-                    ..Default::default()
-                },
-                budget,
+    let meter = BudgetMeter::new(&budget);
+    let trace = args.trace;
+    // details (e.g. IG-Match's matching bound) always go to stderr; the
+    // per-stage start/finish stream only with --trace
+    let sink = move |e: &StageEvent<'_>| match e {
+        StageEvent::Detail { stage, message } => eprintln!("{stage}: {message}"),
+        StageEvent::Started { stage } if trace => eprintln!("-> {stage}"),
+        StageEvent::Finished { stage, outcome } if trace => match outcome {
+            Ok(r) => eprintln!("<- {stage}: ratio {:.3e}", r.ratio()),
+            Err(e) => eprintln!("<- {stage}: failed: {e}"),
+        },
+        _ => {}
+    };
+    let ctx = RunContext::with_meter(&meter).with_events(&sink);
+
+    let (label, partition): (String, Bipartition) = if args.algorithm == "robust" {
+        let opts = RobustOptions {
+            ig_match: IgMatchOptions {
+                weighting: args.weighting,
+                refine_free_modules: args.refine,
                 ..Default::default()
-            };
-            match robust_partition(&hg, &opts) {
-                Ok(outcome) => {
-                    eprintln!("{}", outcome.diagnostics);
-                    (
-                        format!("robust[{}]", outcome.result.algorithm),
-                        outcome.result.partition,
-                    )
-                }
-                Err(failure) => {
-                    eprintln!("{}", failure.diagnostics);
-                    return Err(failure.to_string());
-                }
+            },
+            ..Default::default()
+        };
+        match robust_partition_ctx(&hg, &opts, &ctx) {
+            Ok(outcome) => {
+                eprintln!("{}", outcome.diagnostics);
+                (
+                    format!("robust[{}]", outcome.result.algorithm),
+                    outcome.result.partition,
+                )
+            }
+            Err(failure) => {
+                eprintln!("{}", failure.diagnostics);
+                return Err(failure.to_string());
             }
         }
-        other => return Err(format!("unknown algorithm '{other}'\n{USAGE}")),
+    } else {
+        let stage = stage_for(&args)?;
+        let r = run_stage(stage.as_ref(), &hg, None, &ctx).map_err(|e| e.to_string())?;
+        (r.algorithm.to_string(), r.partition)
     };
 
     let stats = partition.cut_stats(&hg);
@@ -217,8 +209,8 @@ fn run() -> Result<(), String> {
         print!("{}", CutBySize::compute(&hg, &partition));
     }
     if let Some(path) = args.output {
-        let mut out = std::fs::File::create(&path)
-            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut out =
+            std::fs::File::create(&path).map_err(|e| format!("cannot create {path}: {e}"))?;
         for side in partition.sides() {
             writeln!(out, "{}", if *side == Side::Left { 0 } else { 1 })
                 .map_err(|e| format!("write failed: {e}"))?;
@@ -252,19 +244,27 @@ mod tests {
         assert_eq!(a.input, "x.hgr");
         assert_eq!(a.algorithm, "igmatch");
         assert_eq!(a.weighting, IgWeighting::Paper);
-        assert!(!a.refine && !a.table && a.output.is_none());
+        assert!(!a.refine && !a.table && !a.trace && a.output.is_none());
     }
 
     #[test]
     fn full_flags() {
         let a = parse(&[
-            "in.hgr", "--algorithm", "rcut", "--weighting", "uniform", "--refine",
-            "--table", "--output", "out.part",
+            "in.hgr",
+            "--algorithm",
+            "rcut",
+            "--weighting",
+            "uniform",
+            "--refine",
+            "--table",
+            "--trace",
+            "--output",
+            "out.part",
         ])
         .unwrap();
         assert_eq!(a.algorithm, "rcut");
         assert_eq!(a.weighting, IgWeighting::Uniform);
-        assert!(a.refine && a.table);
+        assert!(a.refine && a.table && a.trace);
         assert_eq!(a.output.as_deref(), Some("out.part"));
     }
 
@@ -275,7 +275,9 @@ mod tests {
 
     #[test]
     fn unknown_flag_rejected() {
-        assert!(parse(&["x.hgr", "--bogus"]).unwrap_err().contains("unexpected"));
+        assert!(parse(&["x.hgr", "--bogus"])
+            .unwrap_err()
+            .contains("unexpected"));
     }
 
     #[test]
@@ -286,7 +288,9 @@ mod tests {
 
     #[test]
     fn dangling_value_flag_rejected() {
-        assert!(parse(&["x.hgr", "--output"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["x.hgr", "--output"])
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]
@@ -299,10 +303,7 @@ mod tests {
     fn budget_ms_parsed() {
         let a = parse(&["x.hgr", "--budget-ms", "250"]).unwrap();
         assert_eq!(a.budget_ms, Some(250));
-        assert_eq!(
-            budget_of(&a).wall_clock,
-            Some(Duration::from_millis(250))
-        );
+        assert_eq!(budget_of(&a).wall_clock, Some(Duration::from_millis(250)));
     }
 
     #[test]
@@ -312,10 +313,16 @@ mod tests {
     }
 
     #[test]
-    fn budget_rejected_for_unmetered_algorithms() {
-        let a = parse(&["x.hgr", "--algorithm", "rcut", "--budget-ms", "10"]).unwrap();
-        assert!(reject_budget(&a).unwrap_err().contains("not supported"));
-        let b = parse(&["x.hgr", "--algorithm", "rcut"]).unwrap();
-        assert!(reject_budget(&b).is_ok());
+    fn every_engine_algorithm_resolves_to_a_stage() {
+        for algo in ["igmatch", "igvote", "eig1", "rcut", "fm", "kl", "hybrid"] {
+            let a = parse(&["x.hgr", "--algorithm", algo]).unwrap();
+            let stage = stage_for(&a).unwrap();
+            assert!(!stage.name().is_empty(), "{algo}");
+        }
+        let bad = parse(&["x.hgr", "--algorithm", "magic"]).unwrap();
+        let err = stage_for(&bad)
+            .err()
+            .expect("unknown algorithm must be rejected");
+        assert!(err.contains("unknown algorithm"), "{err}");
     }
 }

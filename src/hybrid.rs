@@ -2,8 +2,9 @@
 //! post-improvement — the §5 suggestion that "the ratio cuts so obtained
 //! may optionally be improved by using standard iterative techniques".
 
-use np_baselines::rcut::refine_ratio_cut_metered;
-use np_core::{ig_match_metered, IgMatchOptions, PartitionError, PartitionResult};
+use np_core::engine::stages::{IgMatchStage, RatioRefineStage};
+use np_core::engine::{Pipeline, RunContext, Stage};
+use np_core::{IgMatchOptions, PartitionError, PartitionResult};
 use np_netlist::Hypergraph;
 use np_sparse::{Budget, BudgetMeter};
 
@@ -66,16 +67,34 @@ pub fn ig_match_refined(
     opts: &HybridOptions,
 ) -> Result<PartitionResult, PartitionError> {
     let meter = BudgetMeter::new(&opts.budget);
-    let out = ig_match_metered(hg, &opts.ig_match, &meter)?;
-    let (partition, stats) =
-        refine_ratio_cut_metered(hg, &out.result.partition, opts.max_refine_passes, &meter)?;
-    debug_assert!(stats.ratio() <= out.result.ratio() + 1e-12);
-    Ok(PartitionResult {
-        partition,
-        stats,
-        algorithm: "IG-Match+FM",
-        split_rank: out.result.split_rank,
-    })
+    ig_match_refined_ctx(hg, opts, &RunContext::with_meter(&meter))
+}
+
+/// [`ig_match_refined`] against an execution context — the single
+/// implementation behind every entry point. The context's meter governs
+/// both pipeline stages; [`HybridOptions::budget`] is *not* consulted
+/// here (the plain entry point builds its context from it). An event
+/// sink on the context sees both stages as `Started`/`Finished` events.
+///
+/// # Errors
+///
+/// Same as [`ig_match_refined`].
+pub fn ig_match_refined_ctx(
+    hg: &Hypergraph,
+    opts: &HybridOptions,
+    ctx: &RunContext<'_>,
+) -> Result<PartitionResult, PartitionError> {
+    hybrid_pipeline(opts).run(hg, None, ctx)
+}
+
+/// The hybrid flow as declarative engine data: an IG-Match producer
+/// feeding a ratio-refinement transformer. Exposed so callers can extend
+/// the pipeline with further stages or embed it in a
+/// [`FallbackChain`](np_core::engine::FallbackChain).
+pub fn hybrid_pipeline(opts: &HybridOptions) -> Pipeline {
+    Pipeline::named("IG-Match+FM")
+        .then(IgMatchStage::new(opts.ig_match))
+        .then(RatioRefineStage::new(opts.max_refine_passes, "IG-Match+FM"))
 }
 
 #[cfg(test)]
@@ -130,6 +149,17 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, PartitionError::Budget(_)), "{err}");
+    }
+
+    #[test]
+    fn pipeline_form_matches_function_form() {
+        let hg = generate(&GeneratorConfig::new(150, 170, 3));
+        let via_fn = ig_match_refined(&hg, &HybridOptions::default()).unwrap();
+        let via_pipeline = hybrid_pipeline(&HybridOptions::default())
+            .run(&hg, None, &RunContext::unlimited())
+            .unwrap();
+        assert_eq!(via_fn.partition, via_pipeline.partition);
+        assert_eq!(via_pipeline.algorithm, "IG-Match+FM");
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! * [`eigen`] — Lanczos/Jacobi eigensolvers for Fiedler vectors
 //!   (`np-eigen`);
 //! * [`core`] — the paper's algorithms: net models, EIG1, IG-Vote and
-//!   IG-Match (`np-core`);
+//!   IG-Match, plus the composable stage engine ([`core::engine`])
+//!   every partitioner plugs into (`np-core`);
 //! * [`baselines`] — FM, the RCut1.0 stand-in and KL (`np-baselines`).
 //!
 //! The most common entry points are also re-exported at the crate root.
@@ -37,11 +38,18 @@ pub use np_eigen as eigen;
 pub use np_netlist as netlist;
 pub use np_sparse as sparse;
 
-pub use np_baselines::{fm_bisect, fm_bisect_metered, kl_bisect, rcut, FmOptions, KlOptions, RcutOptions};
-pub use np_core::{
-    eig1, eig1_metered, ig_match, ig_match_metered, ig_vote, robust_partition, Diagnostics,
-    Eig1Options, FallbackStage, IgMatchOptions, IgMatchOutcome, IgVoteOptions, IgWeighting,
-    PartitionError, PartitionResult, RobustFailure, RobustOptions, RobustOutcome,
+pub use np_baselines::{
+    fm_bisect, fm_bisect_metered, kl_bisect, kl_bisect_metered, rcut, rcut_metered, FmOptions,
+    KlOptions, RcutOptions,
 };
+pub use np_core::{
+    eig1, eig1_ctx, ig_match, ig_match_ctx, ig_vote, ig_vote_ctx, robust_partition,
+    robust_partition_ctx, Diagnostics, Eig1Options, EventSink, FallbackChain, FallbackStage,
+    IgMatchOptions, IgMatchOutcome, IgVoteOptions, IgWeighting, PartitionError, PartitionResult,
+    Partitioner, Pipeline, RobustFailure, RobustOptions, RobustOutcome, RunContext, Stage,
+    StageEvent,
+};
+#[allow(deprecated)]
+pub use np_core::{eig1_metered, ig_match_metered};
 pub use np_netlist::{Bipartition, CutStats, Hypergraph, HypergraphBuilder, ModuleId, NetId, Side};
 pub use np_sparse::{Budget, BudgetExceeded, BudgetMeter};

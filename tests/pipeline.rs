@@ -5,8 +5,8 @@ use ig_match_repro::netlist::generate::{generate, mcnc_specs, GeneratorConfig};
 use ig_match_repro::netlist::io::{parse_hgr, to_hgr_string};
 use ig_match_repro::netlist::stats::CutBySize;
 use ig_match_repro::{
-    eig1, fm_bisect, ig_match, ig_vote, rcut, Bipartition, Eig1Options, FmOptions,
-    IgMatchOptions, IgVoteOptions, ModuleId, RcutOptions,
+    eig1, fm_bisect, ig_match, ig_vote, rcut, Bipartition, Eig1Options, FmOptions, IgMatchOptions,
+    IgVoteOptions, ModuleId, RcutOptions,
 };
 
 fn small_circuit() -> ig_match_repro::Hypergraph {
@@ -52,7 +52,11 @@ fn ig_match_finds_planted_satellite() {
     let hg = small_circuit();
     let out = ig_match(&hg, &IgMatchOptions::default()).unwrap();
     let s = &out.result.stats;
-    assert!(s.cut_nets <= 6, "cut {} too large for planted cut 3", s.cut_nets);
+    assert!(
+        s.cut_nets <= 6,
+        "cut {} too large for planted cut 3",
+        s.cut_nets
+    );
     let small = s.left.min(s.right);
     assert!(small >= 5, "degenerate side {small}");
 }

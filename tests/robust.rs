@@ -50,7 +50,10 @@ fn primary_fault_reseeded_lanczos_wins() {
 fn lanczos_faults_dense_eigensolve_wins() {
     let plan = FaultPlan::new()
         .with(FallbackStage::IgMatch, FaultKind::ForceNoConvergence)
-        .with(FallbackStage::ReseededLanczos, FaultKind::ForceNoConvergence);
+        .with(
+            FallbackStage::ReseededLanczos,
+            FaultKind::ForceNoConvergence,
+        );
     let out = robust_partition(&circuit(), &opts_with(plan)).unwrap();
     assert_eq!(
         out.diagnostics.winning_stage,
@@ -68,8 +71,14 @@ fn lanczos_faults_dense_eigensolve_wins() {
 fn all_spectral_ig_faults_clique_eig1_wins() {
     let plan = FaultPlan::new()
         .with(FallbackStage::IgMatch, FaultKind::ForceNoConvergence)
-        .with(FallbackStage::ReseededLanczos, FaultKind::ForceNoConvergence)
-        .with(FallbackStage::DenseEigensolve, FaultKind::ForceNoConvergence);
+        .with(
+            FallbackStage::ReseededLanczos,
+            FaultKind::ForceNoConvergence,
+        )
+        .with(
+            FallbackStage::DenseEigensolve,
+            FaultKind::ForceNoConvergence,
+        );
     let out = robust_partition(&circuit(), &opts_with(plan)).unwrap();
     assert_eq!(
         out.diagnostics.winning_stage,
@@ -82,8 +91,14 @@ fn all_spectral_ig_faults_clique_eig1_wins() {
 fn every_eigensolve_faulted_fm_baseline_wins() {
     let plan = FaultPlan::new()
         .with(FallbackStage::IgMatch, FaultKind::ForceNoConvergence)
-        .with(FallbackStage::ReseededLanczos, FaultKind::ForceNoConvergence)
-        .with(FallbackStage::DenseEigensolve, FaultKind::ForceNoConvergence)
+        .with(
+            FallbackStage::ReseededLanczos,
+            FaultKind::ForceNoConvergence,
+        )
+        .with(
+            FallbackStage::DenseEigensolve,
+            FaultKind::ForceNoConvergence,
+        )
         .with(FallbackStage::CliqueEig1, FaultKind::ForceNoConvergence);
     let out = robust_partition(&circuit(), &opts_with(plan)).unwrap();
     assert_eq!(
@@ -125,8 +140,14 @@ fn injected_budget_exhaustion_aborts_chain() {
 fn full_chain_faulted_reports_total_failure() {
     let plan = FaultPlan::new()
         .with(FallbackStage::IgMatch, FaultKind::ForceNoConvergence)
-        .with(FallbackStage::ReseededLanczos, FaultKind::ForceNoConvergence)
-        .with(FallbackStage::DenseEigensolve, FaultKind::ForceNoConvergence)
+        .with(
+            FallbackStage::ReseededLanczos,
+            FaultKind::ForceNoConvergence,
+        )
+        .with(
+            FallbackStage::DenseEigensolve,
+            FaultKind::ForceNoConvergence,
+        )
         .with(FallbackStage::CliqueEig1, FaultKind::ForceNoConvergence)
         .with(FallbackStage::FmBaseline, FaultKind::ForceNoConvergence);
     let fail = robust_partition(&circuit(), &opts_with(plan)).unwrap_err();
@@ -150,7 +171,10 @@ fn budget_limited_run_returns_within_twice_the_limit() {
     let started = Instant::now();
     let outcome = robust_partition(&hg, &opts);
     let took = started.elapsed();
-    assert!(took < limit * 2, "took {took:.1?} against a {limit:.1?} budget");
+    assert!(
+        took < limit * 2,
+        "took {took:.1?} against a {limit:.1?} budget"
+    );
     // either answer is acceptable; exhaustion must be structured
     if let Err(fail) = outcome {
         assert!(matches!(fail.error, PartitionError::Budget(_)), "{fail}");
@@ -203,7 +227,10 @@ fn np_part_robust_algorithm_prints_diagnostics() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "stderr: {stderr}");
-    assert!(stderr.contains("solved by"), "missing diagnostics: {stderr}");
+    assert!(
+        stderr.contains("solved by"),
+        "missing diagnostics: {stderr}"
+    );
     assert!(stdout.contains("robust["), "missing label: {stdout}");
     std::fs::remove_file(&path).ok();
 }
