@@ -1,0 +1,62 @@
+//! Portfolio benchmark: best-of-16 FM restarts under the `np-runner`
+//! executor on the generated benchmark suite, emitting a JSON record
+//! (`BENCH_portfolio.json` by default) with the best ratio cut and wall
+//! time per circuit. CI runs this to track portfolio quality and
+//! latency.
+//!
+//! ```text
+//! cargo run --release -p bench --bin portfolio [-- OUT.json]
+//! ```
+
+use bench::suite;
+use np_baselines::FmOptions;
+use np_runner::presets::fm_restarts;
+use np_runner::{run_portfolio, PortfolioOptions};
+use np_sparse::BudgetMeter;
+
+/// Restart count tracked by the benchmark (ISSUE PR 3, satellite 5).
+const RESTARTS: usize = 16;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_portfolio.json".to_string());
+    let mut entries = Vec::new();
+    for b in suite() {
+        let hg = &b.hypergraph;
+        let portfolio = fm_restarts(RESTARTS, &FmOptions::default());
+        let opts = PortfolioOptions::default();
+        let out = run_portfolio(hg, &portfolio, &opts, &BudgetMeter::unlimited(), None)
+            .unwrap_or_else(|e| panic!("portfolio failed on {}: {e}", b.name));
+        println!(
+            "{:<8} best-of-{RESTARTS} FM: cut={:<4} ratio={:.3e}  winner #{:<2} {} thread(s) {:>8.1} ms",
+            b.name,
+            out.best.stats.cut_nets,
+            out.best.ratio(),
+            out.winner,
+            out.report.threads,
+            out.report.wall.as_secs_f64() * 1e3
+        );
+        entries.push(format!(
+            "    {{\"name\": \"{}\", \"modules\": {}, \"nets\": {}, \"restarts\": {}, \
+             \"threads\": {}, \"best_cut\": {}, \"best_ratio\": {:e}, \"winner\": {}, \
+             \"wall_ms\": {:.3}}}",
+            b.name,
+            hg.num_modules(),
+            hg.num_nets(),
+            RESTARTS,
+            out.report.threads,
+            out.best.stats.cut_nets,
+            out.best.ratio(),
+            out.winner,
+            out.report.wall.as_secs_f64() * 1e3
+        ));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"bench/portfolio/v1\",\n  \"algorithm\": \"FM-restart\",\n  \
+         \"benchmarks\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("written to {out_path}");
+}

@@ -21,7 +21,14 @@
 //! | `ablation_areas` | §4 — area-oblivious spectral vs area-aware RCut |
 //! | `hybrid` | §5 — IG-Match + ratio-FM post-refinement |
 //! | `bounds` | Theorem 1 — per-instance optimality certificates |
+//! | `portfolio` | best-of-16 portfolio tracking (`BENCH_portfolio.json`) |
 //! | `suite_explore` | developer harness for calibrating the suite |
+//!
+//! The best-of-N baselines (`table2`'s RCut1.0, `ablation_areas`'
+//! area-aware RCut) run their restart loops as `np-runner` portfolios:
+//! every start is an independent attempt on a decorrelated seed stream,
+//! executed over a scoped worker pool and reduced deterministically by
+//! `(score, attempt index)`.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

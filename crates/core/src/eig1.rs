@@ -14,7 +14,6 @@ use crate::{PartitionError, PartitionResult};
 use np_eigen::LanczosOptions;
 use np_netlist::partition::CutTracker;
 use np_netlist::{Bipartition, Hypergraph, ModuleId, Side};
-use np_sparse::BudgetMeter;
 
 /// Options for [`eig1`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -47,21 +46,6 @@ pub struct Eig1Options {
 /// ```
 pub fn eig1(hg: &Hypergraph, opts: &Eig1Options) -> Result<PartitionResult, PartitionError> {
     eig1_ctx(hg, opts, &RunContext::unlimited())
-}
-
-/// [`eig1`] with cooperative budget enforcement.
-///
-/// # Errors
-///
-/// The [`eig1`] errors plus [`PartitionError::Budget`] when `meter`
-/// reports a limit hit.
-#[deprecated(since = "0.2.0", note = "use `eig1_ctx`")]
-pub fn eig1_metered(
-    hg: &Hypergraph,
-    opts: &Eig1Options,
-    meter: &BudgetMeter,
-) -> Result<PartitionResult, PartitionError> {
-    eig1_ctx(hg, opts, &RunContext::with_meter(meter))
 }
 
 /// [`eig1`] against an execution context — the single implementation
@@ -97,26 +81,6 @@ pub fn sweep_module_ordering(
 ) -> PartitionResult {
     sweep_module_ordering_ctx(hg, order, algorithm, &RunContext::unlimited())
         .expect("unlimited meter never trips")
-}
-
-/// [`sweep_module_ordering`] with cooperative budget enforcement.
-///
-/// # Errors
-///
-/// [`PartitionError::Budget`] when `meter` reports a limit hit.
-///
-/// # Panics
-///
-/// Panics if `order` is not a permutation of the modules of `hg` or has
-/// fewer than 2 entries.
-#[deprecated(since = "0.2.0", note = "use `sweep_module_ordering_ctx`")]
-pub fn sweep_module_ordering_metered(
-    hg: &Hypergraph,
-    order: &[ModuleId],
-    algorithm: &'static str,
-    meter: &BudgetMeter,
-) -> Result<PartitionResult, PartitionError> {
-    sweep_module_ordering_ctx(hg, order, algorithm, &RunContext::with_meter(meter))
 }
 
 /// [`sweep_module_ordering`] against an execution context — the single
@@ -233,6 +197,7 @@ pub fn spectral_bisect(
 mod tests {
     use super::*;
     use np_netlist::hypergraph_from_nets;
+    use np_sparse::BudgetMeter;
 
     fn two_triangles() -> Hypergraph {
         hypergraph_from_nets(

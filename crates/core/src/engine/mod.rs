@@ -41,6 +41,6 @@ pub mod stages;
 
 pub use context::{EventSink, RunContext, StageEvent, DEFAULT_SEED};
 pub use stage::{
-    default_fatal, run_stage, ChainAttempt, ChainFailure, ChainOutcome, FallbackChain, Partitioner,
-    Pipeline, Stage,
+    default_fatal, run_stage, BoxedStage, ChainAttempt, ChainFailure, ChainOutcome, FallbackChain,
+    Partitioner, Pipeline, Stage,
 };

@@ -89,6 +89,13 @@ pub fn run_stage(
     outcome
 }
 
+/// A boxed stage that can be shared across threads — the storage type of
+/// the combinators and of every multi-attempt executor (the `np-runner`
+/// portfolio pool distributes `BoxedStage`s over scoped worker threads).
+/// Every concrete stage in the workspace is a plain options struct, so
+/// the bound costs nothing.
+pub type BoxedStage = Box<dyn Stage + Send + Sync>;
+
 /// A sequence of stages executed left to right, each receiving the
 /// previous stage's partition as input. The pipeline is itself a
 /// [`Stage`], so pipelines nest.
@@ -113,7 +120,7 @@ pub fn run_stage(
 /// ```
 pub struct Pipeline {
     name: &'static str,
-    stages: Vec<Box<dyn Stage>>,
+    stages: Vec<BoxedStage>,
 }
 
 impl Pipeline {
@@ -127,7 +134,7 @@ impl Pipeline {
 
     /// Appends a stage (builder style).
     #[must_use]
-    pub fn then(mut self, stage: impl Stage + 'static) -> Self {
+    pub fn then(mut self, stage: impl Stage + Send + Sync + 'static) -> Self {
         self.stages.push(Box::new(stage));
         self
     }
@@ -233,7 +240,7 @@ pub struct ChainFailure<L> {
 /// assert_eq!(out.winner, "spectral");
 /// ```
 pub struct FallbackChain<L> {
-    links: Vec<(L, Box<dyn Stage>)>,
+    links: Vec<(L, BoxedStage)>,
     fatal: fn(&PartitionError) -> bool,
 }
 
@@ -248,7 +255,7 @@ impl<L: Copy> FallbackChain<L> {
 
     /// Appends a labelled alternative (builder style).
     #[must_use]
-    pub fn link(mut self, label: L, stage: impl Stage + 'static) -> Self {
+    pub fn link(mut self, label: L, stage: impl Stage + Send + Sync + 'static) -> Self {
         self.links.push((label, Box::new(stage)));
         self
     }

@@ -36,7 +36,6 @@ use crate::ordering::spectral_net_ordering_ctx;
 use crate::{PartitionError, PartitionResult};
 use np_eigen::LanczosOptions;
 use np_netlist::{Bipartition, CutStats, Hypergraph, NetId, Side};
-use np_sparse::BudgetMeter;
 
 /// Options for [`ig_match`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -94,21 +93,6 @@ pub fn ig_match(hg: &Hypergraph, opts: &IgMatchOptions) -> Result<IgMatchOutcome
     ig_match_ctx(hg, opts, &RunContext::unlimited())
 }
 
-/// [`ig_match`] with cooperative budget enforcement.
-///
-/// # Errors
-///
-/// The [`ig_match`] errors plus [`PartitionError::Budget`] when `meter`
-/// reports a limit hit.
-#[deprecated(since = "0.2.0", note = "use `ig_match_ctx`")]
-pub fn ig_match_metered(
-    hg: &Hypergraph,
-    opts: &IgMatchOptions,
-    meter: &BudgetMeter,
-) -> Result<IgMatchOutcome, PartitionError> {
-    ig_match_ctx(hg, opts, &RunContext::with_meter(meter))
-}
-
 /// [`ig_match`] against an execution context — the single implementation
 /// behind every entry point. The eigensolve charges one
 /// matvec-equivalent per operator application against the context's meter
@@ -150,27 +134,6 @@ pub fn ig_match_with_ordering(
     refine_free_modules: bool,
 ) -> Result<IgMatchOutcome, PartitionError> {
     ig_match_with_ordering_ctx(hg, order, refine_free_modules, &RunContext::unlimited())
-}
-
-/// [`ig_match_with_ordering`] with cooperative budget enforcement.
-///
-/// # Errors
-///
-/// The [`ig_match_with_ordering`] errors plus [`PartitionError::Budget`]
-/// when `meter` reports a limit hit.
-#[deprecated(since = "0.2.0", note = "use `ig_match_with_ordering_ctx`")]
-pub fn ig_match_with_ordering_metered(
-    hg: &Hypergraph,
-    order: &[NetId],
-    refine_free_modules: bool,
-    meter: &BudgetMeter,
-) -> Result<IgMatchOutcome, PartitionError> {
-    ig_match_with_ordering_ctx(
-        hg,
-        order,
-        refine_free_modules,
-        &RunContext::with_meter(meter),
-    )
 }
 
 /// [`ig_match_with_ordering`] against an execution context — the single
@@ -444,6 +407,7 @@ impl CompletionScratch {
 mod tests {
     use super::*;
     use np_netlist::hypergraph_from_nets;
+    use np_sparse::BudgetMeter;
 
     fn two_triangles() -> Hypergraph {
         hypergraph_from_nets(

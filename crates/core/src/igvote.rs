@@ -67,25 +67,6 @@ pub fn ig_vote(hg: &Hypergraph, opts: &IgVoteOptions) -> Result<PartitionResult,
     ig_vote_ctx(hg, opts, &RunContext::unlimited())
 }
 
-/// [`ig_vote`] with cooperative budget enforcement.
-///
-/// # Errors
-///
-/// The [`ig_vote`] errors plus [`PartitionError::Budget`] when `meter`
-/// reports a limit hit.
-///
-/// # Panics
-///
-/// Panics if `opts.threshold` is outside `(0, 1]`.
-#[deprecated(since = "0.2.0", note = "use `ig_vote_ctx`")]
-pub fn ig_vote_metered(
-    hg: &Hypergraph,
-    opts: &IgVoteOptions,
-    meter: &BudgetMeter,
-) -> Result<PartitionResult, PartitionError> {
-    ig_vote_ctx(hg, opts, &RunContext::with_meter(meter))
-}
-
 /// [`ig_vote`] against an execution context — the single implementation
 /// behind every entry point. The eigensolve charges the context's meter
 /// per matvec and the voting passes check its wall clock at every net

@@ -62,13 +62,11 @@ pub mod ordering;
 pub mod placement;
 pub mod robust;
 
-#[allow(deprecated)]
-pub use eig1::eig1_metered;
 pub use eig1::{eig1, eig1_ctx, Eig1Options};
-pub use engine::{EventSink, FallbackChain, Partitioner, Pipeline, RunContext, Stage, StageEvent};
+pub use engine::{
+    BoxedStage, EventSink, FallbackChain, Partitioner, Pipeline, RunContext, Stage, StageEvent,
+};
 pub use error::PartitionError;
-#[allow(deprecated)]
-pub use igmatch::ig_match_metered;
 pub use igmatch::{ig_match, ig_match_ctx, IgMatchOptions, IgMatchOutcome};
 pub use igvote::{ig_vote, ig_vote_ctx, IgVoteOptions};
 pub use models::IgWeighting;

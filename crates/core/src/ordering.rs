@@ -44,21 +44,6 @@ pub fn spectral_module_ordering(
     spectral_module_ordering_ctx(hg, opts, &RunContext::unlimited())
 }
 
-/// [`spectral_module_ordering`] with cooperative budget enforcement.
-///
-/// # Errors
-///
-/// The [`spectral_module_ordering`] errors plus
-/// [`PartitionError::Budget`] when the meter trips.
-#[deprecated(since = "0.2.0", note = "use `spectral_module_ordering_ctx`")]
-pub fn spectral_module_ordering_metered(
-    hg: &Hypergraph,
-    opts: &LanczosOptions,
-    meter: &BudgetMeter,
-) -> Result<Vec<ModuleId>, PartitionError> {
-    spectral_module_ordering_ctx(hg, opts, &RunContext::with_meter(meter))
-}
-
 /// [`spectral_module_ordering`] against an execution context — the single
 /// implementation behind every entry point. Every matvec of the
 /// eigensolve charges the context's meter.
@@ -99,22 +84,6 @@ pub fn spectral_net_ordering(
     opts: &LanczosOptions,
 ) -> Result<Vec<NetId>, PartitionError> {
     spectral_net_ordering_ctx(hg, weighting, opts, &RunContext::unlimited())
-}
-
-/// [`spectral_net_ordering`] with cooperative budget enforcement.
-///
-/// # Errors
-///
-/// The [`spectral_net_ordering`] errors plus [`PartitionError::Budget`]
-/// when the meter trips.
-#[deprecated(since = "0.2.0", note = "use `spectral_net_ordering_ctx`")]
-pub fn spectral_net_ordering_metered(
-    hg: &Hypergraph,
-    weighting: IgWeighting,
-    opts: &LanczosOptions,
-    meter: &BudgetMeter,
-) -> Result<Vec<NetId>, PartitionError> {
-    spectral_net_ordering_ctx(hg, weighting, opts, &RunContext::with_meter(meter))
 }
 
 /// [`spectral_net_ordering`] against an execution context — the single

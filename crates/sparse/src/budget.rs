@@ -12,9 +12,22 @@
 //! [`BudgetMeter::check`] at its natural checkpoints. All kernels in this
 //! workspace do so at per-iteration granularity, which bounds overshoot
 //! to a single iteration's work.
+//!
+//! # Sharing one allowance across threads
+//!
+//! A meter is a cheap handle over shared state ([`Clone`] just bumps an
+//! `Arc`), so a multi-threaded caller — the `np-runner` portfolio
+//! executor, a server handling one request on several workers — can hand
+//! every thread a clone and all of them observe the *same* deadline,
+//! charge the *same* matvec pool, and see the *same*
+//! [cancellation flag](BudgetMeter::cancel). [`BudgetMeter::tributary`]
+//! additionally gives a handle its own local tally, so per-thread (or
+//! per-attempt) spend can be read back exactly even though the pool is
+//! global.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Resource limits for one partitioning attempt. `None` means unlimited.
@@ -72,6 +85,10 @@ pub enum BudgetResource {
     WallClock,
     /// The matvec allowance was spent.
     Matvecs,
+    /// The run was cooperatively cancelled ([`BudgetMeter::cancel`]) —
+    /// e.g. a parallel portfolio already reached its target and asked
+    /// in-flight attempts to stop.
+    Cancelled,
 }
 
 /// Returned when a [`BudgetMeter`] limit is hit, carrying the partial
@@ -91,6 +108,7 @@ impl fmt::Display for BudgetExceeded {
         let what = match self.resource {
             BudgetResource::WallClock => "wall-clock budget",
             BudgetResource::Matvecs => "matvec budget",
+            BudgetResource::Cancelled => "run cancelled",
         };
         write!(
             f,
@@ -102,14 +120,33 @@ impl fmt::Display for BudgetExceeded {
 
 impl std::error::Error for BudgetExceeded {}
 
-/// Tracks spending against a [`Budget`]. `Sync`, so one meter can be
-/// shared by reference across the whole attempt.
+/// The state shared by every handle of one metering scope.
 #[derive(Debug)]
-pub struct BudgetMeter {
+struct MeterCore {
     started: Instant,
     deadline: Option<Instant>,
     matvec_cap: Option<u64>,
-    matvecs: AtomicU64,
+    /// Global matvec pool; every handle of the scope charges it.
+    pool: AtomicU64,
+    /// Cooperative cancellation flag; once set, every handle trips.
+    cancelled: AtomicBool,
+}
+
+/// Tracks spending against a [`Budget`]. `Sync`, so one meter can be
+/// shared by reference across the whole attempt; additionally a cheap
+/// *handle*: [`Clone`] produces a second handle over the same deadline,
+/// matvec pool and cancellation flag, so threads can own their handle
+/// instead of borrowing (`'static` spawns, async tasks).
+///
+/// [`tributary`](BudgetMeter::tributary) forks a handle with its own
+/// local tally for exact per-worker accounting.
+#[derive(Clone, Debug)]
+pub struct BudgetMeter {
+    core: Arc<MeterCore>,
+    /// This handle's own tally (shared with clones, fresh in
+    /// tributaries). The pool, not this, is what limits are checked
+    /// against.
+    local: Arc<AtomicU64>,
 }
 
 impl BudgetMeter {
@@ -117,16 +154,35 @@ impl BudgetMeter {
     pub fn new(budget: &Budget) -> Self {
         let started = Instant::now();
         BudgetMeter {
-            started,
-            deadline: budget.wall_clock.map(|d| started + d),
-            matvec_cap: budget.matvecs,
-            matvecs: AtomicU64::new(0),
+            core: Arc::new(MeterCore {
+                started,
+                deadline: budget.wall_clock.map(|d| started + d),
+                matvec_cap: budget.matvecs,
+                pool: AtomicU64::new(0),
+                cancelled: AtomicBool::new(false),
+            }),
+            local: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// A meter that never trips.
+    /// A meter that never trips (but can still be
+    /// [cancelled](BudgetMeter::cancel)).
     pub fn unlimited() -> Self {
         BudgetMeter::new(&Budget::UNLIMITED)
+    }
+
+    /// A handle over the same deadline, matvec pool and cancellation flag
+    /// but with a *fresh local tally*: charges made through the tributary
+    /// count against the shared limits as usual, while
+    /// [`local_used`](BudgetMeter::local_used) reads back exactly what
+    /// this tributary charged. The `np-runner` portfolio executor gives
+    /// each attempt a tributary to report per-attempt spend.
+    #[must_use]
+    pub fn tributary(&self) -> BudgetMeter {
+        BudgetMeter {
+            core: Arc::clone(&self.core),
+            local: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Charges `n` matvec-equivalents and then checks both limits.
@@ -136,14 +192,20 @@ impl BudgetMeter {
     pub fn charge(&self, n: u64) -> Result<(), BudgetExceeded> {
         // fetch_update with a total closure always succeeds
         let _ = self
-            .matvecs
+            .core
+            .pool
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+        let _ = self
+            .local
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
                 Some(v.saturating_add(n))
             });
         self.check()
     }
 
-    /// Checks both limits without charging.
+    /// Checks cancellation and both limits without charging.
     ///
     /// The wall clock is sampled exactly once per check from the same
     /// monotonic [`Instant`] timeline the deadline was derived from, and
@@ -152,32 +214,60 @@ impl BudgetMeter {
     /// the deadline it tripped on.
     pub fn check(&self) -> Result<(), BudgetExceeded> {
         let used = self.matvecs_used();
-        if let Some(cap) = self.matvec_cap {
+        if self.is_cancelled() {
+            return Err(self.exceeded(BudgetResource::Cancelled, used));
+        }
+        if let Some(cap) = self.core.matvec_cap {
             if used >= cap {
                 return Err(self.exceeded(BudgetResource::Matvecs, used));
             }
         }
-        if let Some(deadline) = self.deadline {
+        if let Some(deadline) = self.core.deadline {
             let now = Instant::now();
             if now >= deadline {
                 return Err(BudgetExceeded {
                     resource: BudgetResource::WallClock,
                     matvecs_used: used,
-                    elapsed: now.duration_since(self.started),
+                    elapsed: now.duration_since(self.core.started),
                 });
             }
         }
         Ok(())
     }
 
-    /// Matvec-equivalents charged so far.
+    /// Cooperatively cancels every handle of this metering scope: all
+    /// subsequent [`check`](BudgetMeter::check) /
+    /// [`charge`](BudgetMeter::charge) calls — on this handle, its
+    /// clones and its tributaries — fail with
+    /// [`BudgetResource::Cancelled`]. Like exhaustion, cancellation is
+    /// permanent for the scope.
+    pub fn cancel(&self) {
+        self.core.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`cancel`](BudgetMeter::cancel) has been called on any
+    /// handle of this scope.
+    pub fn is_cancelled(&self) -> bool {
+        self.core.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Matvec-equivalents charged so far against the shared pool (all
+    /// handles of the scope combined).
     pub fn matvecs_used(&self) -> u64 {
-        self.matvecs.load(Ordering::Relaxed)
+        self.core.pool.load(Ordering::Relaxed)
+    }
+
+    /// Matvec-equivalents charged through *this* handle (and its clones)
+    /// since it was created — for the root meter this equals
+    /// [`matvecs_used`](BudgetMeter::matvecs_used) unless tributaries
+    /// exist.
+    pub fn local_used(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
     }
 
     /// Wall-clock time since the meter was created.
     pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
+        self.core.started.elapsed()
     }
 
     fn exceeded(&self, resource: BudgetResource, used: u64) -> BudgetExceeded {
@@ -294,6 +384,61 @@ mod tests {
             e.elapsed >= limit,
             "elapsed {:?} < limit {limit:?}",
             e.elapsed
+        );
+    }
+
+    #[test]
+    fn clones_share_pool_deadline_and_cancel() {
+        let m = BudgetMeter::new(&Budget::default().with_matvecs(10));
+        let h = m.clone();
+        m.charge(4).unwrap();
+        h.charge(4).unwrap();
+        assert_eq!(m.matvecs_used(), 8);
+        assert_eq!(h.matvecs_used(), 8);
+        assert_eq!(m.local_used(), 8, "clones share the local tally too");
+        assert!(h.charge(2).is_err());
+        assert!(m.check().is_err(), "exhaustion is visible on every handle");
+    }
+
+    #[test]
+    fn tributaries_tally_locally_but_charge_the_pool() {
+        let root = BudgetMeter::new(&Budget::default().with_matvecs(100));
+        let a = root.tributary();
+        let b = root.tributary();
+        a.charge(7).unwrap();
+        b.charge(11).unwrap();
+        assert_eq!(a.local_used(), 7);
+        assert_eq!(b.local_used(), 11);
+        assert_eq!(root.local_used(), 0, "root never charged anything itself");
+        assert_eq!(root.matvecs_used(), 18, "the pool sees every tributary");
+    }
+
+    #[test]
+    fn cancel_trips_every_handle_within_one_check() {
+        let root = BudgetMeter::unlimited();
+        let trib = root.tributary();
+        let clone = root.clone();
+        assert!(trib.check().is_ok());
+        clone.cancel();
+        for h in [&root, &trib, &clone] {
+            let e = h.check().unwrap_err();
+            assert_eq!(e.resource, BudgetResource::Cancelled);
+            assert!(h.is_cancelled());
+        }
+        assert!(
+            root.charge(1).is_err(),
+            "cancellation is permanent for the scope"
+        );
+        assert!(trib.check().unwrap_err().to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn tributary_shares_the_deadline_timeline() {
+        let root = BudgetMeter::new(&Budget::default().with_wall_clock(Duration::ZERO));
+        let trib = root.tributary();
+        assert_eq!(
+            trib.check().unwrap_err().resource,
+            BudgetResource::WallClock
         );
     }
 }

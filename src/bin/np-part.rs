@@ -8,10 +8,12 @@
 //! np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|fm|kl|hybrid|robust]
 //!                   [--refine] [--weighting paper|uniform|shared-count|size-scaled]
 //!                   [--budget-ms MS] [--fallback] [--trace]
+//!                   [--restarts N] [--threads T] [--seed S]
+//!                   [--target-ratio X] [--report-json FILE]
 //!                   [--output PART_FILE] [--table]
 //! ```
 //!
-//! Every algorithm is an engine [`Stage`] assembled from the CLI flags
+//! Every algorithm is an engine [`Stage`](ig_match_repro::Stage) assembled from the CLI flags
 //! and run against one shared [`RunContext`], so `--budget-ms` (a
 //! wall-clock cap on the whole run) applies uniformly and `--trace`
 //! streams the stage graph — including the links of the robust fallback
@@ -23,18 +25,32 @@
 //! eigensolve and clique-model EIG1 down to plain FM, printing which
 //! stage produced the answer. An exhausted budget exits with a
 //! structured error.
+//!
+//! `--restarts N` switches to **portfolio mode** ([`np_runner`]): N
+//! attempts of the chosen algorithm run concurrently over `--threads T`
+//! workers (0 = one per CPU), each on its own decorrelated seed stream
+//! derived from `--seed`, and the best partition by ratio cut wins. For
+//! a fixed seed the winner is identical for every thread count.
+//! `--target-ratio X` stops the whole portfolio early once an attempt
+//! reaches ratio `X`; `--report-json FILE` writes the per-attempt
+//! outcome record.
 
 use ig_match_repro::core::engine::run_stage;
 use ig_match_repro::core::engine::stages::{
-    Eig1Stage, FmStage, IgMatchStage, IgVoteStage, KlStage, RcutStage,
+    Eig1Stage, FmStage, IgMatchStage, IgVoteStage, KlStage, RcutStage, RobustStage,
 };
+use ig_match_repro::core::engine::DEFAULT_SEED;
 use ig_match_repro::hybrid::{hybrid_pipeline, HybridOptions};
 use ig_match_repro::netlist::io::read_hgr;
+use ig_match_repro::netlist::rng::derive_seed;
 use ig_match_repro::netlist::stats::{CutBySize, NetlistSummary};
+use ig_match_repro::runner::{
+    run_portfolio, Portfolio, PortfolioEvent, PortfolioOptions, RandomStartFmStage,
+};
 use ig_match_repro::sparse::{Budget, BudgetMeter};
 use ig_match_repro::{
-    robust_partition_ctx, Bipartition, IgMatchOptions, IgVoteOptions, IgWeighting, RobustOptions,
-    RunContext, Side, Stage, StageEvent,
+    robust_partition_ctx, Bipartition, BoxedStage, Eig1Options, IgMatchOptions, IgVoteOptions,
+    IgWeighting, KlOptions, RcutOptions, RobustOptions, RunContext, Side, StageEvent,
 };
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
@@ -50,12 +66,30 @@ struct Args {
     trace: bool,
     output: Option<String>,
     table: bool,
+    restarts: Option<usize>,
+    threads: Option<usize>,
+    seed: u64,
+    target_ratio: Option<f64>,
+    report_json: Option<String>,
+}
+
+impl Args {
+    /// Any portfolio flag switches the run onto the `np-runner` path.
+    fn portfolio_mode(&self) -> bool {
+        self.restarts.is_some()
+            || self.threads.is_some()
+            || self.target_ratio.is_some()
+            || self.report_json.is_some()
+    }
 }
 
 const USAGE: &str =
     "usage: np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|fm|kl|hybrid|robust] \
                      [--refine] [--weighting paper|uniform|shared-count|size-scaled] \
-                     [--budget-ms MS] [--fallback] [--trace] [--output FILE] [--table]";
+                     [--budget-ms MS] [--fallback] [--trace] \
+                     [--restarts N] [--threads T] [--seed S] \
+                     [--target-ratio X] [--report-json FILE] \
+                     [--output FILE] [--table]";
 
 fn parse_args<I>(args: I) -> Result<Args, String>
 where
@@ -69,10 +103,15 @@ where
     let mut trace = false;
     let mut output = None;
     let mut table = false;
+    let mut restarts = None;
+    let mut threads = None;
+    let mut seed = DEFAULT_SEED;
+    let mut target_ratio = None;
+    let mut report_json = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--algorithm" => {
+            "--algorithm" | "--algo" => {
                 algorithm = iter.next().ok_or("--algorithm needs a value")?;
             }
             "--weighting" => {
@@ -94,6 +133,42 @@ where
             "--trace" => trace = true,
             "--table" => table = true,
             "--output" => output = Some(iter.next().ok_or("--output needs a value")?),
+            "--restarts" => {
+                let v = iter.next().ok_or("--restarts needs a value")?;
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--restarts expects a count, got '{v}'"))?;
+                if n == 0 {
+                    return Err("--restarts must be at least 1".into());
+                }
+                restarts = Some(n);
+            }
+            "--threads" => {
+                let v = iter.next().ok_or("--threads needs a value")?;
+                threads = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--threads expects a count (0 = auto), got '{v}'"))?,
+                );
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects an unsigned integer, got '{v}'"))?;
+            }
+            "--target-ratio" => {
+                let v = iter.next().ok_or("--target-ratio needs a value")?;
+                let x = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--target-ratio expects a number, got '{v}'"))?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err(format!("--target-ratio must be finite and >= 0, got '{v}'"));
+                }
+                target_ratio = Some(x);
+            }
+            "--report-json" => {
+                report_json = Some(iter.next().ok_or("--report-json needs a value")?);
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_string());
@@ -110,6 +185,11 @@ where
         trace,
         output,
         table,
+        restarts,
+        threads,
+        seed,
+        target_ratio,
+        report_json,
     })
 }
 
@@ -123,7 +203,7 @@ fn budget_of(args: &Args) -> Budget {
 
 /// Builds the engine stage the CLI flags describe. `robust` is handled
 /// separately (its chain reports structured diagnostics).
-fn stage_for(args: &Args) -> Result<Box<dyn Stage>, String> {
+fn stage_for(args: &Args) -> Result<BoxedStage, String> {
     let ig_match = IgMatchOptions {
         weighting: args.weighting,
         refine_free_modules: args.refine,
@@ -147,6 +227,145 @@ fn stage_for(args: &Args) -> Result<Box<dyn Stage>, String> {
     })
 }
 
+/// Builds the stage portfolio attempt `idx` runs: the CLI's algorithm
+/// with every internal seed moved onto the attempt's `derive_seed`
+/// stream, and internal restart loops collapsed to a single run (the
+/// portfolio *is* the restart loop).
+fn attempt_stage_for(args: &Args, idx: usize) -> Result<BoxedStage, String> {
+    let stream = derive_seed(args.seed, idx as u64);
+    let ig_match = {
+        let mut o = IgMatchOptions {
+            weighting: args.weighting,
+            refine_free_modules: args.refine,
+            ..Default::default()
+        };
+        o.lanczos.seed = stream;
+        o
+    };
+    Ok(match args.algorithm.as_str() {
+        "igmatch" => Box::new(IgMatchStage::new(ig_match)),
+        "igvote" => {
+            let mut o = IgVoteOptions {
+                weighting: args.weighting,
+                ..Default::default()
+            };
+            o.lanczos.seed = stream;
+            Box::new(IgVoteStage::new(o))
+        }
+        "eig1" => {
+            let mut o = Eig1Options::default();
+            o.lanczos.seed = stream;
+            Box::new(Eig1Stage { opts: o })
+        }
+        "rcut" => Box::new(RcutStage {
+            opts: RcutOptions {
+                runs: 1,
+                seed: stream,
+                ..Default::default()
+            },
+        }),
+        // FM draws its random start from the attempt context's seed
+        "fm" => Box::new(RandomStartFmStage::default()),
+        "kl" => Box::new(KlStage {
+            opts: KlOptions {
+                runs: 1,
+                seed: stream,
+                ..Default::default()
+            },
+        }),
+        "hybrid" => Box::new(hybrid_pipeline(&HybridOptions {
+            ig_match,
+            ..Default::default()
+        })),
+        "robust" => Box::new(RobustStage {
+            opts: RobustOptions {
+                ig_match,
+                ..Default::default()
+            },
+        }),
+        other => return Err(format!("unknown algorithm '{other}'\n{USAGE}")),
+    })
+}
+
+/// Portfolio mode: `--restarts` attempts of the chosen algorithm over
+/// the runner's worker pool, reduced to the best ratio cut.
+fn run_portfolio_mode(
+    args: &Args,
+    hg: &ig_match_repro::Hypergraph,
+    meter: &BudgetMeter,
+) -> Result<(String, Bipartition), String> {
+    use ig_match_repro::runner::AttemptStatus;
+
+    let restarts = args.restarts.unwrap_or(1);
+    let mut portfolio = Portfolio::new();
+    for i in 0..restarts {
+        portfolio = portfolio.attempt_boxed(
+            format!("{}#{i}", args.algorithm),
+            attempt_stage_for(args, i)?,
+        );
+    }
+    let opts = PortfolioOptions {
+        threads: args.threads.unwrap_or(0),
+        seed: args.seed,
+        target_ratio: args.target_ratio,
+    };
+    let trace = args.trace;
+    // same policy as the single-run sink, with an `[attempt:label]` tag
+    // so interleaved streams from concurrent attempts stay attributable
+    let sink = move |e: &PortfolioEvent<'_>| match e.event {
+        StageEvent::Detail { stage, message } => {
+            eprintln!("[{}:{}] {stage}: {message}", e.attempt, e.label)
+        }
+        StageEvent::Started { stage } if trace => {
+            eprintln!("[{}:{}] -> {stage}", e.attempt, e.label)
+        }
+        StageEvent::Finished { stage, outcome } if trace => match outcome {
+            Ok(r) => eprintln!(
+                "[{}:{}] <- {stage}: ratio {:.3e}",
+                e.attempt,
+                e.label,
+                r.ratio()
+            ),
+            Err(err) => eprintln!("[{}:{}] <- {stage}: failed: {err}", e.attempt, e.label),
+        },
+        _ => {}
+    };
+    let outcome = run_portfolio(hg, &portfolio, &opts, meter, Some(&sink));
+    {
+        let report = match &outcome {
+            Ok(o) => &o.report,
+            Err(e) => &e.report,
+        };
+        if let Some(path) = &args.report_json {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("portfolio report written to {path}");
+        }
+    }
+    match outcome {
+        Ok(out) => {
+            let completed = out
+                .report
+                .attempts
+                .iter()
+                .filter(|a| matches!(a.status, AttemptStatus::Won | AttemptStatus::Completed))
+                .count();
+            eprintln!(
+                "portfolio: attempt {} ('{}') wins, {completed}/{restarts} completed, {} thread(s), {:.1} ms",
+                out.winner,
+                out.report.attempts[out.winner].label,
+                out.report.threads,
+                out.report.wall.as_secs_f64() * 1e3
+            );
+            Ok((
+                format!("best-of-{restarts}[{}]", out.best.algorithm),
+                out.best.partition,
+            ))
+        }
+        Err(err) => Err(err.to_string()),
+    }
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
     let file =
@@ -168,9 +387,13 @@ fn run() -> Result<(), String> {
         },
         _ => {}
     };
-    let ctx = RunContext::with_meter(&meter).with_events(&sink);
+    let ctx = RunContext::with_meter(&meter)
+        .with_seed(args.seed)
+        .with_events(&sink);
 
-    let (label, partition): (String, Bipartition) = if args.algorithm == "robust" {
+    let (label, partition): (String, Bipartition) = if args.portfolio_mode() {
+        run_portfolio_mode(&args, &hg, &meter)?
+    } else if args.algorithm == "robust" {
         let opts = RobustOptions {
             ig_match: IgMatchOptions {
                 weighting: args.weighting,
@@ -245,6 +468,8 @@ mod tests {
         assert_eq!(a.algorithm, "igmatch");
         assert_eq!(a.weighting, IgWeighting::Paper);
         assert!(!a.refine && !a.table && !a.trace && a.output.is_none());
+        assert_eq!(a.seed, DEFAULT_SEED);
+        assert!(!a.portfolio_mode());
     }
 
     #[test]
@@ -324,5 +549,72 @@ mod tests {
             .err()
             .expect("unknown algorithm must be rejected");
         assert!(err.contains("unknown algorithm"), "{err}");
+    }
+
+    #[test]
+    fn portfolio_flags_parsed() {
+        let a = parse(&[
+            "x.hgr",
+            "--algo",
+            "fm",
+            "--restarts",
+            "16",
+            "--threads",
+            "8",
+            "--seed",
+            "42",
+            "--target-ratio",
+            "0.125",
+            "--report-json",
+            "report.json",
+        ])
+        .unwrap();
+        assert_eq!(a.algorithm, "fm");
+        assert_eq!(a.restarts, Some(16));
+        assert_eq!(a.threads, Some(8));
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.target_ratio, Some(0.125));
+        assert_eq!(a.report_json.as_deref(), Some("report.json"));
+        assert!(a.portfolio_mode());
+    }
+
+    #[test]
+    fn any_portfolio_flag_enables_portfolio_mode() {
+        for flags in [
+            &["x.hgr", "--restarts", "4"][..],
+            &["x.hgr", "--threads", "2"][..],
+            &["x.hgr", "--target-ratio", "0.5"][..],
+            &["x.hgr", "--report-json", "r.json"][..],
+        ] {
+            assert!(parse(flags).unwrap().portfolio_mode(), "{flags:?}");
+        }
+    }
+
+    #[test]
+    fn zero_restarts_rejected() {
+        let err = parse(&["x.hgr", "--restarts", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn bad_target_ratio_rejected() {
+        assert!(parse(&["x.hgr", "--target-ratio", "-1"]).is_err());
+        assert!(parse(&["x.hgr", "--target-ratio", "inf"]).is_err());
+        assert!(parse(&["x.hgr", "--target-ratio", "soon"]).is_err());
+    }
+
+    #[test]
+    fn every_algorithm_resolves_to_an_attempt_stage() {
+        for algo in [
+            "igmatch", "igvote", "eig1", "rcut", "fm", "kl", "hybrid", "robust",
+        ] {
+            let a = parse(&["x.hgr", "--algorithm", algo, "--restarts", "2"]).unwrap();
+            let s0 = attempt_stage_for(&a, 0).unwrap();
+            let s1 = attempt_stage_for(&a, 1).unwrap();
+            assert!(!s0.name().is_empty(), "{algo}");
+            assert_eq!(s0.name(), s1.name(), "{algo}");
+        }
+        let bad = parse(&["x.hgr", "--algorithm", "magic", "--restarts", "2"]).unwrap();
+        assert!(attempt_stage_for(&bad, 0).is_err());
     }
 }

@@ -11,7 +11,9 @@
 //! * [`core`] — the paper's algorithms: net models, EIG1, IG-Vote and
 //!   IG-Match, plus the composable stage engine ([`core::engine`])
 //!   every partitioner plugs into (`np-core`);
-//! * [`baselines`] — FM, the RCut1.0 stand-in and KL (`np-baselines`).
+//! * [`baselines`] — FM, the RCut1.0 stand-in and KL (`np-baselines`);
+//! * [`runner`] — the parallel multi-start portfolio executor with
+//!   deterministic best-of-N reduction (`np-runner`).
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -36,6 +38,7 @@ pub use np_baselines as baselines;
 pub use np_core as core;
 pub use np_eigen as eigen;
 pub use np_netlist as netlist;
+pub use np_runner as runner;
 pub use np_sparse as sparse;
 
 pub use np_baselines::{
@@ -44,12 +47,14 @@ pub use np_baselines::{
 };
 pub use np_core::{
     eig1, eig1_ctx, ig_match, ig_match_ctx, ig_vote, ig_vote_ctx, robust_partition,
-    robust_partition_ctx, Diagnostics, Eig1Options, EventSink, FallbackChain, FallbackStage,
-    IgMatchOptions, IgMatchOutcome, IgVoteOptions, IgWeighting, PartitionError, PartitionResult,
-    Partitioner, Pipeline, RobustFailure, RobustOptions, RobustOutcome, RunContext, Stage,
-    StageEvent,
+    robust_partition_ctx, BoxedStage, Diagnostics, Eig1Options, EventSink, FallbackChain,
+    FallbackStage, IgMatchOptions, IgMatchOutcome, IgVoteOptions, IgWeighting, PartitionError,
+    PartitionResult, Partitioner, Pipeline, RobustFailure, RobustOptions, RobustOutcome,
+    RunContext, Stage, StageEvent,
 };
-#[allow(deprecated)]
-pub use np_core::{eig1_metered, ig_match_metered};
 pub use np_netlist::{Bipartition, CutStats, Hypergraph, HypergraphBuilder, ModuleId, NetId, Side};
+pub use np_runner::{
+    run_portfolio, run_portfolio_scored, Portfolio, PortfolioOptions, PortfolioOutcome,
+    PortfolioReport,
+};
 pub use np_sparse::{Budget, BudgetExceeded, BudgetMeter};
