@@ -22,6 +22,7 @@
 //! | `hybrid` | §5 — IG-Match + ratio-FM post-refinement |
 //! | `bounds` | Theorem 1 — per-instance optimality certificates |
 //! | `portfolio` | best-of-16 portfolio tracking (`BENCH_portfolio.json`) |
+//! | `spectral` | operator cache + sharded SpMV vs serial rebuilds (`BENCH_spectral.json`) |
 //! | `suite_explore` | developer harness for calibrating the suite |
 //!
 //! The best-of-N baselines (`table2`'s RCut1.0, `ablation_areas`'

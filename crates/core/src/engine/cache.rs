@@ -1,0 +1,193 @@
+//! A build-once cache for the spectral operators of one hypergraph.
+
+use crate::models::clique::{bound_preserving_adjacency_threaded, clique_adjacency_threaded};
+use crate::models::{intersection_adjacency_threaded, IgWeighting};
+use np_netlist::Hypergraph;
+use np_sparse::Laplacian;
+use std::sync::{Arc, OnceLock};
+
+/// Lazily-built, shareable Laplacians of one hypergraph's net models.
+///
+/// Every spectral stage needs a Laplacian of the netlist — the clique
+/// model for EIG1, the intersection graph for IG-Vote/IG-Match — and
+/// these operators depend only on the hypergraph, not on seeds, budgets
+/// or orderings. A multi-start portfolio therefore rebuilds the exact
+/// same matrices once per attempt unless something shares them; this
+/// cache is that something. `np-runner` puts one `Arc<OperatorCache>`
+/// into every attempt's [`RunContext`](crate::engine::RunContext), so the
+/// first attempt to need an operator builds it (with the context's
+/// thread count sharding the build) and every later attempt gets the
+/// same `Arc` back for free.
+///
+/// Each slot is a [`OnceLock`], so concurrent first requests are safe:
+/// losers of the initialization race simply receive the winner's
+/// operator. Results are unaffected by sharing because the builders are
+/// deterministic functions of the hypergraph (and bit-identical for
+/// every thread count).
+///
+/// A cache describes **one** hypergraph. It does not store the
+/// hypergraph itself — callers pass it in — but the accessors
+/// debug-assert that the cached operator's dimension matches the
+/// hypergraph they are handed, which catches cross-netlist reuse.
+///
+/// # Example
+///
+/// ```
+/// use np_core::engine::OperatorCache;
+/// use np_netlist::hypergraph_from_nets;
+///
+/// let hg = hypergraph_from_nets(3, &[vec![0, 1], vec![1, 2]]);
+/// let cache = OperatorCache::new();
+/// let a = cache.clique_laplacian(&hg, 1);
+/// let b = cache.clique_laplacian(&hg, 8); // cache hit: same operator
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// ```
+#[derive(Debug, Default)]
+pub struct OperatorCache {
+    clique: OnceLock<Arc<Laplacian>>,
+    bound_preserving: OnceLock<Arc<Laplacian>>,
+    intersection: [OnceLock<Arc<Laplacian>>; IgWeighting::ALL.len()],
+}
+
+fn weighting_slot(weighting: IgWeighting) -> usize {
+    IgWeighting::ALL
+        .iter()
+        .position(|&w| w == weighting)
+        .expect("IgWeighting::ALL covers every variant")
+}
+
+impl OperatorCache {
+    /// An empty cache; operators are built on first request.
+    pub fn new() -> Self {
+        OperatorCache::default()
+    }
+
+    /// The clique-model Laplacian of `hg`, built on first call (sharding
+    /// the build over `threads` threads) and shared thereafter.
+    pub fn clique_laplacian(&self, hg: &Hypergraph, threads: usize) -> Arc<Laplacian> {
+        let q = self
+            .clique
+            .get_or_init(|| {
+                Arc::new(Laplacian::from_adjacency(clique_adjacency_threaded(
+                    hg, threads,
+                )))
+            })
+            .clone();
+        debug_assert_eq!(
+            np_sparse::LinearOperator::dim(&*q),
+            hg.num_modules(),
+            "OperatorCache reused across different hypergraphs"
+        );
+        q
+    }
+
+    /// The bound-preserving clique Laplacian of `hg` (see
+    /// [`bound_preserving_laplacian`](crate::models::clique::bound_preserving_laplacian)),
+    /// built on first call and shared thereafter.
+    pub fn bound_preserving_laplacian(&self, hg: &Hypergraph, threads: usize) -> Arc<Laplacian> {
+        let q = self
+            .bound_preserving
+            .get_or_init(|| {
+                Arc::new(Laplacian::from_adjacency(
+                    bound_preserving_adjacency_threaded(hg, threads),
+                ))
+            })
+            .clone();
+        debug_assert_eq!(
+            np_sparse::LinearOperator::dim(&*q),
+            hg.num_modules(),
+            "OperatorCache reused across different hypergraphs"
+        );
+        q
+    }
+
+    /// The intersection-graph Laplacian of `hg` under `weighting` (one
+    /// slot per [`IgWeighting`] variant), built on first call and shared
+    /// thereafter.
+    pub fn intersection_laplacian(
+        &self,
+        hg: &Hypergraph,
+        weighting: IgWeighting,
+        threads: usize,
+    ) -> Arc<Laplacian> {
+        let q = self.intersection[weighting_slot(weighting)]
+            .get_or_init(|| {
+                Arc::new(Laplacian::from_adjacency(intersection_adjacency_threaded(
+                    hg, weighting, threads,
+                )))
+            })
+            .clone();
+        debug_assert_eq!(
+            np_sparse::LinearOperator::dim(&*q),
+            hg.num_nets(),
+            "OperatorCache reused across different hypergraphs"
+        );
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{clique_laplacian, intersection_laplacian};
+    use np_netlist::hypergraph_from_nets;
+    use np_sparse::LinearOperator;
+
+    fn hg() -> np_netlist::Hypergraph {
+        hypergraph_from_nets(5, &[vec![0, 1, 2], vec![2, 3], vec![3, 4], vec![0, 4]])
+    }
+
+    #[test]
+    fn cache_returns_same_arc() {
+        let hg = hg();
+        let cache = OperatorCache::new();
+        let a = cache.clique_laplacian(&hg, 1);
+        let b = cache.clique_laplacian(&hg, 4);
+        assert!(Arc::ptr_eq(&a, &b));
+        for w in IgWeighting::ALL {
+            let x = cache.intersection_laplacian(&hg, w, 2);
+            let y = cache.intersection_laplacian(&hg, w, 1);
+            assert!(Arc::ptr_eq(&x, &y), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn cached_operators_match_direct_builds() {
+        let hg = hg();
+        let cache = OperatorCache::new();
+        for threads in [1usize, 2, 8] {
+            let cache = OperatorCache::new();
+            let q = cache.clique_laplacian(&hg, threads);
+            assert_eq!(q.adjacency(), clique_laplacian(&hg).adjacency());
+        }
+        for w in IgWeighting::ALL {
+            let q = cache.intersection_laplacian(&hg, w, 2);
+            assert_eq!(q.adjacency(), intersection_laplacian(&hg, w).adjacency());
+        }
+    }
+
+    #[test]
+    fn weighting_slots_are_distinct() {
+        let hg = hg();
+        let cache = OperatorCache::new();
+        let paper = cache.intersection_laplacian(&hg, IgWeighting::Paper, 1);
+        let uniform = cache.intersection_laplacian(&hg, IgWeighting::Uniform, 1);
+        assert!(!Arc::ptr_eq(&paper, &uniform));
+        assert_eq!(paper.dim(), uniform.dim());
+    }
+
+    #[test]
+    fn concurrent_first_use_converges_to_one_operator() {
+        let hg = hg();
+        let cache = OperatorCache::new();
+        let got: Vec<Arc<Laplacian>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| cache.clique_laplacian(&hg, 2)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for q in &got[1..] {
+            assert!(Arc::ptr_eq(&got[0], q));
+        }
+    }
+}

@@ -1,8 +1,12 @@
 //! The shared execution context threaded through every engine stage.
 
+use crate::engine::OperatorCache;
+use crate::models::IgWeighting;
 use crate::{PartitionError, PartitionResult};
 use np_netlist::rng::{derive_seed, Rng64};
-use np_sparse::{Budget, BudgetMeter};
+use np_netlist::Hypergraph;
+use np_sparse::{Budget, BudgetMeter, Laplacian};
+use std::sync::Arc;
 
 /// Default PRNG seed for contexts that do not set one explicitly.
 ///
@@ -99,6 +103,8 @@ pub struct RunContext<'a> {
     meter: MeterSlot<'a>,
     seed: u64,
     events: Option<&'a dyn EventSink>,
+    threads: usize,
+    operators: Arc<OperatorCache>,
 }
 
 impl std::fmt::Debug for dyn EventSink + '_ {
@@ -114,6 +120,8 @@ impl<'a> RunContext<'a> {
             meter: MeterSlot::Owned(BudgetMeter::unlimited()),
             seed: DEFAULT_SEED,
             events: None,
+            threads: 1,
+            operators: Arc::new(OperatorCache::new()),
         }
     }
 
@@ -124,6 +132,8 @@ impl<'a> RunContext<'a> {
             meter: MeterSlot::Owned(BudgetMeter::new(budget)),
             seed: DEFAULT_SEED,
             events: None,
+            threads: 1,
+            operators: Arc::new(OperatorCache::new()),
         }
     }
 
@@ -134,6 +144,8 @@ impl<'a> RunContext<'a> {
             meter: MeterSlot::Borrowed(meter),
             seed: DEFAULT_SEED,
             events: None,
+            threads: 1,
+            operators: Arc::new(OperatorCache::new()),
         }
     }
 
@@ -148,6 +160,25 @@ impl<'a> RunContext<'a> {
     #[must_use]
     pub fn with_events(mut self, sink: &'a dyn EventSink) -> Self {
         self.events = Some(sink);
+        self
+    }
+
+    /// Sets the thread count for sharded kernels (builder style): the
+    /// row-sharded SpMV inside the eigensolver and the sharded graph
+    /// builders. `0` means all available cores. Results are bit-identical
+    /// for every value — this knob trades wall-clock only.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Shares a caller-owned operator cache (builder style), so several
+    /// contexts — e.g. every attempt of an `np-runner` portfolio — reuse
+    /// one set of Laplacians instead of rebuilding them per attempt.
+    #[must_use]
+    pub fn with_operator_cache(mut self, cache: Arc<OperatorCache>) -> Self {
+        self.operators = cache;
         self
     }
 
@@ -178,6 +209,38 @@ impl<'a> RunContext<'a> {
     /// A fresh generator on the `stream`-th decorrelated sub-stream.
     pub fn derived_rng(&self, stream: u64) -> Rng64 {
         Rng64::new(self.derived_seed(stream))
+    }
+
+    /// Thread count for sharded kernels (`0` = all available cores,
+    /// default `1`).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The operator cache of this run (shared across runs when built with
+    /// [`with_operator_cache`](RunContext::with_operator_cache)).
+    pub fn operators(&self) -> &Arc<OperatorCache> {
+        &self.operators
+    }
+
+    /// The clique-model Laplacian of `hg` from this run's operator cache:
+    /// built on first request (sharding the build over
+    /// [`threads`](RunContext::threads)), shared by every later request —
+    /// including other contexts holding the same cache.
+    pub fn clique_laplacian(&self, hg: &Hypergraph) -> Arc<Laplacian> {
+        self.operators.clique_laplacian(hg, self.threads)
+    }
+
+    /// The intersection-graph Laplacian of `hg` under `weighting` from
+    /// this run's operator cache (see
+    /// [`clique_laplacian`](RunContext::clique_laplacian)).
+    pub fn intersection_laplacian(
+        &self,
+        hg: &Hypergraph,
+        weighting: IgWeighting,
+    ) -> Arc<Laplacian> {
+        self.operators
+            .intersection_laplacian(hg, weighting, self.threads)
     }
 
     /// `true` if an event sink is attached (lets stages skip formatting
@@ -232,6 +295,29 @@ mod tests {
         assert_eq!(ctx.rng().next_u64(), Rng64::new(42).next_u64());
         assert_eq!(ctx.derived_seed(0), 42);
         assert_ne!(ctx.derived_rng(1).next_u64(), ctx.derived_rng(2).next_u64());
+    }
+
+    #[test]
+    fn threads_default_and_builder() {
+        assert_eq!(RunContext::unlimited().threads(), 1);
+        assert_eq!(RunContext::unlimited().with_threads(8).threads(), 8);
+    }
+
+    #[test]
+    fn shared_cache_reuses_operators_across_contexts() {
+        let hg = np_netlist::hypergraph_from_nets(3, &[vec![0, 1], vec![1, 2]]);
+        let cache = Arc::new(OperatorCache::new());
+        let a = RunContext::unlimited()
+            .with_operator_cache(Arc::clone(&cache))
+            .clique_laplacian(&hg);
+        let b = RunContext::unlimited()
+            .with_operator_cache(Arc::clone(&cache))
+            .with_threads(4)
+            .clique_laplacian(&hg);
+        assert!(Arc::ptr_eq(&a, &b), "both contexts hit the same slot");
+        // a fresh default context owns its own cache
+        let c = RunContext::unlimited().clique_laplacian(&hg);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]

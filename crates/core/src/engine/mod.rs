@@ -35,10 +35,12 @@
 //! assert_eq!(result.algorithm, "IG-Match+FM");
 //! ```
 
+pub mod cache;
 pub mod context;
 pub mod stage;
 pub mod stages;
 
+pub use cache::OperatorCache;
 pub use context::{EventSink, RunContext, StageEvent, DEFAULT_SEED};
 pub use stage::{
     default_fatal, run_stage, BoxedStage, ChainAttempt, ChainFailure, ChainOutcome, FallbackChain,

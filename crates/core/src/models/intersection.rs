@@ -17,8 +17,69 @@
 //! similar, high-quality" results; [`IgWeighting`] exposes the variants so
 //! the claim can be tested (ablation experiment E10 in `DESIGN.md`).
 
-use np_netlist::Hypergraph;
+use np_netlist::{Hypergraph, ModuleId};
 use np_sparse::{CsrMatrix, Laplacian, TripletBuilder};
+
+/// Pushes, for every module in `lo..hi`, its `C(d,2)` net pairs into `b`
+/// under the Paper/SizeScaled weighting. Modules of degree `< 2` span no
+/// pair (and under [`IgWeighting::Paper`] a `1/(d−1)` factor would be
+/// non-finite for them), so they contribute nothing.
+fn weighted_pair_triplets(
+    hg: &Hypergraph,
+    lo: usize,
+    hi: usize,
+    weighting: IgWeighting,
+    b: &mut TripletBuilder,
+) {
+    for module in lo..hi {
+        let nets = hg.nets_of(ModuleId(module as u32));
+        let d = nets.len();
+        if d < 2 {
+            continue;
+        }
+        let degree_factor = match weighting {
+            IgWeighting::Paper => 1.0 / (d as f64 - 1.0),
+            _ => 1.0,
+        };
+        for i in 0..d {
+            let size_i = hg.net_size(nets[i]) as f64;
+            for j in i + 1..d {
+                let size_j = hg.net_size(nets[j]) as f64;
+                let w = degree_factor * (1.0 / size_i + 1.0 / size_j);
+                b.push_sym(nets[i].index(), nets[j].index(), w);
+            }
+        }
+    }
+}
+
+/// Pushes a unit count for every net pair meeting at a module in
+/// `lo..hi` (the accumulation pass shared by Uniform and SharedCount).
+fn count_pair_triplets(hg: &Hypergraph, lo: usize, hi: usize, b: &mut TripletBuilder) {
+    for module in lo..hi {
+        let nets = hg.nets_of(ModuleId(module as u32));
+        for i in 0..nets.len() {
+            for j in i + 1..nets.len() {
+                b.push_sym(nets[i].index(), nets[j].index(), 1.0);
+            }
+        }
+    }
+}
+
+/// Debug-time check of the intersection graph's structural invariant: a
+/// net never intersects itself, so `A'` must have an empty diagonal.
+/// `HypergraphBuilder` dedupes each net's pin list, which is what makes
+/// every `nets_of` list duplicate-free and this assertion hold; it would
+/// catch a regression that reintroduces duplicate pins.
+fn debug_assert_no_self_loops(a: &CsrMatrix, num_nets: usize) {
+    if cfg!(debug_assertions) {
+        for r in 0..num_nets {
+            debug_assert!(
+                a.get(r, r) == 0.0,
+                "intersection graph has a self-loop at net {r}"
+            );
+        }
+    }
+}
 
 /// Edge-weighting scheme for the intersection graph.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -81,44 +142,38 @@ impl IgWeighting {
 /// assert!((a.get(0, 1) - 1.0).abs() < 1e-12);
 /// ```
 pub fn intersection_adjacency(hg: &Hypergraph, weighting: IgWeighting) -> CsrMatrix {
-    let mut b = TripletBuilder::new(hg.num_nets());
-    match weighting {
+    intersection_adjacency_threaded(hg, weighting, 1)
+}
+
+/// [`intersection_adjacency`] with the module range sharded over
+/// `threads` OS threads (`0` = all available cores).
+///
+/// Each shard enumerates the net pairs of a contiguous module chunk into
+/// its own triplet builder; the chunks are merged in module order, so the
+/// accumulated weights are **bit-identical** to the serial build for
+/// every thread count (same entry order into the duplicate-summing CSR
+/// conversion — the determinism contract of `models::build_sharded`).
+pub fn intersection_adjacency_threaded(
+    hg: &Hypergraph,
+    weighting: IgWeighting,
+    threads: usize,
+) -> CsrMatrix {
+    let (m, modules) = (hg.num_nets(), hg.num_modules());
+    let a = match weighting {
         IgWeighting::Paper | IgWeighting::SizeScaled => {
-            for module in hg.modules() {
-                let nets = hg.nets_of(module);
-                let d = nets.len();
-                if d < 2 {
-                    continue;
-                }
-                let degree_factor = match weighting {
-                    IgWeighting::Paper => 1.0 / (d as f64 - 1.0),
-                    _ => 1.0,
-                };
-                for i in 0..d {
-                    let size_i = hg.net_size(nets[i]) as f64;
-                    for j in i + 1..d {
-                        let size_j = hg.net_size(nets[j]) as f64;
-                        let w = degree_factor * (1.0 / size_i + 1.0 / size_j);
-                        b.push_sym(nets[i].index(), nets[j].index(), w);
-                    }
-                }
-            }
+            super::build_sharded(m, modules, threads, |lo, hi, b| {
+                weighted_pair_triplets(hg, lo, hi, weighting, b)
+            })
         }
         IgWeighting::Uniform | IgWeighting::SharedCount => {
-            // accumulate shared-module counts, then post-process
-            for module in hg.modules() {
-                let nets = hg.nets_of(module);
-                for i in 0..nets.len() {
-                    for j in i + 1..nets.len() {
-                        b.push_sym(nets[i].index(), nets[j].index(), 1.0);
-                    }
-                }
-            }
+            // accumulate shared-module counts (sharded), then post-process
+            let counts = super::build_sharded(m, modules, threads, |lo, hi, b| {
+                count_pair_triplets(hg, lo, hi, b)
+            });
             if weighting == IgWeighting::Uniform {
                 // collapse accumulated counts back to 1.0 per pair
-                let counts = b.into_csr();
-                let mut b2 = TripletBuilder::new(hg.num_nets());
-                for r in 0..hg.num_nets() {
+                let mut b2 = TripletBuilder::new(m);
+                for r in 0..m {
                     let (cols, _) = counts.row(r);
                     for &c in cols {
                         if (c as usize) > r {
@@ -126,11 +181,14 @@ pub fn intersection_adjacency(hg: &Hypergraph, weighting: IgWeighting) -> CsrMat
                         }
                     }
                 }
-                return b2.into_csr();
+                b2.into_csr()
+            } else {
+                counts
             }
         }
-    }
-    b.into_csr()
+    };
+    debug_assert_no_self_loops(&a, m);
+    a
 }
 
 /// The Laplacian `Q' = D' − A'` of the intersection graph; its Fiedler
@@ -290,6 +348,64 @@ mod tests {
             ig.nnz(),
             clique.nnz()
         );
+    }
+
+    #[test]
+    fn threaded_build_bit_identical_for_all_weightings() {
+        let hg = hypergraph_from_nets(
+            9,
+            &[
+                vec![0, 1, 2],
+                vec![2, 3],
+                vec![3, 4, 5],
+                vec![0, 5],
+                vec![6],
+                vec![6, 7, 8],
+                vec![1, 7],
+                vec![2, 8, 4],
+            ],
+        );
+        for w in IgWeighting::ALL {
+            let serial = intersection_adjacency(&hg, w);
+            for threads in [1usize, 2, 8] {
+                assert_eq!(
+                    intersection_adjacency_threaded(&hg, w, threads),
+                    serial,
+                    "weighting={w:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_pin_net_no_self_loop() {
+        // regression: a raw net listing module 1 twice must not produce a
+        // self-pair in the nets[i]/nets[j] loop. HypergraphBuilder dedupes
+        // the pin list, so nets_of stays duplicate-free and the diagonal
+        // of A' stays empty.
+        let hg = hypergraph_from_nets(3, &[vec![0, 1, 1], vec![1, 2]]);
+        assert_eq!(hg.net_size(np_netlist::NetId(0)), 2, "pins deduped");
+        for w in IgWeighting::ALL {
+            let a = intersection_adjacency(&hg, w);
+            for r in 0..hg.num_nets() {
+                assert_eq!(a.get(r, r), 0.0, "self-loop under {w:?}");
+                assert!(a.row(r).1.iter().all(|v| v.is_finite()));
+            }
+        }
+        // the shared module is counted once: d(1) = 2, |n0| = |n1| = 2
+        let a = intersection_adjacency(&hg, IgWeighting::Paper);
+        assert!((a.get(0, 1) - 1.0).abs() < 1e-12, "1/(2−1)·(1/2+1/2)");
+    }
+
+    #[test]
+    fn single_pin_net_weights_finite() {
+        // a single-pin net is an isolated vertex of G' with finite (zero)
+        // degree, not a NaN/∞ source
+        let hg = hypergraph_from_nets(3, &[vec![0], vec![0, 1], vec![1, 2]]);
+        for w in IgWeighting::ALL {
+            let q = intersection_laplacian(&hg, w);
+            assert!(q.degrees().iter().all(|d| d.is_finite()), "{w:?}");
+        }
     }
 
     #[test]

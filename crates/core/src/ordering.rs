@@ -7,7 +7,7 @@
 //! IG-Match they are *nets* (intersection graph).
 
 use crate::engine::RunContext;
-use crate::models::{clique_laplacian, intersection_laplacian, IgWeighting};
+use crate::models::IgWeighting;
 use crate::PartitionError;
 use np_eigen::{fiedler_metered, LanczosOptions};
 use np_netlist::{Hypergraph, ModuleId, NetId};
@@ -46,7 +46,11 @@ pub fn spectral_module_ordering(
 
 /// [`spectral_module_ordering`] against an execution context — the single
 /// implementation behind every entry point. Every matvec of the
-/// eigensolve charges the context's meter.
+/// eigensolve charges the context's meter; the Laplacian comes from the
+/// context's operator cache (built once, shared with other runs holding
+/// the same cache) and its matvecs shard over
+/// [`ctx.threads()`](RunContext::threads). The ordering is bit-identical
+/// for every thread count.
 ///
 /// # Errors
 ///
@@ -63,8 +67,8 @@ pub fn spectral_module_ordering_ctx(
             nets: hg.num_nets(),
         });
     }
-    let q = clique_laplacian(hg);
-    let pair = fiedler_metered(&q, opts, ctx.meter())?;
+    let q = ctx.clique_laplacian(hg);
+    let pair = fiedler_metered(&q.threaded(ctx.threads()), opts, ctx.meter())?;
     Ok(order_by_component(&pair.vector)
         .into_iter()
         .map(ModuleId)
@@ -88,7 +92,10 @@ pub fn spectral_net_ordering(
 
 /// [`spectral_net_ordering`] against an execution context — the single
 /// implementation behind every entry point. Every matvec of the
-/// eigensolve charges the context's meter.
+/// eigensolve charges the context's meter; the Laplacian comes from the
+/// context's operator cache and its matvecs shard over
+/// [`ctx.threads()`](RunContext::threads). The ordering is bit-identical
+/// for every thread count.
 ///
 /// # Errors
 ///
@@ -106,8 +113,8 @@ pub fn spectral_net_ordering_ctx(
             nets: hg.num_nets(),
         });
     }
-    let q = intersection_laplacian(hg, weighting);
-    let pair = fiedler_metered(&q, opts, ctx.meter())?;
+    let q = ctx.intersection_laplacian(hg, weighting);
+    let pair = fiedler_metered(&q.threaded(ctx.threads()), opts, ctx.meter())?;
     Ok(order_by_component(&pair.vector)
         .into_iter()
         .map(NetId)

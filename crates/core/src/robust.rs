@@ -38,7 +38,6 @@ use crate::eig1::sweep_module_ordering_ctx;
 use crate::engine::stages::FmStage;
 use crate::engine::{ChainAttempt, FallbackChain, Partitioner, RunContext};
 use crate::igmatch::ig_match_with_ordering_ctx;
-use crate::models::{clique_laplacian, intersection_laplacian};
 use crate::ordering::order_by_component;
 use crate::{IgMatchOptions, PartitionError, PartitionResult};
 use np_baselines::FmOptions;
@@ -429,19 +428,23 @@ impl LinearOperator for PoisonedOperator<'_> {
 }
 
 /// Fiedler pair of `q` with the all-ones nullvector deflated, honoring a
-/// possible poison fault.
+/// possible poison fault. Matvecs shard over `threads` OS threads
+/// (bit-identical to serial for every count); the poisoned-fault path
+/// stays serial because the corruption wrapper is the operator under
+/// test.
 fn solve_fiedler(
     q: &Laplacian,
     lanczos: &LanczosOptions,
     meter: &BudgetMeter,
     fault: Option<FaultKind>,
+    threads: usize,
 ) -> Result<EigenPair, PartitionError> {
     let n = q.dim();
     let ones = vec![1.0; n];
     let pair = if fault == Some(FaultKind::PoisonOperator) {
         smallest_deflated_metered(&PoisonedOperator { inner: q }, &[ones], lanczos, meter)
     } else {
-        smallest_deflated_metered(q, &[ones], lanczos, meter)
+        smallest_deflated_metered(&q.threaded(threads), &[ones], lanczos, meter)
     }?;
     Ok(pair)
 }
@@ -475,8 +478,8 @@ impl Partitioner for SpectralIgLink {
                 nets: hg.num_nets(),
             });
         }
-        let q = intersection_laplacian(hg, self.weighting);
-        let pair = solve_fiedler(&q, &self.lanczos, meter, self.fault)?;
+        let q = ctx.intersection_laplacian(hg, self.weighting);
+        let pair = solve_fiedler(&q, &self.lanczos, meter, self.fault, ctx.threads())?;
         let order: Vec<NetId> = order_by_component(&pair.vector)
             .into_iter()
             .map(NetId)
@@ -512,8 +515,8 @@ impl Partitioner for CliqueEig1Link {
                 nets: hg.num_nets(),
             });
         }
-        let q = clique_laplacian(hg);
-        let pair = solve_fiedler(&q, &self.lanczos, meter, self.fault)?;
+        let q = ctx.clique_laplacian(hg);
+        let pair = solve_fiedler(&q, &self.lanczos, meter, self.fault, ctx.threads())?;
         let order: Vec<ModuleId> = order_by_component(&pair.vector)
             .into_iter()
             .map(ModuleId)

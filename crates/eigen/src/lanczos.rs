@@ -562,6 +562,45 @@ mod tests {
     }
 
     #[test]
+    fn threaded_operator_bit_identical_eigenpair() {
+        // the row-sharded operator changes how a matvec is executed, not
+        // what it computes, so the whole iteration — values, vectors,
+        // metered spend — must match serial bit for bit at every thread
+        // count
+        let n = 300;
+        let q = path_laplacian(n);
+        let run = |threads: usize| {
+            let meter = BudgetMeter::unlimited();
+            let op = q.threaded(threads);
+            let pair =
+                smallest_deflated_metered(&op, &[ones(n)], &LanczosOptions::default(), &meter)
+                    .unwrap();
+            (pair, meter.matvecs_used())
+        };
+        let (serial_pair, serial_spend) = run(1);
+        for threads in [2usize, 8] {
+            let (pair, spend) = run(threads);
+            assert_eq!(pair.value.to_bits(), serial_pair.value.to_bits());
+            assert_eq!(pair.vector, serial_pair.vector, "threads={threads}");
+            assert_eq!(spend, serial_spend, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_operator_bit_identical_block_solver() {
+        let n = 256;
+        let q = path_laplacian(n);
+        let opts = crate::BlockLanczosOptions::default();
+        let serial = crate::smallest_deflated_block(&q, &[ones(n)], &opts).unwrap();
+        for threads in [2usize, 8] {
+            let par =
+                crate::smallest_deflated_block(&q.threaded(threads), &[ones(n)], &opts).unwrap();
+            assert_eq!(par.value.to_bits(), serial.value.to_bits());
+            assert_eq!(par.vector, serial.vector, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn generous_budget_converges_and_reports_spend() {
         let q = path_laplacian(150);
         let meter = BudgetMeter::new(&Budget::default().with_matvecs(1_000_000));

@@ -48,7 +48,7 @@ pub use block::{smallest_deflated_block, BlockLanczosOptions};
 pub use error::EigenError;
 pub use lanczos::{smallest_deflated, smallest_deflated_metered, EigenPair, LanczosOptions};
 
-use np_sparse::{BudgetMeter, Laplacian};
+use np_sparse::{BudgetMeter, LinearOperator};
 
 /// Computes the Fiedler pair (`λ₂` and its eigenvector) of a graph
 /// Laplacian.
@@ -59,18 +59,25 @@ use np_sparse::{BudgetMeter, Laplacian};
 /// component indicators orthogonal to all-ones — still a valid ordering
 /// vector, which is how the downstream sweep code recovers zero-cut splits.
 ///
+/// Accepts any [`LinearOperator`] that applies a graph Laplacian — the
+/// factored [`Laplacian`](np_sparse::Laplacian) itself or its row-sharded
+/// [`ThreadedLaplacian`](np_sparse::ThreadedLaplacian) wrapper, whose
+/// matvecs are bit-identical to serial, so the computed pair (and the
+/// iteration count) is independent of the thread count.
+///
 /// # Errors
 ///
 /// Returns [`EigenError::NoConvergence`] if the iteration fails to reach
 /// the requested tolerance within the configured restarts, and
 /// [`EigenError::TooSmall`] for operators of dimension `< 2`.
-pub fn fiedler(lap: &Laplacian, opts: &LanczosOptions) -> Result<EigenPair, EigenError> {
+pub fn fiedler(lap: &impl LinearOperator, opts: &LanczosOptions) -> Result<EigenPair, EigenError> {
     fiedler_metered(lap, opts, &BudgetMeter::unlimited())
 }
 
 /// [`fiedler`] with cooperative budget enforcement: every matvec charges
-/// `meter`, and exhaustion surfaces as [`EigenError::Budget`] with the
-/// partial spend attached. Non-finite operator output is reported as
+/// `meter` once — regardless of how many threads a sharded operator used
+/// to execute it — and exhaustion surfaces as [`EigenError::Budget`] with
+/// the partial spend attached. Non-finite operator output is reported as
 /// [`EigenError::NonFinite`] instead of corrupting the iteration.
 ///
 /// # Errors
@@ -78,11 +85,11 @@ pub fn fiedler(lap: &Laplacian, opts: &LanczosOptions) -> Result<EigenPair, Eige
 /// The [`fiedler`] errors plus [`EigenError::Budget`] and
 /// [`EigenError::NonFinite`].
 pub fn fiedler_metered(
-    lap: &Laplacian,
+    lap: &impl LinearOperator,
     opts: &LanczosOptions,
     meter: &BudgetMeter,
 ) -> Result<EigenPair, EigenError> {
-    let n = np_sparse::LinearOperator::dim(lap);
+    let n = lap.dim();
     if n < 2 {
         return Err(EigenError::TooSmall { dim: n });
     }

@@ -69,14 +69,16 @@ mod report;
 pub use report::{AttemptReport, AttemptStatus, PortfolioReport, REPORT_SCHEMA};
 
 use np_baselines::{fm_bisect_metered, FmOptions};
-use np_core::engine::{run_stage, BoxedStage, EventSink, RunContext, StageEvent, DEFAULT_SEED};
+use np_core::engine::{
+    run_stage, BoxedStage, EventSink, OperatorCache, RunContext, StageEvent, DEFAULT_SEED,
+};
 use np_core::{PartitionError, PartitionResult, Partitioner, Stage};
 use np_netlist::rng::derive_seed;
 use np_netlist::{Bipartition, Hypergraph, ModuleId};
 use np_sparse::{BudgetMeter, BudgetResource};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One labelled attempt of a [`Portfolio`].
@@ -446,6 +448,12 @@ pub fn run_portfolio_scored(
         });
     }
     let threads = effective_threads(opts.threads, n);
+    // One operator cache for the whole portfolio: the spectral Laplacians
+    // depend only on the hypergraph, so the first attempt to need one
+    // builds it and every other attempt reuses it instead of rebuilding
+    // per attempt. Results are unchanged — the operators are
+    // deterministic functions of the netlist.
+    let operators = Arc::new(OperatorCache::new());
     let next = AtomicUsize::new(0);
     let best = BestCell::new();
     let slots: Vec<Mutex<Option<Slot>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -464,7 +472,9 @@ pub fn run_portfolio_scored(
                     let slot = if meter.check().is_err() {
                         Slot::skipped()
                     } else {
-                        run_attempt(hg, attempt, idx, opts, meter, sink, score, &best)
+                        run_attempt(
+                            hg, attempt, idx, opts, meter, sink, score, &best, &operators,
+                        )
                     };
                     *slots[idx].lock().expect("slot lock") = Some(slot);
                 }
@@ -533,6 +543,7 @@ fn run_attempt(
     sink: Option<&dyn PortfolioSink>,
     score: &(dyn Fn(&PartitionResult) -> f64 + Sync),
     best: &BestCell,
+    operators: &Arc<OperatorCache>,
 ) -> Slot {
     let tributary = meter.tributary();
     let forward = sink.map(|sink| Forward {
@@ -540,7 +551,13 @@ fn run_attempt(
         attempt: idx,
         label: &attempt.label,
     });
-    let mut ctx = RunContext::with_meter(&tributary).with_seed(derive_seed(opts.seed, idx as u64));
+    // Attempts share the portfolio-wide operator cache but keep their
+    // sharded kernels serial (threads = 1): the worker pool already uses
+    // every requested core, so per-attempt SpMV sharding would only
+    // oversubscribe it.
+    let mut ctx = RunContext::with_meter(&tributary)
+        .with_seed(derive_seed(opts.seed, idx as u64))
+        .with_operator_cache(Arc::clone(operators));
     if let Some(fwd) = &forward {
         ctx = ctx.with_events(fwd);
     }

@@ -24,6 +24,18 @@
 //! additionally gives a handle its own local tally, so per-thread (or
 //! per-attempt) spend can be read back exactly even though the pool is
 //! global.
+//!
+//! # Batched charging from sharded kernels
+//!
+//! A kernel that internally fans one unit of work out over several
+//! threads — the row-sharded matvec of [`crate::parallel`] — must *not*
+//! charge the meter from its shards: `k` shards would report `k`
+//! matvec-equivalents for one actual matvec, over-reporting spend and
+//! multiplying the atomic traffic (and cancellation checks) by the shard
+//! count. The contract is that shards stay meter-silent and the *caller*
+//! charges once per logical unit at its existing per-iteration
+//! checkpoint, keeping accounting exact and cancellation checks O(1) per
+//! iteration regardless of the thread count.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -82,6 +82,29 @@ impl TripletBuilder {
         }
     }
 
+    /// Appends every triplet of `other` to this builder, preserving
+    /// `other`'s push order.
+    ///
+    /// This is the merge step of the sharded parallel graph builders:
+    /// each shard accumulates its own builder over a contiguous slice of
+    /// the source items, and the shards are appended *in shard order*, so
+    /// the merged triplet sequence is identical to what a serial build
+    /// over the whole range would have pushed — and therefore
+    /// [`into_csr`](TripletBuilder::into_csr) is bit-identical too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two builders have different dimensions.
+    pub fn append(&mut self, other: TripletBuilder) {
+        assert_eq!(
+            self.n, other.n,
+            "cannot append builders of different dimensions"
+        );
+        self.rows.extend_from_slice(&other.rows);
+        self.cols.extend_from_slice(&other.cols);
+        self.vals.extend_from_slice(&other.vals);
+    }
+
     /// Converts to CSR, summing duplicates and dropping entries whose
     /// accumulated value is exactly zero.
     pub fn into_csr(self) -> CsrMatrix {
@@ -245,6 +268,31 @@ impl CsrMatrix {
         }
     }
 
+    /// Computes rows `lo..lo + out.len()` of the product `A·x` into `out`.
+    ///
+    /// This is the per-shard kernel of the row-sharded parallel matvec
+    /// (see [`crate::parallel`]): each row's dot product is accumulated
+    /// sequentially by exactly one caller, so covering `0..n` with any
+    /// disjoint set of ranges produces output bit-identical to a single
+    /// [`apply`](crate::LinearOperator::apply) — no reduction order is
+    /// introduced that serial execution would not also have.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()` or the row range exceeds the matrix.
+    pub fn apply_rows(&self, lo: usize, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "input vector dimension mismatch");
+        assert!(lo + out.len() <= self.n, "row range out of bounds");
+        for (k, dst) in out.iter_mut().enumerate() {
+            let (cols, vals) = self.row(lo + k);
+            let mut acc = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x[c as usize];
+            }
+            *dst = acc;
+        }
+    }
+
     /// Returns `true` if the matrix equals its transpose (entry-wise within
     /// `tol`).
     pub fn is_symmetric(&self, tol: f64) -> bool {
@@ -266,16 +314,8 @@ impl LinearOperator for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.n, "input vector dimension mismatch");
         assert_eq!(y.len(), self.n, "output vector dimension mismatch");
-        for (r, out) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (&c, &v) in cols.iter().zip(vals) {
-                acc += v * x[c as usize];
-            }
-            *out = acc;
-        }
+        self.apply_rows(0, x, y);
     }
 }
 

@@ -63,6 +63,31 @@ impl Laplacian {
         self.adjacency.nnz()
     }
 
+    /// Computes rows `lo..lo + out.len()` of `(D − A)·x` into `out` — the
+    /// per-shard kernel of the row-sharded parallel matvec (see
+    /// [`crate::parallel`]). Covering `0..dim()` with disjoint ranges
+    /// reproduces [`apply`](LinearOperator::apply) bit for bit, because
+    /// each row is still accumulated sequentially by exactly one caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()` or the row range exceeds the operator.
+    pub fn apply_rows(&self, lo: usize, x: &[f64], out: &mut [f64]) {
+        self.adjacency.apply_rows(lo, x, out);
+        for (k, v) in out.iter_mut().enumerate() {
+            let r = lo + k;
+            *v = self.degrees[r] * x[r] - *v;
+        }
+    }
+
+    /// Wraps this Laplacian in a [`ThreadedLaplacian`](crate::ThreadedLaplacian)
+    /// that shards every matvec over `threads` OS threads (`0` = all
+    /// available cores). The threaded operator's output is bit-identical
+    /// to serial [`apply`](LinearOperator::apply) for every thread count.
+    pub fn threaded(&self, threads: usize) -> crate::ThreadedLaplacian<'_> {
+        crate::ThreadedLaplacian::new(self, threads)
+    }
+
     /// The quadratic form `xᵀQx = ½ Σ_ij A_ij (x_i − x_j)²` (Hall's
     /// placement objective, paper Appendix A). Always `≥ 0`.
     ///

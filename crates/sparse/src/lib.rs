@@ -11,6 +11,9 @@
 //!   (adjacency + degree vector), so building it never materializes the
 //!   diagonal into the sparsity pattern;
 //! * [`LinearOperator`] — the abstraction the eigensolver works against;
+//! * [`parallel`] — row-sharded multi-threaded matvec
+//!   ([`ThreadedLaplacian`]) whose output is bit-identical to the serial
+//!   operator for every thread count;
 //! * [`vecops`] — the handful of dense-vector kernels (dot, axpy, norms)
 //!   Lanczos needs.
 //!
@@ -27,9 +30,11 @@ pub mod budget;
 mod csr;
 mod laplacian;
 mod operator;
+pub mod parallel;
 pub mod vecops;
 
 pub use budget::{Budget, BudgetExceeded, BudgetMeter, BudgetResource};
 pub use csr::{CsrMatrix, TripletBuilder};
 pub use laplacian::Laplacian;
 pub use operator::LinearOperator;
+pub use parallel::{resolve_threads, shard_ranges, ThreadedLaplacian};

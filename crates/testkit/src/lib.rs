@@ -10,7 +10,10 @@
 //!   failure, reports the offending case seed so the run can be replayed
 //!   with `Gen::new(seed)` in a scratch test;
 //! * [`small_hypergraph`] — arbitrary small hypergraphs (the workhorse
-//!   instance distribution for theorem-level properties).
+//!   instance distribution for theorem-level properties);
+//! * [`degenerate_hypergraph`] — like `small_hypergraph` but guaranteed
+//!   to contain single-pin and duplicate-pin nets, for robustness
+//!   properties on the graph-model builders.
 //!
 //! Everything is bit-reproducible across platforms: same seed, same
 //! cases, same verdict.
@@ -151,6 +154,47 @@ pub fn small_hypergraph(g: &mut Gen) -> Hypergraph {
     }
 }
 
+/// An arbitrary *degenerate-friendly* small hypergraph: like
+/// [`small_hypergraph`] but raw nets are passed to the builder without
+/// pre-cleaning, so the instance may contain single-pin nets and nets
+/// whose pin list repeats a module (the builder dedups those to smaller
+/// nets, possibly down to one pin). Use this distribution to check that
+/// downstream consumers — the graph-model builders in particular — stay
+/// finite and well-formed on the degenerate inputs real netlists contain
+/// (dangling stubs, power nets, multiply-connected pins).
+///
+/// At least one genuine (≥ 2 distinct pins) net is always present so the
+/// instance is non-trivial, and at least one degenerate net is injected
+/// so the property actually exercises the guards.
+pub fn degenerate_hypergraph(g: &mut Gen) -> Hypergraph {
+    loop {
+        let n = g.usize_in(4, 16);
+        let num_nets = g.usize_in(2, 20);
+        let mut b = HypergraphBuilder::new(n);
+        let mut genuine = 0usize;
+        for _ in 0..num_nets {
+            // Raw pins: no sort, no dedup — lengths down to 1 and repeated
+            // modules are all fair game.
+            let pins: Vec<ModuleId> = g.vec_with(1, 5, |g| ModuleId(g.usize_in(0, n - 1) as u32));
+            let mut distinct: Vec<ModuleId> = pins.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if b.add_net(pins).is_ok() && distinct.len() >= 2 {
+                genuine += 1;
+            }
+        }
+        // Guarantee at least one single-pin net and one duplicate-pin net.
+        let m = ModuleId(g.usize_in(0, n - 1) as u32);
+        let _ = b.add_net([m]);
+        let _ = b.add_net([m, m, ModuleId(g.usize_in(0, n - 1) as u32)]);
+        if genuine >= 1 {
+            if let Ok(hg) = b.finish() {
+                return hg;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +228,18 @@ mod tests {
             for net in hg.nets() {
                 assert!(hg.net_size(net) >= 2);
             }
+        });
+    }
+
+    #[test]
+    fn degenerate_hypergraphs_are_valid_and_degenerate() {
+        check_cases(64, 0xDE6E, |g| {
+            let hg = degenerate_hypergraph(g);
+            assert!((4..=16).contains(&hg.num_modules()));
+            // the injected dangling stub guarantees a single-pin net
+            assert!(hg.nets().any(|net| hg.net_size(net) == 1));
+            // and at least one genuine net survived
+            assert!(hg.nets().any(|net| hg.net_size(net) >= 2));
         });
     }
 

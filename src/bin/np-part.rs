@@ -29,11 +29,19 @@
 //! `--restarts N` switches to **portfolio mode** ([`np_runner`]): N
 //! attempts of the chosen algorithm run concurrently over `--threads T`
 //! workers (0 = one per CPU), each on its own decorrelated seed stream
-//! derived from `--seed`, and the best partition by ratio cut wins. For
-//! a fixed seed the winner is identical for every thread count.
+//! derived from `--seed`, sharing one operator cache so the spectral
+//! Laplacians are built once, and the best partition by ratio cut wins.
+//! For a fixed seed the winner is identical for every thread count.
 //! `--target-ratio X` stops the whole portfolio early once an attempt
 //! reaches ratio `X`; `--report-json FILE` writes the per-attempt
 //! outcome record.
+//!
+//! In **single-run mode** (no portfolio flag), `--threads T` instead
+//! shards the spectral kernels — the Lanczos matvec and the net-model
+//! graph builds — over T OS threads (0 = one per CPU). Results are
+//! bit-identical for every thread count; the knob trades wall-clock
+//! only. In portfolio mode the workers already use the requested cores,
+//! so attempts keep their kernels serial.
 
 use ig_match_repro::core::engine::run_stage;
 use ig_match_repro::core::engine::stages::{
@@ -75,11 +83,10 @@ struct Args {
 
 impl Args {
     /// Any portfolio flag switches the run onto the `np-runner` path.
+    /// `--threads` alone does not: in single-run mode it shards the
+    /// spectral kernels (SpMV, graph builds) instead of running restarts.
     fn portfolio_mode(&self) -> bool {
-        self.restarts.is_some()
-            || self.threads.is_some()
-            || self.target_ratio.is_some()
-            || self.report_json.is_some()
+        self.restarts.is_some() || self.target_ratio.is_some() || self.report_json.is_some()
     }
 }
 
@@ -389,6 +396,7 @@ fn run() -> Result<(), String> {
     };
     let ctx = RunContext::with_meter(&meter)
         .with_seed(args.seed)
+        .with_threads(args.threads.unwrap_or(1))
         .with_events(&sink);
 
     let (label, partition): (String, Bipartition) = if args.portfolio_mode() {
@@ -582,12 +590,20 @@ mod tests {
     fn any_portfolio_flag_enables_portfolio_mode() {
         for flags in [
             &["x.hgr", "--restarts", "4"][..],
-            &["x.hgr", "--threads", "2"][..],
             &["x.hgr", "--target-ratio", "0.5"][..],
             &["x.hgr", "--report-json", "r.json"][..],
         ] {
             assert!(parse(flags).unwrap().portfolio_mode(), "{flags:?}");
         }
+    }
+
+    #[test]
+    fn threads_alone_stays_single_run() {
+        // --threads without a portfolio flag shards the spectral kernels
+        // of one run; it must not silently switch to restart mode
+        let a = parse(&["x.hgr", "--threads", "2"]).unwrap();
+        assert!(!a.portfolio_mode());
+        assert_eq!(a.threads, Some(2));
     }
 
     #[test]
