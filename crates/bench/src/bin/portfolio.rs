@@ -8,7 +8,7 @@
 //! cargo run --release -p bench --bin portfolio [-- OUT.json]
 //! ```
 
-use bench::suite;
+use bench::{suite, BenchEntry, BenchReport};
 use np_baselines::FmOptions;
 use np_runner::presets::fm_restarts;
 use np_runner::{run_portfolio, PortfolioOptions};
@@ -21,7 +21,8 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_portfolio.json".to_string());
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new("portfolio");
+    report.meta("algorithm", "FM-restart");
     for b in suite() {
         let hg = &b.hypergraph;
         let portfolio = fm_restarts(RESTARTS, &FmOptions::default());
@@ -37,26 +38,18 @@ fn main() {
             out.report.threads,
             out.report.wall.as_secs_f64() * 1e3
         );
-        entries.push(format!(
-            "    {{\"name\": \"{}\", \"modules\": {}, \"nets\": {}, \"restarts\": {}, \
-             \"threads\": {}, \"best_cut\": {}, \"best_ratio\": {:e}, \"winner\": {}, \
-             \"wall_ms\": {:.3}}}",
-            b.name,
-            hg.num_modules(),
-            hg.num_nets(),
-            RESTARTS,
-            out.report.threads,
-            out.best.stats.cut_nets,
-            out.best.ratio(),
-            out.winner,
-            out.report.wall.as_secs_f64() * 1e3
-        ));
+        report.push(
+            BenchEntry::new()
+                .str("name", &b.name)
+                .int("modules", hg.num_modules())
+                .int("nets", hg.num_nets())
+                .int("restarts", RESTARTS)
+                .int("threads", out.report.threads)
+                .int("best_cut", out.best.stats.cut_nets)
+                .sci("best_ratio", out.best.ratio())
+                .int("winner", out.winner)
+                .fixed("wall_ms", out.report.wall.as_secs_f64() * 1e3),
+        );
     }
-    let json = format!(
-        "{{\n  \"schema\": \"bench/portfolio/v1\",\n  \"algorithm\": \"FM-restart\",\n  \
-         \"benchmarks\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
-    );
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    eprintln!("written to {out_path}");
+    report.write(&out_path);
 }

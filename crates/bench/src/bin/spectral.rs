@@ -10,7 +10,7 @@
 //! cargo run --release -p bench --bin spectral [-- OUT.json]
 //! ```
 
-use bench::{suite, timed};
+use bench::{best_of, suite, BenchEntry, BenchReport};
 use np_core::engine::OperatorCache;
 use np_core::models::{clique_laplacian, intersection_laplacian, IgWeighting};
 use np_eigen::{fiedler, EigenPair, LanczosOptions};
@@ -23,20 +23,6 @@ const ATTEMPTS: usize = 4;
 
 /// Timed repetitions per configuration; the minimum is reported.
 const RUNS: usize = 3;
-
-/// Runs `f` `iters` times and returns the last result with the minimum
-/// elapsed wall-clock time.
-fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (T, std::time::Duration) {
-    let (mut out, mut best) = timed(&mut f);
-    for _ in 1..iters.max(1) {
-        let (value, dt) = timed(&mut f);
-        if dt < best {
-            best = dt;
-        }
-        out = value;
-    }
-    (out, best)
-}
 
 /// One configuration's outcome: the Fiedler pairs of the last attempt
 /// (for the bit-identity check) in clique/intersection order.
@@ -83,7 +69,8 @@ fn main() {
     // >= 2 threads", and the cache reuse dominates that win.
     let threads = resolve_threads(0).max(2);
     let opts = LanczosOptions::default();
-    let mut entries = Vec::new();
+    let mut report = BenchReport::new("spectral");
+    report.meta("kernel", "fiedler");
     for b in suite() {
         let hg = &b.hypergraph;
         // Best-of-3 per configuration (like `bench_case`): minimum
@@ -113,25 +100,17 @@ fn main() {
              {cached_ms:>9.1} ms  speedup {speedup:>5.2}x",
             b.name
         );
-        entries.push(format!(
-            "    {{\"name\": \"{}\", \"modules\": {}, \"nets\": {}, \"attempts\": {}, \
-             \"threads\": {}, \"serial_ms\": {:.3}, \"cached_threaded_ms\": {:.3}, \
-             \"speedup\": {:.3}}}",
-            b.name,
-            hg.num_modules(),
-            hg.num_nets(),
-            ATTEMPTS,
-            threads,
-            serial_ms,
-            cached_ms,
-            speedup
-        ));
+        report.push(
+            BenchEntry::new()
+                .str("name", &b.name)
+                .int("modules", hg.num_modules())
+                .int("nets", hg.num_nets())
+                .int("attempts", ATTEMPTS)
+                .int("threads", threads)
+                .fixed("serial_ms", serial_ms)
+                .fixed("cached_threaded_ms", cached_ms)
+                .fixed("speedup", speedup),
+        );
     }
-    let json = format!(
-        "{{\n  \"schema\": \"bench/spectral/v1\",\n  \"kernel\": \"fiedler\",\n  \
-         \"benchmarks\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
-    );
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-    eprintln!("written to {out_path}");
+    report.write(&out_path);
 }

@@ -1,0 +1,136 @@
+//! Sweep benchmark: from-scratch vs incremental IG-Match sweep on the
+//! banded instance family, emitting a JSON record (`BENCH_sweep.json` by
+//! default) with both wall times and the speedup per instance. CI runs
+//! this to track the delta-maintenance win (DESIGN.md §11); the
+//! determinism contract is asserted inline — both sweeps must agree
+//! bit-for-bit on the best ratio, the winning split rank, the matching
+//! size and the loser count at the winner.
+//!
+//! The instances come from `np_testkit::banded_hypergraph`, whose natural
+//! net order keeps every move local: the incremental sweep pays `O(band)`
+//! per split while the from-scratch sweep re-runs the full alternating
+//! BFS plus an `O(pins)` completion, so the asymptotic gap grows with the
+//! instance — exactly what the record tracks.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sweep [-- OUT.json]
+//! ```
+
+use bench::{best_of, BenchEntry, BenchReport};
+use np_core::igmatch::{CompletionOracle, SplitClassification, SplitMatcher, SweepState};
+use np_core::models::intersection_neighbors;
+use np_netlist::Hypergraph;
+use np_testkit::banded_hypergraph;
+
+/// Timed repetitions per configuration; the minimum is reported.
+const RUNS: usize = 3;
+
+/// `(name, seed, modules, nets, band)` — sized so the from-scratch arm's
+/// `O(m)`-per-split cost dominates visibly at the large end while the
+/// whole benchmark stays CI-friendly.
+const INSTANCES: [(&str, u64, usize, usize, usize); 3] = [
+    ("band-S", 17, 1_500, 1_000, 8),
+    ("band-M", 17, 4_500, 3_000, 12),
+    ("band-L", 17, 12_000, 8_000, 16),
+];
+
+/// What both sweep arms must agree on, bit for bit.
+#[derive(Debug, PartialEq)]
+struct Winner {
+    ratio_bits: u64,
+    split_rank: usize,
+    matching_size: usize,
+    loser_count: usize,
+}
+
+/// The seed implementation: full alternating-BFS classification plus an
+/// `O(pins)` oracle evaluation at every split.
+fn from_scratch_sweep(hg: &Hypergraph, neighbors: &[Vec<u32>]) -> Winner {
+    let mut matcher = SplitMatcher::new(neighbors);
+    let mut class = SplitClassification::default();
+    let mut oracle = CompletionOracle::new(hg);
+    let mut best: Option<Winner> = None;
+    for v in 0..hg.num_nets() as u32 - 1 {
+        matcher.move_to_r(v);
+        matcher.classify_into(&mut class);
+        let cand = oracle.evaluate(hg, &class).candidate();
+        let ratio = cand.stats.ratio();
+        if ratio.is_finite()
+            && best
+                .as_ref()
+                .is_none_or(|b| ratio < f64::from_bits(b.ratio_bits))
+        {
+            best = Some(Winner {
+                ratio_bits: ratio.to_bits(),
+                split_rank: v as usize,
+                matching_size: matcher.matching_size(),
+                loser_count: cand.losers,
+            });
+        }
+    }
+    best.expect("banded instances are non-degenerate")
+}
+
+/// The delta-maintained sweep engine.
+fn incremental_sweep(hg: &Hypergraph, neighbors: &[Vec<u32>]) -> Winner {
+    let mut state = SweepState::new(hg, neighbors);
+    let mut best: Option<Winner> = None;
+    for v in 0..hg.num_nets() as u32 - 1 {
+        let cand = state.advance(hg, v).candidate();
+        let ratio = cand.stats.ratio();
+        if ratio.is_finite()
+            && best
+                .as_ref()
+                .is_none_or(|b| ratio < f64::from_bits(b.ratio_bits))
+        {
+            best = Some(Winner {
+                ratio_bits: ratio.to_bits(),
+                split_rank: v as usize,
+                matching_size: state.matching_size(),
+                loser_count: cand.losers,
+            });
+        }
+    }
+    best.expect("banded instances are non-degenerate")
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let mut report = BenchReport::new("sweep");
+    report.meta("kernel", "ig-match-sweep");
+    for (name, seed, modules, nets, band) in INSTANCES {
+        let hg = banded_hypergraph(seed, modules, nets, band);
+        let neighbors = intersection_neighbors(&hg);
+        let (scratch_winner, scratch) = best_of(RUNS, || from_scratch_sweep(&hg, &neighbors));
+        let (inc_winner, inc) = best_of(RUNS, || incremental_sweep(&hg, &neighbors));
+        // Determinism contract: same bits from both sweeps.
+        assert_eq!(
+            scratch_winner, inc_winner,
+            "incremental sweep diverged from the from-scratch sweep on {name}"
+        );
+        let scratch_ms = scratch.as_secs_f64() * 1e3;
+        let inc_ms = inc.as_secs_f64() * 1e3;
+        let speedup = scratch_ms / inc_ms.max(1e-9);
+        println!(
+            "{name:<8} {modules:>6} modules {nets:>6} nets: from-scratch {scratch_ms:>9.1} ms  \
+             incremental {inc_ms:>9.1} ms  speedup {speedup:>6.1}x"
+        );
+        report.push(
+            BenchEntry::new()
+                .str("name", name)
+                .int("modules", modules)
+                .int("nets", nets)
+                .int("band", band)
+                .int("best_split", inc_winner.split_rank)
+                .int("matching_size", inc_winner.matching_size)
+                .int("loser_count", inc_winner.loser_count)
+                .sci("best_ratio", f64::from_bits(inc_winner.ratio_bits))
+                .fixed("from_scratch_ms", scratch_ms)
+                .fixed("incremental_ms", inc_ms)
+                .fixed("speedup", speedup),
+        );
+    }
+    report.write(&out_path);
+}

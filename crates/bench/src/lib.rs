@@ -23,7 +23,14 @@
 //! | `bounds` | Theorem 1 — per-instance optimality certificates |
 //! | `portfolio` | best-of-16 portfolio tracking (`BENCH_portfolio.json`) |
 //! | `spectral` | operator cache + sharded SpMV vs serial rebuilds (`BENCH_spectral.json`) |
+//! | `sweep` | incremental vs from-scratch IG-Match sweep (`BENCH_sweep.json`) |
 //! | `suite_explore` | developer harness for calibrating the suite |
+//!
+//! The CI-tracked binaries (`portfolio`, `spectral`, `sweep`) emit their
+//! JSON records through the shared [`BenchReport`] harness and take their
+//! noise-robust point estimates from [`best_of`], so every record carries
+//! the same `{"schema": "bench/<name>/v1", ..., "benchmarks": [...]}`
+//! envelope.
 //!
 //! The best-of-N baselines (`table2`'s RCut1.0, `ablation_areas`'
 //! area-aware RCut) run their restart loops as `np-runner` portfolios:
@@ -121,6 +128,143 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (out, start.elapsed())
 }
 
+/// Runs `f` `iters` times and returns the last result together with the
+/// **minimum** elapsed wall-clock time — the standard noise-robust point
+/// estimate all CI-tracked benchmark binaries report.
+pub fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
+    let (mut out, mut best) = timed(&mut f);
+    for _ in 1..iters.max(1) {
+        let (value, dt) = timed(&mut f);
+        if dt < best {
+            best = dt;
+        }
+        out = value;
+    }
+    (out, best)
+}
+
+/// One benchmark record of a [`BenchReport`]: an ordered list of
+/// key/value fields rendered as a JSON object.
+///
+/// The build environment has no JSON crate, so values are rendered at
+/// insertion time by typed builder methods; keys are expected to be
+/// plain identifiers (no escaping is performed).
+#[derive(Clone, Debug, Default)]
+pub struct BenchEntry {
+    fields: Vec<(String, String)>,
+}
+
+impl BenchEntry {
+    /// An empty record.
+    pub fn new() -> Self {
+        BenchEntry::default()
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.into(), format!("\"{value}\"")));
+        self
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: usize) -> Self {
+        self.fields.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Adds a fixed-point field (three decimals — the convention for
+    /// millisecond timings and speedups).
+    #[must_use]
+    pub fn fixed(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.into(), format!("{value:.3}")));
+        self
+    }
+
+    /// Adds a scientific-notation field (the convention for ratio cuts).
+    #[must_use]
+    pub fn sci(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.into(), format!("{value:e}")));
+        self
+    }
+
+    fn render(&self) -> String {
+        let body: Vec<String> = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("    {{{}}}", body.join(", "))
+    }
+}
+
+/// The shared JSON envelope of the CI-tracked benchmark binaries:
+/// `{"schema": "bench/<name>/v1", <meta...>, "benchmarks": [<entries>]}`.
+///
+/// # Example
+///
+/// ```
+/// use bench::{BenchEntry, BenchReport};
+///
+/// let mut report = BenchReport::new("demo");
+/// report.meta("kernel", "noop");
+/// report.push(BenchEntry::new().str("name", "bm1").int("modules", 882));
+/// assert!(report.to_json().contains("\"schema\": \"bench/demo/v1\""));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    schema: String,
+    meta: Vec<(String, String)>,
+    entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// A report for schema `bench/<name>/v1` with no records yet.
+    pub fn new(name: &str) -> Self {
+        BenchReport {
+            schema: format!("bench/{name}/v1"),
+            meta: Vec::new(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds a top-level string field after `"schema"` (e.g. the kernel or
+    /// algorithm the record tracks).
+    pub fn meta(&mut self, key: &str, value: &str) {
+        self.meta.push((key.into(), format!("\"{value}\"")));
+    }
+
+    /// Appends one benchmark record.
+    pub fn push(&mut self, entry: BenchEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Renders the full JSON document (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut top = vec![format!("  \"schema\": \"{}\"", self.schema)];
+        top.extend(self.meta.iter().map(|(k, v)| format!("  \"{k}\": {v}")));
+        let entries: Vec<String> = self.entries.iter().map(BenchEntry::render).collect();
+        format!(
+            "{{\n{},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+            top.join(",\n"),
+            entries.join(",\n")
+        )
+    }
+
+    /// Writes the document to `path` and logs the destination, exiting
+    /// with a panic on I/O failure (benchmark binaries have no caller to
+    /// report to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.to_json()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("written to {path}");
+    }
+}
+
 /// Minimal micro-benchmark runner for the `benches/` targets: one warmup
 /// run, then `iters` timed runs, printing the minimum and mean
 /// per-iteration wall-clock time. (The build environment has no external
@@ -169,6 +313,40 @@ mod tests {
     fn fmt_ratio_forms() {
         assert_eq!(fmt_ratio(5.53e-5), "5.53e-5");
         assert_eq!(fmt_ratio(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn report_envelope_shape() {
+        let mut report = BenchReport::new("demo");
+        report.meta("algorithm", "noop");
+        report.push(
+            BenchEntry::new()
+                .str("name", "bm1")
+                .int("modules", 882)
+                .fixed("wall_ms", 1.23456)
+                .sci("ratio", 5.53e-5),
+        );
+        report.push(BenchEntry::new().str("name", "bm2").int("modules", 7));
+        assert_eq!(
+            report.to_json(),
+            "{\n  \"schema\": \"bench/demo/v1\",\n  \"algorithm\": \"noop\",\n  \
+             \"benchmarks\": [\n    {\"name\": \"bm1\", \"modules\": 882, \
+             \"wall_ms\": 1.235, \"ratio\": 5.53e-5},\n    \
+             {\"name\": \"bm2\", \"modules\": 7}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn best_of_keeps_minimum_and_last_result() {
+        let mut runs = 0u32;
+        let (last, best) = best_of(5, || {
+            runs += 1;
+            std::thread::sleep(Duration::from_micros(50));
+            runs
+        });
+        assert_eq!(runs, 5, "exactly `iters` timed runs");
+        assert_eq!(last, 5);
+        assert!(best >= Duration::from_micros(50));
     }
 
     #[test]

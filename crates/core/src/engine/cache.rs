@@ -1,7 +1,7 @@
 //! A build-once cache for the spectral operators of one hypergraph.
 
 use crate::models::clique::{bound_preserving_adjacency_threaded, clique_adjacency_threaded};
-use crate::models::{intersection_adjacency_threaded, IgWeighting};
+use crate::models::{intersection_adjacency_threaded, intersection_neighbors, IgWeighting};
 use np_netlist::Hypergraph;
 use np_sparse::Laplacian;
 use std::sync::{Arc, OnceLock};
@@ -47,6 +47,7 @@ pub struct OperatorCache {
     clique: OnceLock<Arc<Laplacian>>,
     bound_preserving: OnceLock<Arc<Laplacian>>,
     intersection: [OnceLock<Arc<Laplacian>>; IgWeighting::ALL.len()],
+    neighbors: OnceLock<Arc<Vec<Vec<u32>>>>,
 }
 
 fn weighting_slot(weighting: IgWeighting) -> usize {
@@ -124,6 +125,23 @@ impl OperatorCache {
         );
         q
     }
+
+    /// The unweighted intersection-graph adjacency lists of `hg` — the
+    /// conflict-graph structure every IG-Match sweep walks — built on
+    /// first call and shared thereafter, so a portfolio of IG-Match
+    /// attempts stops rebuilding the same lists per attempt.
+    pub fn intersection_neighbors(&self, hg: &Hypergraph) -> Arc<Vec<Vec<u32>>> {
+        let q = self
+            .neighbors
+            .get_or_init(|| Arc::new(intersection_neighbors(hg)))
+            .clone();
+        debug_assert_eq!(
+            q.len(),
+            hg.num_nets(),
+            "OperatorCache reused across different hypergraphs"
+        );
+        q
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +182,16 @@ mod tests {
             let q = cache.intersection_laplacian(&hg, w, 2);
             assert_eq!(q.adjacency(), intersection_laplacian(&hg, w).adjacency());
         }
+    }
+
+    #[test]
+    fn neighbors_cached_and_match_direct_build() {
+        let hg = hg();
+        let cache = OperatorCache::new();
+        let a = cache.intersection_neighbors(&hg);
+        let b = cache.intersection_neighbors(&hg);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, crate::models::intersection_neighbors(&hg));
     }
 
     #[test]

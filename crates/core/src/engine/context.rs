@@ -243,6 +243,14 @@ impl<'a> RunContext<'a> {
             .intersection_laplacian(hg, weighting, self.threads)
     }
 
+    /// The unweighted intersection-graph adjacency lists of `hg` from
+    /// this run's operator cache — built on first request, shared by
+    /// every later request (see
+    /// [`clique_laplacian`](RunContext::clique_laplacian)).
+    pub fn intersection_neighbors(&self, hg: &Hypergraph) -> Arc<Vec<Vec<u32>>> {
+        self.operators.intersection_neighbors(hg)
+    }
+
     /// `true` if an event sink is attached (lets stages skip formatting
     /// detail messages nobody will see).
     pub fn has_events(&self) -> bool {

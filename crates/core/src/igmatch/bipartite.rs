@@ -9,6 +9,13 @@
 //! its exposed ex-partner, then one from the moved net itself. Each repair
 //! is a single `O(|V| + |E|)` alternating BFS, giving the paper's
 //! `O(|V|·(|V|+|E|))` bound over all splits (Theorem 6).
+//!
+//! The winner/loser classification is maintained incrementally as well:
+//! every move reports a [`MoveDelta`], and [`NetClassifier::refresh`]
+//! re-runs the alternating BFS only inside the `B`-components touched by
+//! that delta (see `DESIGN.md` §11 for the soundness argument). The
+//! from-scratch [`SplitMatcher::classify_into`] is kept unchanged as the
+//! oracle the incremental path is cross-checked against in debug builds.
 
 use np_netlist::Side;
 
@@ -60,6 +67,85 @@ impl SplitClassification {
         self.losers.clear();
         self.bprime_l.clear();
         self.bprime_r.clear();
+    }
+
+    /// Flattens the classification lists into one [`NetClass`] per net —
+    /// the representation the incremental [`NetClassifier`] maintains, so
+    /// the two can be compared element-wise in oracle cross-checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listed net index is `>= num_nets`.
+    pub fn net_classes(&self, num_nets: usize) -> Vec<NetClass> {
+        let mut out = vec![NetClass::WinnerL; num_nets];
+        for &v in &self.winners_r {
+            out[v as usize] = NetClass::WinnerR;
+        }
+        for &v in &self.losers {
+            out[v as usize] = NetClass::Loser;
+        }
+        for &v in &self.bprime_l {
+            out[v as usize] = NetClass::BPrimeL;
+        }
+        for &v in &self.bprime_r {
+            out[v as usize] = NetClass::BPrimeR;
+        }
+        out
+    }
+}
+
+/// The classification of one net at the current split, from the
+/// alternating-path analysis of paper Figure 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetClass {
+    /// `Even(L)` winner — pins its modules to the left side.
+    WinnerL,
+    /// `Even(R)` winner — pins its modules to the right side.
+    WinnerR,
+    /// `Odd(L) ∪ Odd(R)` — a forced loser, charged by every completion.
+    Loser,
+    /// Matched, unreached `L` vertex of the residual `B'`.
+    BPrimeL,
+    /// Matched, unreached `R` vertex of the residual `B'`.
+    BPrimeR,
+}
+
+/// One net whose [`NetClass`] changed during a
+/// [`NetClassifier::refresh`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetClassChange {
+    /// The reclassified net.
+    pub net: u32,
+    /// Its class before the move.
+    pub old: NetClass,
+    /// Its class after the move.
+    pub new: NetClass,
+}
+
+/// What one [`SplitMatcher::move_to_r`] changed: the moved net plus the
+/// vertices whose matching partner changed (the detach and any augmenting
+/// paths). [`NetClassifier::refresh`] keys its dirty region off this.
+#[derive(Clone, Debug, Default)]
+pub struct MoveDelta {
+    /// The net that moved from `L` to `R`.
+    pub moved: u32,
+    /// The moved net's ex-partner, if it was matched before the move.
+    pub detached: Option<u32>,
+    /// Every vertex whose `mate` changed: the detached pair plus all
+    /// vertices on the augmenting paths flipped by the repair.
+    pub mates_changed: Vec<u32>,
+    /// `false` iff the moved net has no intersection-graph neighbors at
+    /// all, in which case `B`'s edge set and the matching are untouched
+    /// and only the moved net itself reclassifies.
+    pub structural: bool,
+}
+
+impl MoveDelta {
+    fn reset(&mut self, moved: u32, structural: bool) {
+        self.moved = moved;
+        self.detached = None;
+        self.mates_changed.clear();
+        self.structural = structural;
     }
 }
 
@@ -145,40 +231,68 @@ impl<'a> SplitMatcher<'a> {
         (m != NONE).then_some(m)
     }
 
-    /// Moves net `v` from `L` to `R`, repairing the matching.
+    /// Moves net `v` from `L` to `R`, repairing the matching, and returns
+    /// the [`MoveDelta`] describing what changed. Use
+    /// [`move_to_r_into`](Self::move_to_r_into) in hot loops to reuse the
+    /// delta's buffers.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range or already on the `R` side.
-    pub fn move_to_r(&mut self, v: u32) {
+    pub fn move_to_r(&mut self, v: u32) -> MoveDelta {
+        let mut delta = MoveDelta::default();
+        self.move_to_r_into(v, &mut delta);
+        delta
+    }
+
+    /// [`move_to_r`](Self::move_to_r) writing the delta into a reusable
+    /// buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or already on the `R` side.
+    pub fn move_to_r_into(&mut self, v: u32, delta: &mut MoveDelta) {
         assert_eq!(
             self.side[v as usize],
             Side::Left,
             "net {v} is already on the R side"
         );
+        delta.reset(v, !self.neighbors[v as usize].is_empty());
         // detach v from its partner (an R vertex), if any
         let exposed = self.mate[v as usize];
         if exposed != NONE {
             self.mate[v as usize] = NONE;
             self.mate[exposed as usize] = NONE;
             self.matching -= 1;
+            delta.detached = Some(exposed);
+            delta.mates_changed.push(v);
+            delta.mates_changed.push(exposed);
         }
         self.side[v as usize] = Side::Right;
         // the exposed ex-partner may re-match through another L vertex
-        if exposed != NONE && self.augment_from_r(exposed) {
-            self.matching += 1;
+        if exposed != NONE {
+            let flipped_from = delta.mates_changed.len();
+            if self.augment_from_r(exposed, &mut delta.mates_changed) {
+                self.matching += 1;
+            } else {
+                delta.mates_changed.truncate(flipped_from);
+            }
         }
         // the moved net's edges to L are new in B; one augmentation
         // attempt restores maximality
-        if self.augment_from_r(v) {
+        let flipped_from = delta.mates_changed.len();
+        if self.augment_from_r(v, &mut delta.mates_changed) {
             self.matching += 1;
+        } else {
+            delta.mates_changed.truncate(flipped_from);
         }
     }
 
     /// Alternating BFS from the unmatched `R` vertex `start`; augments and
     /// returns `true` if an augmenting path to an unmatched `L` vertex
-    /// exists.
-    fn augment_from_r(&mut self, start: u32) -> bool {
+    /// exists. Vertices whose mate is flipped are appended to `flipped`
+    /// (the caller truncates them away on a failed attempt).
+    fn augment_from_r(&mut self, start: u32, flipped: &mut Vec<u32>) -> bool {
         debug_assert_eq!(self.side[start as usize], Side::Right);
         debug_assert_eq!(self.mate[start as usize], NONE);
         self.epoch += 1;
@@ -204,6 +318,8 @@ impl<'a> SplitMatcher<'a> {
                         let continue_from = self.mate[y as usize];
                         self.mate[x as usize] = y;
                         self.mate[y as usize] = x;
+                        flipped.push(x);
+                        flipped.push(y);
                         if continue_from == NONE {
                             return true;
                         }
@@ -337,6 +453,245 @@ impl<'a> SplitMatcher<'a> {
             }
         }
         count == 2 * self.matching
+    }
+}
+
+/// Incrementally-maintained winner/loser classification of every net,
+/// updated in `O(Δ)` per split instead of re-running the full
+/// alternating BFS (paper Figure 3) from scratch.
+///
+/// The key structural fact (`DESIGN.md` §11): a vertex's class depends
+/// only on its connected component of `B` (alternating paths are in
+/// particular `B`-paths, and every BFS seed — an unmatched vertex — that
+/// can reach a component lies inside it). One `move_to_r(v)` changes only
+/// edges incident to `v` and mates inside the components of `v` and its
+/// ex-partner, so re-running the classification inside the current
+/// components of `{v} ∪ N(v)` — and nowhere else — reproduces the
+/// from-scratch result exactly. When the moved net is isolated
+/// ([`MoveDelta::structural`] is `false`), the refresh is an `O(1)`
+/// relabel of the moved net alone.
+///
+/// # Example
+///
+/// ```
+/// use np_core::igmatch::{NetClass, NetClassifier, SplitMatcher};
+///
+/// let neighbors = vec![vec![1], vec![0, 2], vec![1]];
+/// let mut m = SplitMatcher::new(&neighbors);
+/// let mut c = NetClassifier::new(m.len());
+/// let mut changes = Vec::new();
+/// let delta = m.move_to_r(1);
+/// c.refresh(&m, &delta, &mut changes);
+/// assert_eq!(c.class_of(1), NetClass::Loser);
+/// assert_eq!(c.classes(), m.classify().net_classes(3).as_slice());
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetClassifier {
+    /// Current class of every net — the maintained state.
+    class: Vec<NetClass>,
+    /// Flood-fill visit stamps delimiting the affected region.
+    visit: Vec<u32>,
+    /// Alternating-BFS reach stamps within the region.
+    mark: Vec<u32>,
+    /// Tentative class of vertices marked this epoch.
+    newclass: Vec<NetClass>,
+    epoch: u32,
+    region: Vec<u32>,
+    queue: Vec<u32>,
+}
+
+impl NetClassifier {
+    /// Classifier for `n` nets in the initial all-`L` state, where every
+    /// net is an unmatched `Even(L)` winner.
+    pub fn new(n: usize) -> Self {
+        NetClassifier {
+            class: vec![NetClass::WinnerL; n],
+            visit: vec![0; n],
+            mark: vec![0; n],
+            newclass: vec![NetClass::WinnerL; n],
+            epoch: 0,
+            region: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    /// Current class of net `v`.
+    pub fn class_of(&self, v: u32) -> NetClass {
+        self.class[v as usize]
+    }
+
+    /// Current class of every net.
+    pub fn classes(&self) -> &[NetClass] {
+        &self.class
+    }
+
+    /// Updates the classification after `matcher` performed the move
+    /// described by `delta`, appending every reclassified net to
+    /// `changes` (cleared first).
+    ///
+    /// A no-op (beyond relabeling the moved net) when the matching
+    /// structure is untouched; otherwise the alternating BFS re-runs only
+    /// inside the `B`-components containing the moved net or one of its
+    /// intersection-graph neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matcher` tracks a different net count than this
+    /// classifier was built for.
+    pub fn refresh(
+        &mut self,
+        matcher: &SplitMatcher<'_>,
+        delta: &MoveDelta,
+        changes: &mut Vec<NetClassChange>,
+    ) {
+        assert_eq!(matcher.len(), self.class.len(), "net count mismatch");
+        changes.clear();
+        let v = delta.moved;
+        if !delta.structural {
+            // isolated net: unmatched on either side, trivially Even
+            debug_assert!(delta.mates_changed.is_empty());
+            debug_assert_eq!(self.class[v as usize], NetClass::WinnerL);
+            self.record(v, NetClass::WinnerR, changes);
+            return;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // 1. Affected region: the full components (over crossing edges)
+        //    of the moved net and all its neighbors. Every edge change is
+        //    incident to `v`, every mate change lies on an augmenting
+        //    path from `v` or its ex-partner (a neighbor of `v`), and a
+        //    component split off by the move retains a neighbor of `v` —
+        //    so everything that can reclassify is in here.
+        self.region.clear();
+        self.queue.clear();
+        self.seed_region(v, epoch);
+        for &u in &matcher.neighbors[v as usize] {
+            self.seed_region(u, epoch);
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let u_side = matcher.side[u as usize];
+            for &w in &matcher.neighbors[u as usize] {
+                if matcher.side[w as usize] != u_side && self.visit[w as usize] != epoch {
+                    self.seed_region(w, epoch);
+                }
+            }
+        }
+        debug_assert!(delta
+            .mates_changed
+            .iter()
+            .all(|&u| self.visit[u as usize] == epoch));
+
+        // 2. Alternating BFS from the region's unmatched `L` vertices:
+        //    Even(L) winners, Odd(L) losers (paper Figure 3).
+        self.queue.clear();
+        for i in 0..self.region.len() {
+            let u = self.region[i];
+            if matcher.side[u as usize] == Side::Left && matcher.mate[u as usize] == NONE {
+                self.mark[u as usize] = epoch;
+                self.newclass[u as usize] = NetClass::WinnerL;
+                self.queue.push(u);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let x = self.queue[head];
+            head += 1;
+            for &y in &matcher.neighbors[x as usize] {
+                if matcher.side[y as usize] != Side::Right || self.mark[y as usize] == epoch {
+                    continue;
+                }
+                self.mark[y as usize] = epoch;
+                self.newclass[y as usize] = NetClass::Loser; // Odd(L)
+                let x2 = matcher.mate[y as usize];
+                debug_assert_ne!(
+                    x2, NONE,
+                    "unmatched R vertex reachable from unmatched L vertex: \
+                     matching was not maximum"
+                );
+                if self.mark[x2 as usize] != epoch {
+                    self.mark[x2 as usize] = epoch;
+                    self.newclass[x2 as usize] = NetClass::WinnerL;
+                    self.queue.push(x2);
+                }
+            }
+        }
+
+        // 3. Alternating BFS from the region's unmatched `R` vertices:
+        //    Even(R) winners, Odd(R) losers.
+        self.queue.clear();
+        for i in 0..self.region.len() {
+            let u = self.region[i];
+            if matcher.side[u as usize] == Side::Right && matcher.mate[u as usize] == NONE {
+                debug_assert_ne!(self.mark[u as usize], epoch);
+                self.mark[u as usize] = epoch;
+                self.newclass[u as usize] = NetClass::WinnerR;
+                self.queue.push(u);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let y = self.queue[head];
+            head += 1;
+            for &x in &matcher.neighbors[y as usize] {
+                if matcher.side[x as usize] != Side::Left {
+                    continue;
+                }
+                if self.mark[x as usize] == epoch {
+                    debug_assert_ne!(
+                        self.newclass[x as usize],
+                        NetClass::WinnerL,
+                        "L vertex reachable from both unmatched sides: \
+                         augmenting path missed"
+                    );
+                    continue;
+                }
+                self.mark[x as usize] = epoch;
+                self.newclass[x as usize] = NetClass::Loser; // Odd(R)
+                let y2 = matcher.mate[x as usize];
+                debug_assert_ne!(y2, NONE);
+                if self.mark[y2 as usize] != epoch {
+                    self.mark[y2 as usize] = epoch;
+                    self.newclass[y2 as usize] = NetClass::WinnerR;
+                    self.queue.push(y2);
+                }
+            }
+        }
+
+        // 4. Finalize: unreached region vertices are matched members of
+        //    B'; diff everything against the stored classes.
+        for i in 0..self.region.len() {
+            let u = self.region[i];
+            let new = if self.mark[u as usize] == epoch {
+                self.newclass[u as usize]
+            } else {
+                debug_assert_ne!(matcher.mate[u as usize], NONE);
+                match matcher.side[u as usize] {
+                    Side::Left => NetClass::BPrimeL,
+                    Side::Right => NetClass::BPrimeR,
+                }
+            };
+            self.record(u, new, changes);
+        }
+    }
+
+    fn seed_region(&mut self, u: u32, epoch: u32) {
+        if self.visit[u as usize] != epoch {
+            self.visit[u as usize] = epoch;
+            self.region.push(u);
+            self.queue.push(u);
+        }
+    }
+
+    fn record(&mut self, net: u32, new: NetClass, changes: &mut Vec<NetClassChange>) {
+        let old = self.class[net as usize];
+        if old != new {
+            self.class[net as usize] = new;
+            changes.push(NetClassChange { net, old, new });
+        }
     }
 }
 

@@ -18,6 +18,17 @@
 //! The best partition over all `m − 1` splits is returned. A single
 //! deterministic execution suffices — no random restarts (paper §5).
 //!
+//! Both phases are maintained *incrementally* as the split slides
+//! (`DESIGN.md` §11): [`SplitMatcher::move_to_r`] reports the affected
+//! vertices as a [`MoveDelta`], [`NetClassifier`] re-runs the alternating
+//! BFS only inside the touched `B`-components, and [`SweepState`] folds
+//! the resulting class changes into maintained module tags and
+//! both-orientation cut statistics, so each split costs work proportional
+//! to what changed rather than the size of the instance. The winning
+//! partition is materialized once, after the sweep. In debug builds every
+//! split is cross-checked against the from-scratch
+//! [`classify`](SplitMatcher::classify) + [`CompletionOracle`] pipeline.
+//!
 //! The optional [`IgMatchOptions::refine_free_modules`] implements the
 //! extension sketched at the end of §3 ("recursive calls to IG-Match in
 //! order to optimally assign modules of B′, B″, etc."): instead of
@@ -27,15 +38,19 @@
 
 mod bipartite;
 mod refine;
+mod sweep;
 
-pub use bipartite::{SplitClassification, SplitMatcher};
+pub use bipartite::{
+    MoveDelta, NetClass, NetClassChange, NetClassifier, SplitClassification, SplitMatcher,
+};
+pub use sweep::{CompletionOracle, ModuleTag, OrientedEval, SplitCandidate, SweepState};
 
 use crate::engine::RunContext;
-use crate::models::{intersection_neighbors, IgWeighting};
+use crate::models::IgWeighting;
 use crate::ordering::spectral_net_ordering_ctx;
 use crate::{PartitionError, PartitionResult};
 use np_eigen::LanczosOptions;
-use np_netlist::{Bipartition, CutStats, Hypergraph, NetId, Side};
+use np_netlist::{Hypergraph, NetId};
 
 /// Options for [`ig_match`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -160,10 +175,8 @@ pub fn ig_match_with_ordering_ctx(
         });
     }
 
-    let neighbors = intersection_neighbors(hg);
-    let mut matcher = SplitMatcher::new(&neighbors);
-    let mut class = SplitClassification::default();
-    let mut completion = CompletionScratch::new(hg);
+    let neighbors = ctx.intersection_neighbors(hg);
+    let mut state = SweepState::new(hg, &neighbors);
 
     let mut best: Option<Best> = None;
 
@@ -171,17 +184,15 @@ pub fn ig_match_with_ordering_ctx(
     // the last move empties L and is skipped (degenerate split)
     for (k, &net) in order[..m - 1].iter().enumerate() {
         meter.check()?;
-        matcher.move_to_r(net.0);
-        matcher.classify_into(&mut class);
-        let Candidate {
+        let SplitCandidate {
             stats,
             put_free_left,
             losers,
-        } = completion.evaluate(hg, &class);
+        } = state.advance(hg, net.0).candidate();
         debug_assert!(
-            losers <= matcher.matching_size(),
+            losers <= state.matching_size(),
             "Theorem 5 violated at split {k}: {losers} losers > MM {}",
-            matcher.matching_size()
+            state.matching_size()
         );
         debug_assert!(
             stats.cut_nets <= losers,
@@ -193,18 +204,23 @@ pub fn ig_match_with_ordering_ctx(
             best = Some(Best {
                 ratio,
                 split_rank: k,
-                partition: completion.materialize(hg, put_free_left),
-                free_mask: completion.free_mask(hg),
-                matching_size: matcher.matching_size(),
+                put_free_left,
+                matching_size: state.matching_size(),
                 loser_count: losers,
             });
         }
     }
 
     let best = best.ok_or(PartitionError::Degenerate)?;
-    let mut partition = best.partition;
+    // Materialize the winner once: replay the winning prefix instead of
+    // cloning a partition (and free mask) on every improvement mid-sweep.
+    let mut replay = SweepState::new(hg, &neighbors);
+    for &net in &order[..=best.split_rank] {
+        replay.advance(hg, net.0);
+    }
+    let mut partition = replay.materialize(hg, best.put_free_left);
     if refine_free_modules {
-        refine::refine_free_components(hg, &mut partition, &best.free_mask);
+        refine::refine_free_components(hg, &mut partition, &replay.free_mask(hg));
     }
     let result = PartitionResult::evaluate(hg, partition, "IG-Match", Some(best.split_rank));
     debug_assert!(result.stats.cut_nets <= best.loser_count || refine_free_modules);
@@ -243,164 +259,14 @@ fn validate_net_ordering(hg: &Hypergraph, order: &[NetId]) -> Result<(), Partiti
     Ok(())
 }
 
+/// The winning split of a sweep — just the numbers needed to replay and
+/// score it; the partition itself is materialized once, after the loop.
 struct Best {
     ratio: f64,
     split_rank: usize,
-    partition: Bipartition,
-    /// `free_mask[m]` is `true` for the `V_N` modules of this split.
-    free_mask: Vec<bool>,
+    put_free_left: bool,
     matching_size: usize,
     loser_count: usize,
-}
-
-/// Result of evaluating both Phase II options at one split.
-struct Candidate {
-    stats: CutStats,
-    /// `true` if the better option assigns the free modules to the left
-    /// (winner-`L`) side.
-    put_free_left: bool,
-    /// Loser nets charged by the better option
-    /// (`|Odd(L)| + |Odd(R)| +` the orientation's `B'` side).
-    losers: usize,
-}
-
-/// Reusable buffers for the Phase II evaluation (paper Figure 6).
-///
-/// Tags every module as `V_L` (in some winner-`L` net), `V_R` (winner-`R`
-/// net) or free (`V_N`), then scores both orientations of `V_N` in a
-/// single `O(pins)` pass.
-struct CompletionScratch {
-    tag: Vec<Tag>,
-    tag_epoch: Vec<u32>,
-    epoch: u32,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Tag {
-    Free,
-    WinL,
-    WinR,
-}
-
-impl CompletionScratch {
-    fn new(hg: &Hypergraph) -> Self {
-        CompletionScratch {
-            tag: vec![Tag::Free; hg.num_modules()],
-            tag_epoch: vec![0; hg.num_modules()],
-            epoch: 0,
-        }
-    }
-
-    fn tag_of(&self, m: usize) -> Tag {
-        if self.tag_epoch[m] == self.epoch {
-            self.tag[m]
-        } else {
-            Tag::Free
-        }
-    }
-
-    fn set_tag(&mut self, m: usize, t: Tag) {
-        self.tag[m] = t;
-        self.tag_epoch[m] = self.epoch;
-    }
-
-    /// Tags winner modules and scores both free-module orientations.
-    fn evaluate(&mut self, hg: &Hypergraph, class: &SplitClassification) -> Candidate {
-        self.epoch += 1;
-        let mut count_l = 0usize;
-        let mut count_r = 0usize;
-        for &net in &class.winners_l {
-            for &m in hg.pins(NetId(net)) {
-                if self.tag_of(m.index()) == Tag::Free {
-                    self.set_tag(m.index(), Tag::WinL);
-                    count_l += 1;
-                }
-                debug_assert_ne!(self.tag_of(m.index()), Tag::WinR, "V_L ∩ V_R nonempty");
-            }
-        }
-        for &net in &class.winners_r {
-            for &m in hg.pins(NetId(net)) {
-                if self.tag_of(m.index()) == Tag::Free {
-                    self.set_tag(m.index(), Tag::WinR);
-                    count_r += 1;
-                }
-                debug_assert_ne!(self.tag_of(m.index()), Tag::WinL, "V_L ∩ V_R nonempty");
-            }
-        }
-        let n = hg.num_modules();
-        // option A: free modules join the L side; option B: the R side
-        let mut cut_a = 0usize;
-        let mut cut_b = 0usize;
-        for net in hg.nets() {
-            let mut has_l = false;
-            let mut has_r = false;
-            let mut has_free = false;
-            for &m in hg.pins(net) {
-                match self.tag_of(m.index()) {
-                    Tag::WinL => has_l = true,
-                    Tag::WinR => has_r = true,
-                    Tag::Free => has_free = true,
-                }
-            }
-            if has_r && (has_l || has_free) {
-                cut_a += 1;
-            }
-            if has_l && (has_r || has_free) {
-                cut_b += 1;
-            }
-        }
-        let stats_a = CutStats {
-            cut_nets: cut_a,
-            left: n - count_r,
-            right: count_r,
-        };
-        let stats_b = CutStats {
-            cut_nets: cut_b,
-            left: count_l,
-            right: n - count_l,
-        };
-        let losers_a = class.losers.len() + class.bprime_r.len();
-        let losers_b = class.losers.len() + class.bprime_l.len();
-        if stats_a.ratio() <= stats_b.ratio() {
-            Candidate {
-                stats: stats_a,
-                put_free_left: true,
-                losers: losers_a,
-            }
-        } else {
-            Candidate {
-                stats: stats_b,
-                put_free_left: false,
-                losers: losers_b,
-            }
-        }
-    }
-
-    /// Builds the explicit partition for the chosen orientation of the
-    /// *current* tags (call right after [`evaluate`](Self::evaluate)).
-    fn materialize(&self, hg: &Hypergraph, put_free_left: bool) -> Bipartition {
-        let sides = (0..hg.num_modules())
-            .map(|m| match self.tag_of(m) {
-                Tag::WinL => Side::Left,
-                Tag::WinR => Side::Right,
-                Tag::Free => {
-                    if put_free_left {
-                        Side::Left
-                    } else {
-                        Side::Right
-                    }
-                }
-            })
-            .collect();
-        Bipartition::from_sides(sides)
-    }
-
-    /// The `V_N` membership mask of the *current* tags.
-    fn free_mask(&self, hg: &Hypergraph) -> Vec<bool> {
-        (0..hg.num_modules())
-            .map(|m| self.tag_of(m) == Tag::Free)
-            .collect()
-    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,10 @@
 //!   instance distribution for theorem-level properties);
 //! * [`degenerate_hypergraph`] — like `small_hypergraph` but guaranteed
 //!   to contain single-pin and duplicate-pin nets, for robustness
-//!   properties on the graph-model builders.
+//!   properties on the graph-model builders;
+//! * [`banded_hypergraph`] — scalable banded instances whose natural net
+//!   order keeps every sweep move local, for benchmarks that need the
+//!   incremental-vs-from-scratch asymptotic gap to be visible.
 //!
 //! Everything is bit-reproducible across platforms: same seed, same
 //! cases, same verdict.
@@ -195,6 +198,48 @@ pub fn degenerate_hypergraph(g: &mut Gen) -> Hypergraph {
     }
 }
 
+/// A deterministic *banded* hypergraph: `nets` nets over `modules`
+/// modules, where net `i` draws 2–4 distinct pins from a window of
+/// `band` consecutive modules centered at position `i · modules / nets`.
+///
+/// Consecutive nets in the natural order `0, 1, …, nets − 1` therefore
+/// share modules only within overlapping windows, so sweeping that order
+/// moves each net into a *local* neighborhood of the intersection graph:
+/// the per-move dirty region of the incremental sweep stays `O(band)`
+/// while a from-scratch evaluation still pays `O(modules + nets)` per
+/// split. This is the instance family the `bench --bin sweep` asymptotic
+/// comparison runs on.
+///
+/// Bit-reproducible: same arguments, same hypergraph.
+///
+/// # Panics
+///
+/// Panics if `modules < 2`, `nets < 2` or `band < 2`.
+pub fn banded_hypergraph(seed: u64, modules: usize, nets: usize, band: usize) -> Hypergraph {
+    assert!(modules >= 2, "need at least 2 modules");
+    assert!(nets >= 2, "need at least 2 nets");
+    assert!(band >= 2, "band must span at least 2 modules");
+    let band = band.min(modules);
+    let mut g = Gen::new(seed);
+    let mut b = HypergraphBuilder::new(modules);
+    for i in 0..nets {
+        let center = i * modules / nets;
+        let lo = center.min(modules - band);
+        let hi = lo + band - 1;
+        loop {
+            let mut pins: Vec<u32> = g.vec_with(2, 4, |g| g.usize_in(lo, hi) as u32);
+            pins.sort_unstable();
+            pins.dedup();
+            if pins.len() >= 2 {
+                b.add_net(pins.into_iter().map(ModuleId))
+                    .expect("window pins are in range");
+                break;
+            }
+        }
+    }
+    b.finish().expect("banded instance has nets")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +292,28 @@ mod tests {
     #[should_panic(expected = "empty range")]
     fn inverted_range_panics() {
         Gen::new(0).usize_in(5, 4);
+    }
+
+    #[test]
+    fn banded_hypergraph_is_deterministic_and_local() {
+        let a = banded_hypergraph(7, 100, 80, 8);
+        let b = banded_hypergraph(7, 100, 80, 8);
+        assert_eq!(a.num_modules(), 100);
+        assert_eq!(a.num_nets(), 80);
+        for net in a.nets() {
+            let pins = a.pins(net);
+            assert!(pins.len() >= 2);
+            let lo = pins.iter().map(|m| m.index()).min().unwrap();
+            let hi = pins.iter().map(|m| m.index()).max().unwrap();
+            assert!(hi - lo < 8, "net {net:?} spans beyond its band");
+            assert_eq!(pins, b.pins(net));
+        }
+    }
+
+    #[test]
+    fn banded_hypergraph_band_is_clamped() {
+        let hg = banded_hypergraph(1, 4, 6, 100);
+        assert_eq!(hg.num_modules(), 4);
+        assert_eq!(hg.num_nets(), 6);
     }
 }
