@@ -1,0 +1,244 @@
+//! Load generator for `np-serve`: drives the partition service
+//! in-process with a fixed client pool for a fixed duration and reports
+//! latency percentiles, throughput and shed rate as `BENCH_serve.json`.
+//!
+//! In-process (direct `Service::handle_line` calls, no sockets) so the
+//! numbers measure the service — admission, tiering, portfolio compute —
+//! rather than loopback TCP. The request mix mirrors the integration
+//! suite: mostly plain portfolio requests over three netlist sizes, with
+//! a slice of tight-deadline requests to exercise the degradation path.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve -- \
+//!     [--seconds N] [--clients N] [--workers N] [--queue N] [--out PATH]
+//! ```
+
+use bench::{BenchEntry, BenchReport};
+use np_netlist::io::to_hgr_string;
+use np_serve::{ServeConfig, Service};
+use np_testkit::banded_hypergraph;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const USAGE: &str =
+    "usage: serve [--seconds N] [--clients N] [--workers N] [--queue N] [--out PATH]";
+
+struct Config {
+    seconds: u64,
+    clients: usize,
+    workers: usize,
+    queue: usize,
+    out: String,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, String> {
+    let mut cfg = Config {
+        seconds: 5,
+        clients: 8,
+        workers: 2,
+        queue: 4,
+        out: "BENCH_serve.json".into(),
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            iter.next()
+                .ok_or(format!("{name} needs a value"))?
+                .parse::<u64>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or(format!("{name} expects a positive number"))
+        };
+        match arg.as_str() {
+            "--seconds" => cfg.seconds = num("--seconds")?,
+            "--clients" => cfg.clients = num("--clients")? as usize,
+            "--workers" => cfg.workers = num("--workers")? as usize,
+            "--queue" => cfg.queue = num("--queue")? as usize,
+            "--out" => cfg.out = iter.next().ok_or("--out needs a path")?,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(cfg)
+}
+
+/// One client's tally: per-request latencies and terminal-frame counts.
+#[derive(Default)]
+struct Tally {
+    latencies: Vec<Duration>,
+    results: u64,
+    degraded: u64,
+    shed: u64,
+    errors: u64,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let cfg = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    };
+    let service = Arc::new(Service::new(ServeConfig {
+        workers: cfg.workers,
+        queue: cfg.queue,
+        max_wall: Duration::from_millis(500),
+        ..ServeConfig::default()
+    }));
+    // three request sizes, pre-rendered once; the cache makes repeat
+    // parses cheap, which is also what a steady-state server sees
+    let netlists: Vec<String> = [(64usize, 90usize), (160, 220), (320, 440)]
+        .iter()
+        .map(|&(m, n)| to_hgr_string(&banded_hypergraph(m as u64, m, n, 8)))
+        .collect();
+    let netlists = Arc::new(netlists);
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let run_for = Duration::from_secs(cfg.seconds);
+
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|client| {
+            let service = Arc::clone(&service);
+            let netlists = Arc::clone(&netlists);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut tally = Tally::default();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let hgr = &netlists[(client + n as usize) % netlists.len()];
+                    // every 4th request carries a tight deadline to keep
+                    // the degradation path on the hot profile
+                    let extra = if n % 4 == 3 {
+                        r#","deadline_ms":30"#
+                    } else {
+                        ""
+                    };
+                    let line = format!(
+                        r#"{{"id":"c{client}-{n}","hgr":{},"restarts":2{extra}}}"#,
+                        np_serve::json::escape(hgr)
+                    );
+                    let terminal = Mutex::new(String::new());
+                    let t0 = Instant::now();
+                    service.handle_line(&line, &|frame: &str| {
+                        *terminal.lock().unwrap() = frame.to_string();
+                    });
+                    tally.latencies.push(t0.elapsed());
+                    let frame = terminal.into_inner().unwrap();
+                    if frame.contains("\"frame\":\"shed\"") {
+                        tally.shed += 1;
+                    } else if frame.contains("\"frame\":\"error\"") {
+                        tally.errors += 1;
+                    } else if frame.contains("\"degraded\":true") {
+                        tally.degraded += 1;
+                    } else {
+                        tally.results += 1;
+                    }
+                    n += 1;
+                }
+                tally
+            })
+        })
+        .collect();
+    std::thread::sleep(run_for);
+    stop.store(true, Ordering::Relaxed);
+    let tallies: Vec<Tally> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread must not panic"))
+        .collect();
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<Duration> = tallies.iter().flat_map(|t| t.latencies.clone()).collect();
+    latencies.sort_unstable();
+    let total: u64 = latencies.len() as u64;
+    let (results, degraded, shed, errors) = tallies.iter().fold((0, 0, 0, 0), |acc, t| {
+        (
+            acc.0 + t.results,
+            acc.1 + t.degraded,
+            acc.2 + t.shed,
+            acc.3 + t.errors,
+        )
+    });
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let p50 = percentile(&latencies, 0.50);
+    let p90 = percentile(&latencies, 0.90);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = total as f64 / elapsed.as_secs_f64();
+    let shed_rate = if total > 0 {
+        shed as f64 / total as f64
+    } else {
+        0.0
+    };
+
+    let mut report = BenchReport::new("serve");
+    report.meta("binary", "serve");
+    report.meta("mode", "in-process");
+    report.push(
+        BenchEntry::new()
+            .str("name", "load")
+            .int("clients", cfg.clients)
+            .int("workers", cfg.workers)
+            .int("queue", cfg.queue)
+            .int("seconds", cfg.seconds as usize)
+            .int("requests", total as usize)
+            .int("results", results as usize)
+            .int("degraded", degraded as usize)
+            .int("shed", shed as usize)
+            .int("errors", errors as usize)
+            .fixed("throughput_rps", throughput)
+            .fixed("shed_rate", shed_rate)
+            .fixed("p50_ms", ms(p50))
+            .fixed("p90_ms", ms(p90))
+            .fixed("p99_ms", ms(p99)),
+    );
+    report.write(&cfg.out);
+    println!(
+        "{total} requests in {elapsed:.1?}: {throughput:.1} req/s, \
+         p50 {p50_ms:.1} ms, p99 {p99_ms:.1} ms, shed {shed} ({shed_pct:.1}%), \
+         {results} clean, {degraded} degraded, {errors} errors",
+        p50_ms = ms(p50),
+        p99_ms = ms(p99),
+        shed_pct = shed_rate * 100.0,
+    );
+    assert_eq!(
+        errors, 0,
+        "a healthy service sheds or degrades, never errors"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let sorted: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&sorted, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&sorted, 1.0), Duration::from_millis(100));
+        assert_eq!(percentile(&sorted, 0.5), Duration::from_millis(51));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn args_parse_and_reject() {
+        let cfg = parse_args(
+            ["--seconds", "2", "--clients", "3", "--out", "x.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!((cfg.seconds, cfg.clients), (2, 3));
+        assert_eq!(cfg.out, "x.json");
+        assert!(parse_args(["--seconds", "0"].iter().map(|s| s.to_string())).is_err());
+        assert!(parse_args(["--nope"].iter().map(|s| s.to_string())).is_err());
+    }
+}

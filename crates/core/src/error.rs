@@ -31,6 +31,15 @@ pub enum PartitionError {
         /// What was wrong with the input.
         reason: &'static str,
     },
+    /// The algorithm panicked and the panic was contained at an isolation
+    /// boundary (an `np-runner` portfolio attempt, a server request
+    /// handler) instead of unwinding through the caller. The payload is
+    /// the panic message, when one could be extracted.
+    Panicked {
+        /// The panic payload rendered as text (`"<non-string panic>"`
+        /// when the payload was neither `&str` nor `String`).
+        message: String,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -48,8 +57,26 @@ impl fmt::Display for PartitionError {
             PartitionError::InvalidInput { reason } => {
                 write!(f, "invalid input: {reason}")
             }
+            PartitionError::Panicked { message } => {
+                write!(f, "algorithm panicked: {message}")
+            }
         }
     }
+}
+
+/// Renders a caught panic payload (from [`std::panic::catch_unwind`])
+/// as a [`PartitionError::Panicked`]. Extracts `&str` and `String`
+/// payloads — the two types `panic!` produces — and falls back to a
+/// placeholder for exotic payloads.
+pub fn panic_error(payload: Box<dyn std::any::Any + Send>) -> PartitionError {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    };
+    PartitionError::Panicked { message }
 }
 
 impl Error for PartitionError {
@@ -109,6 +136,22 @@ mod tests {
             reason: "net ordering is not a permutation",
         };
         assert!(e.to_string().contains("invalid input"));
+    }
+
+    #[test]
+    fn panic_payloads_extract_str_and_string() {
+        let e = panic_error(Box::new("boom"));
+        assert_eq!(
+            e,
+            PartitionError::Panicked {
+                message: "boom".into()
+            }
+        );
+        assert!(e.to_string().contains("algorithm panicked: boom"));
+        let e = panic_error(Box::new(String::from("formatted boom")));
+        assert!(e.to_string().contains("formatted boom"));
+        let e = panic_error(Box::new(42u32));
+        assert!(e.to_string().contains("<non-string panic>"));
     }
 
     #[test]

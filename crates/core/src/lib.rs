@@ -66,7 +66,7 @@ pub use eig1::{eig1, eig1_ctx, Eig1Options};
 pub use engine::{
     BoxedStage, EventSink, FallbackChain, Partitioner, Pipeline, RunContext, Stage, StageEvent,
 };
-pub use error::PartitionError;
+pub use error::{panic_error, PartitionError};
 pub use igmatch::{ig_match, ig_match_ctx, IgMatchOptions, IgMatchOutcome};
 pub use igvote::{ig_vote, ig_vote_ctx, IgVoteOptions};
 pub use models::IgWeighting;

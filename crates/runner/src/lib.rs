@@ -38,6 +38,15 @@
 //! are skipped. Partial results are still reported in the
 //! [`PortfolioReport`].
 //!
+//! # Panic isolation
+//!
+//! Every attempt runs inside [`std::panic::catch_unwind`]: a panicking
+//! stage is reported as a [`AttemptStatus::Panicked`] attempt (with the
+//! panic message in the attempt's error field) instead of unwinding
+//! through the scoped pool and aborting the whole portfolio. Long-running
+//! callers — the `np-serve` partition service in particular — rely on
+//! this to keep one poisoned attempt from killing unrelated requests.
+//!
 //! # Example
 //!
 //! ```
@@ -430,6 +439,36 @@ pub fn run_portfolio_scored(
     sink: Option<&dyn PortfolioSink>,
     score: &(dyn Fn(&PartitionResult) -> f64 + Sync),
 ) -> Result<PortfolioOutcome, PortfolioError> {
+    // One operator cache for the whole portfolio: the spectral Laplacians
+    // depend only on the hypergraph, so the first attempt to need one
+    // builds it and every other attempt reuses it instead of rebuilding
+    // per attempt. Results are unchanged — the operators are
+    // deterministic functions of the netlist.
+    let operators = Arc::new(OperatorCache::new());
+    run_portfolio_cached(hg, portfolio, opts, meter, sink, score, &operators)
+}
+
+/// [`run_portfolio_scored`] against a caller-owned [`OperatorCache`]:
+/// the spectral operators built during this portfolio stay in `operators`
+/// afterwards, so a long-lived caller (a server handling repeat requests
+/// for the same netlist) can reuse them across runs instead of paying the
+/// Laplacian builds again. Correctness is unaffected — the cached
+/// operators are deterministic functions of the hypergraph, so the cache
+/// must simply belong to this `hg` (cache keyed per netlist is the
+/// caller's contract, exactly as for [`RunContext::with_operator_cache`]).
+///
+/// # Errors
+///
+/// Same as [`run_portfolio`].
+pub fn run_portfolio_cached(
+    hg: &Hypergraph,
+    portfolio: &Portfolio,
+    opts: &PortfolioOptions,
+    meter: &BudgetMeter,
+    sink: Option<&dyn PortfolioSink>,
+    score: &(dyn Fn(&PartitionResult) -> f64 + Sync),
+    operators: &Arc<OperatorCache>,
+) -> Result<PortfolioOutcome, PortfolioError> {
     let started = Instant::now();
     let n = portfolio.len();
     if n == 0 {
@@ -448,12 +487,6 @@ pub fn run_portfolio_scored(
         });
     }
     let threads = effective_threads(opts.threads, n);
-    // One operator cache for the whole portfolio: the spectral Laplacians
-    // depend only on the hypergraph, so the first attempt to need one
-    // builds it and every other attempt reuses it instead of rebuilding
-    // per attempt. Results are unchanged — the operators are
-    // deterministic functions of the netlist.
-    let operators = Arc::new(OperatorCache::new());
     let next = AtomicUsize::new(0);
     let best = BestCell::new();
     let slots: Vec<Mutex<Option<Slot>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -472,9 +505,7 @@ pub fn run_portfolio_scored(
                     let slot = if meter.check().is_err() {
                         Slot::skipped()
                     } else {
-                        run_attempt(
-                            hg, attempt, idx, opts, meter, sink, score, &best, &operators,
-                        )
+                        run_attempt(hg, attempt, idx, opts, meter, sink, score, &best, operators)
                     };
                     *slots[idx].lock().expect("slot lock") = Some(slot);
                 }
@@ -562,7 +593,16 @@ fn run_attempt(
         ctx = ctx.with_events(fwd);
     }
     let t0 = Instant::now();
-    let outcome = run_stage(attempt.stage.as_ref(), hg, None, &ctx);
+    // A panicking stage must fail *the attempt*, not unwind through the
+    // scoped pool and abort the whole portfolio (and its caller — in a
+    // server, the process). `AssertUnwindSafe` is justified because a
+    // panicked attempt's partial state is confined to the attempt: the
+    // stage is an immutable options struct, and the shared meter /
+    // best-cell are atomics that stay consistent under abandonment.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_stage(attempt.stage.as_ref(), hg, None, &ctx)
+    }))
+    .unwrap_or_else(|payload| Err(np_core::panic_error(payload)));
     let wall = t0.elapsed();
     let charge = tributary.local_used();
     match outcome {
@@ -587,6 +627,7 @@ fn run_attempt(
                     AttemptStatus::Cancelled
                 }
                 PartitionError::Budget(_) => AttemptStatus::BudgetExhausted,
+                PartitionError::Panicked { .. } => AttemptStatus::Panicked,
                 _ => AttemptStatus::Failed,
             };
             Slot {
@@ -847,6 +888,67 @@ mod tests {
             "attempt charges must partition the pool"
         );
         assert!(out.report.attempts.iter().all(|a| a.charge > 0));
+    }
+
+    /// Test double for the panic-isolation contract: a stage that always
+    /// panics, standing in for a poisoned algorithm.
+    struct PanickingStage;
+
+    impl Partitioner for PanickingStage {
+        fn name(&self) -> &'static str {
+            "panicker"
+        }
+
+        fn partition(
+            &self,
+            _hg: &Hypergraph,
+            _ctx: &RunContext<'_>,
+        ) -> Result<PartitionResult, PartitionError> {
+            panic!("injected attempt panic");
+        }
+    }
+
+    #[test]
+    fn panicking_attempt_fails_the_attempt_not_the_portfolio() {
+        // attempt 0 panics; the pool must survive, run attempt 1, and
+        // report the panic as a per-attempt outcome
+        let portfolio = Portfolio::new()
+            .attempt("poisoned", PanickingStage)
+            .attempt("healthy", IgMatchStage::default());
+        for threads in [1, 2] {
+            let out = run_portfolio(
+                &two_triangles(),
+                &portfolio,
+                &PortfolioOptions::default().with_threads(threads),
+                &BudgetMeter::unlimited(),
+                None,
+            )
+            .unwrap();
+            assert_eq!(out.winner, 1, "threads={threads}");
+            assert_eq!(out.report.attempts[0].status, AttemptStatus::Panicked);
+            let msg = out.report.attempts[0].error.as_deref().unwrap();
+            assert!(msg.contains("injected attempt panic"), "{msg}");
+            assert_eq!(out.report.attempts[1].status, AttemptStatus::Won);
+        }
+    }
+
+    #[test]
+    fn all_attempts_panicking_is_a_portfolio_error_not_a_panic() {
+        let portfolio = Portfolio::new()
+            .attempt("a", PanickingStage)
+            .attempt("b", PanickingStage);
+        let err = run_portfolio(
+            &two_triangles(),
+            &portfolio,
+            &PortfolioOptions::default().with_threads(2),
+            &BudgetMeter::unlimited(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err.error, PartitionError::Panicked { .. }));
+        for a in &err.report.attempts {
+            assert_eq!(a.status, AttemptStatus::Panicked);
+        }
     }
 
     #[test]

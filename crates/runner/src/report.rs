@@ -28,6 +28,10 @@ pub enum AttemptStatus {
     BudgetExhausted,
     /// Started, then failed with an algorithmic error.
     Failed,
+    /// Started, then panicked; the panic was contained at the attempt
+    /// boundary ([`std::panic::catch_unwind`]) so the rest of the
+    /// portfolio kept running.
+    Panicked,
     /// Never started: the shared budget was already exhausted or
     /// cancelled when the attempt came up in the queue.
     Skipped,
@@ -42,6 +46,7 @@ impl AttemptStatus {
             AttemptStatus::Cancelled => "cancelled",
             AttemptStatus::BudgetExhausted => "budget-exhausted",
             AttemptStatus::Failed => "failed",
+            AttemptStatus::Panicked => "panicked",
             AttemptStatus::Skipped => "skipped",
         }
     }
@@ -312,6 +317,60 @@ mod tests {
     fn json_escapes_strings() {
         let json = sample_report().to_json();
         assert!(json.contains("\"weird \\\"label\\\"\\n\""));
+    }
+
+    #[test]
+    fn json_escapes_adversarial_labels_and_errors() {
+        // labels and error strings are caller- (or panic-payload-)
+        // controlled: quotes, backslashes, raw control characters and
+        // path-like backslash runs must all serialize to valid JSON
+        let mut r = sample_report();
+        r.attempts[0].label = "evil\"},{\"x\u{0}\u{1f}\\path\tend".into();
+        r.attempts[0].status = AttemptStatus::Panicked;
+        r.attempts[0].error = Some("panicked at 'boom\nline two'\r\u{7}".into());
+        let json = r.to_json();
+        assert!(
+            json.contains("\"evil\\\"},{\\\"x\\u0000\\u001f\\\\path\\tend\""),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"panicked at 'boom\\nline two'\\r\\u0007\""),
+            "{json}"
+        );
+        assert!(json.contains("\"status\": \"panicked\""));
+        // no raw control character may survive into the output
+        assert!(json.chars().all(|c| c == '\n' || (c as u32) >= 0x20));
+        // and the escaping must round-trip: unescape the two strings and
+        // compare against the originals
+        assert_eq!(
+            unescape(r#"evil\"},{\"x\u0000\u001f\\path\tend"#),
+            "evil\"},{\"x\u{0}\u{1f}\\path\tend"
+        );
+    }
+
+    /// Minimal JSON string unescaper for the round-trip assertion (the
+    /// full parser lives in `np-serve`, which cannot be a dev-dependency
+    /// here without a cycle).
+    fn unescape(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next().unwrap() {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).map(|_| chars.next().unwrap()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&hex, 16).unwrap()).unwrap());
+                }
+                other => out.push(other),
+            }
+        }
+        out
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Admission control: a semaphore over a bounded queue.
+//!
+//! The service accepts at most `workers` concurrently *running* requests
+//! and at most `queue` requests *waiting* for a worker. Everything beyond
+//! that is **shed synchronously** — [`Admission::enroll`] answers
+//! [`Enrollment::Shed`] without blocking and without spawning any work,
+//! so overload costs the server one queue-state check per rejected
+//! request, not a thread.
+//!
+//! The two-phase shape (enroll, then [`Ticket::wait`]) exists so shedding
+//! is decided *before* any resources are committed: a caller that holds a
+//! [`Ticket`] is guaranteed a worker slot eventually, because every
+//! [`Permit`] holder's work is wall-clock bounded by the service
+//! (requests run under a hard cap even when the client asked for no
+//! budget). Dropping a ticket without waiting (client gone) releases the
+//! queue slot.
+
+use std::sync::{Condvar, Mutex};
+
+/// Snapshot of the admission state, for shed responses and metrics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Load {
+    /// Requests currently holding a worker permit.
+    pub running: usize,
+    /// Requests currently queued for a permit.
+    pub queued: usize,
+}
+
+#[derive(Debug)]
+struct State {
+    running: usize,
+    queued: usize,
+}
+
+/// The admission controller. One per service; shared by reference across
+/// connection threads.
+#[derive(Debug)]
+pub struct Admission {
+    workers: usize,
+    queue: usize,
+    state: Mutex<State>,
+    wakeup: Condvar,
+}
+
+/// Outcome of [`Admission::enroll`].
+#[derive(Debug)]
+pub enum Enrollment<'a> {
+    /// A queue slot was granted; [`Ticket::wait`] blocks until a worker
+    /// permit is free.
+    Queued(Ticket<'a>),
+    /// Workers busy and queue full — the request must be answered with a
+    /// shed frame. Carries the load at the moment of rejection.
+    Shed(Load),
+}
+
+/// A granted queue slot (phase one). Converts into a [`Permit`] via
+/// [`wait`](Ticket::wait); dropping it un-queues the request.
+#[derive(Debug)]
+pub struct Ticket<'a> {
+    adm: &'a Admission,
+    waited: bool,
+}
+
+/// A granted worker slot (phase two). Work may run while this is alive;
+/// dropping it frees the slot and wakes one queued ticket.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    adm: &'a Admission,
+}
+
+impl Admission {
+    /// A controller admitting `workers` concurrent runs and `queue`
+    /// waiters. `workers` is clamped to at least 1 (a server that can
+    /// run nothing would shed everything).
+    pub fn new(workers: usize, queue: usize) -> Self {
+        Admission {
+            workers: workers.max(1),
+            queue,
+            state: Mutex::new(State {
+                running: 0,
+                queued: 0,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Phase one: try to take a queue slot. Never blocks.
+    pub fn enroll(&self) -> Enrollment<'_> {
+        let mut st = self.state.lock().expect("admission lock");
+        // bound total in-flight (running + queued): a ticket on a free
+        // worker converts immediately in `wait`, so free workers are
+        // usable capacity, but they must not be double-counted while
+        // earlier tickets have enrolled and not yet converted
+        if st.running + st.queued < self.workers + self.queue {
+            st.queued += 1;
+            Enrollment::Queued(Ticket {
+                adm: self,
+                waited: false,
+            })
+        } else {
+            Enrollment::Shed(Load {
+                running: st.running,
+                queued: st.queued,
+            })
+        }
+    }
+
+    /// Current load snapshot.
+    pub fn load(&self) -> Load {
+        let st = self.state.lock().expect("admission lock");
+        Load {
+            running: st.running,
+            queued: st.queued,
+        }
+    }
+}
+
+impl<'a> Ticket<'a> {
+    /// Phase two: block until a worker permit is free. Progress is
+    /// guaranteed because every permit holder's work is wall-clock
+    /// bounded by the service.
+    pub fn wait(mut self) -> Permit<'a> {
+        let mut st = self.adm.state.lock().expect("admission lock");
+        while st.running >= self.adm.workers {
+            st = self.adm.wakeup.wait(st).expect("admission lock");
+        }
+        st.queued -= 1;
+        st.running += 1;
+        self.waited = true; // Drop must not decrement `queued` again
+        drop(st);
+        Permit { adm: self.adm }
+    }
+}
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        if !self.waited {
+            let mut st = self.adm.state.lock().expect("admission lock");
+            st.queued -= 1;
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.adm.state.lock().expect("admission lock");
+        st.running -= 1;
+        drop(st);
+        self.adm.wakeup.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn sheds_beyond_workers_plus_queue() {
+        let adm = Admission::new(2, 3);
+        let mut held = Vec::new();
+        for _ in 0..5 {
+            match adm.enroll() {
+                Enrollment::Queued(t) => held.push(t),
+                Enrollment::Shed(_) => panic!("capacity 2+3 must admit 5"),
+            }
+        }
+        match adm.enroll() {
+            Enrollment::Shed(load) => {
+                assert_eq!(load.queued, 5);
+            }
+            Enrollment::Queued(_) => panic!("sixth request must shed"),
+        }
+        drop(held);
+        assert_eq!(
+            adm.load(),
+            Load {
+                running: 0,
+                queued: 0
+            }
+        );
+        assert!(matches!(adm.enroll(), Enrollment::Queued(_)));
+    }
+
+    #[test]
+    fn permits_bound_concurrency() {
+        let adm = Arc::new(Admission::new(2, 16));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let adm = Arc::clone(&adm);
+                let peak = Arc::clone(&peak);
+                let live = Arc::clone(&live);
+                scope.spawn(move || {
+                    let Enrollment::Queued(ticket) = adm.enroll() else {
+                        panic!("queue of 16 cannot shed 8");
+                    };
+                    let permit = ticket.wait();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(5));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    drop(permit);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "permit bound violated");
+        assert_eq!(
+            adm.load(),
+            Load {
+                running: 0,
+                queued: 0
+            }
+        );
+    }
+
+    #[test]
+    fn dropped_ticket_frees_its_queue_slot() {
+        let adm = Admission::new(1, 1);
+        let Enrollment::Queued(t1) = adm.enroll() else {
+            panic!()
+        };
+        let _p1 = t1.wait(); // occupies the only worker
+        let Enrollment::Queued(t2) = adm.enroll() else {
+            panic!()
+        };
+        assert!(matches!(adm.enroll(), Enrollment::Shed(_)));
+        drop(t2); // client went away while queued
+        assert!(matches!(adm.enroll(), Enrollment::Queued(_)));
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let adm = Admission::new(0, 0);
+        let Enrollment::Queued(t) = adm.enroll() else {
+            panic!("one request must always be admittable")
+        };
+        let _p = t.wait();
+        assert!(matches!(adm.enroll(), Enrollment::Shed(_)));
+    }
+}

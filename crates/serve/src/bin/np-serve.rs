@@ -1,0 +1,157 @@
+//! `np-serve` — the partition service binary.
+//!
+//! ```text
+//! np-serve [--listen ADDR | --stdio]
+//!          [--workers N] [--queue N] [--restarts N] [--max-wall-ms MS]
+//! ```
+//!
+//! Speaks the JSON-lines protocol of `np_serve::proto`: one request
+//! object per line in, one or more frames per request out (progress
+//! frames if requested, then exactly one terminal `result`/`shed`/
+//! `error` frame). `--stdio` (the default) serves stdin→stdout, handy
+//! for piping; `--listen 127.0.0.1:7199` serves TCP.
+
+use np_serve::{ServeConfig, Service};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: np-serve [--listen ADDR | --stdio] \
+                     [--workers N] [--queue N] [--restarts N] [--max-wall-ms MS]";
+
+struct Args {
+    listen: Option<String>,
+    cfg: ServeConfig,
+}
+
+fn parse_args<I>(args: I) -> Result<Args, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut listen = None;
+    let mut cfg = ServeConfig::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--listen" => listen = Some(iter.next().ok_or("--listen needs an address")?),
+            "--stdio" => listen = None,
+            "--workers" => {
+                let v = iter.next().ok_or("--workers needs a value")?;
+                cfg.workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--workers expects a positive count, got '{v}'"))?;
+            }
+            "--queue" => {
+                let v = iter.next().ok_or("--queue needs a value")?;
+                cfg.queue = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--queue expects a count, got '{v}'"))?;
+            }
+            "--restarts" => {
+                let v = iter.next().ok_or("--restarts needs a value")?;
+                cfg.default_restarts = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--restarts expects a positive count, got '{v}'"))?;
+            }
+            "--max-wall-ms" => {
+                let v = iter.next().ok_or("--max-wall-ms needs a value")?;
+                let ms = v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("--max-wall-ms expects milliseconds, got '{v}'"))?;
+                cfg.max_wall = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(Args { listen, cfg })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Arc::new(Service::new(args.cfg));
+    match args.listen {
+        Some(addr) => {
+            let listener = match TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot listen on {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("np-serve listening on {addr}");
+            if let Err(e) = np_serve::server::serve_tcp(&service, listener) {
+                eprintln!("accept loop failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {
+            np_serve::server::serve_stdio(&service);
+            eprintln!("np-serve: stdin closed; {}", service.metrics().to_json());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_to_stdio() {
+        let a = parse(&[]).unwrap();
+        assert!(a.listen.is_none());
+        assert_eq!(a.cfg.workers, ServeConfig::default().workers);
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&[
+            "--listen",
+            "127.0.0.1:7199",
+            "--workers",
+            "2",
+            "--queue",
+            "8",
+            "--restarts",
+            "6",
+            "--max-wall-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:7199"));
+        assert_eq!(a.cfg.workers, 2);
+        assert_eq!(a.cfg.queue, 8);
+        assert_eq!(a.cfg.default_restarts, 6);
+        assert_eq!(a.cfg.max_wall, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        for bad in [
+            &["--workers", "0"][..],
+            &["--restarts", "none"][..],
+            &["--max-wall-ms", "0"][..],
+            &["--mystery"][..],
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?}");
+        }
+    }
+}

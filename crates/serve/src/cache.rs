@@ -1,0 +1,289 @@
+//! Content-addressed netlist cache with bounded memory.
+//!
+//! Clients of a long-running partition service re-submit the same
+//! netlist over and over (tuning `restarts`, budgets, algorithms). The
+//! expensive, request-independent work — parsing the `.hgr` text and
+//! building the spectral Laplacians — depends only on the netlist bytes,
+//! so the service keys a cache by an FNV-1a content hash of the request's
+//! `hgr` field and hands every hit the *same* [`Hypergraph`] and
+//! [`OperatorCache`]. A repeat request therefore skips the parse **and**
+//! (via [`np_runner::run_portfolio_cached`]) every Laplacian build its
+//! first run already paid for.
+//!
+//! Hash collisions are handled, not assumed away: each entry stores its
+//! full source text and a hit must match it byte-for-byte, otherwise the
+//! lookup is treated as a miss and the colliding entry is replaced.
+//!
+//! Memory is bounded two ways — entry count and total resident bytes
+//! (source text plus an estimate of the parsed structures) — with
+//! least-recently-used eviction. Parsing happens *outside* the cache
+//! lock; concurrent misses on the same text race benignly (one insert
+//! wins, both callers get a valid value).
+
+use np_core::engine::OperatorCache;
+use np_netlist::Hypergraph;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A parsed netlist plus its shared spectral-operator cache.
+#[derive(Debug)]
+pub struct CachedNetlist {
+    /// The parsed hypergraph.
+    pub hypergraph: Hypergraph,
+    /// Spectral operators built for this hypergraph so far; shared with
+    /// every portfolio run against it.
+    pub operators: Arc<OperatorCache>,
+    /// Approximate resident size used for the byte bound.
+    bytes: usize,
+    /// The exact source text (collision guard).
+    source: String,
+}
+
+impl CachedNetlist {
+    /// Approximate resident bytes of this entry.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<CachedNetlist>,
+    /// Logical clock of the last hit (for LRU eviction).
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    clock: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Usage counters, surfaced in the service metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to parse.
+    pub misses: u64,
+    /// Entries evicted to stay within bounds.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate bytes currently resident.
+    pub bytes: usize,
+}
+
+/// The bounded content-addressed cache. One per service.
+#[derive(Debug)]
+pub struct NetlistCache {
+    max_entries: usize,
+    max_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+impl NetlistCache {
+    /// A cache bounded to `max_entries` netlists and roughly `max_bytes`
+    /// resident bytes. `max_entries == 0` disables caching (every lookup
+    /// parses).
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        NetlistCache {
+            max_entries,
+            max_bytes,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Returns the cached netlist for `hgr`, parsing and inserting on
+    /// miss.
+    ///
+    /// # Errors
+    ///
+    /// The parse error, rendered for the wire, when `hgr` is not valid
+    /// hMETIS text.
+    pub fn get_or_parse(&self, hgr: &str) -> Result<Arc<CachedNetlist>, String> {
+        let key = fnv1a(hgr.as_bytes());
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                if entry.value.source == hgr {
+                    entry.last_used = clock;
+                    let value = Arc::clone(&entry.value);
+                    inner.hits += 1;
+                    return Ok(value);
+                }
+                // 64-bit collision: fall through and replace below
+            }
+            inner.misses += 1;
+        }
+        // parse outside the lock: a slow parse of a big netlist must not
+        // serialize every other connection's cache lookups behind it
+        let hypergraph =
+            np_netlist::io::parse_hgr(hgr).map_err(|e| format!("invalid hgr netlist: {e}"))?;
+        let bytes = hgr.len() + estimated_bytes(&hypergraph);
+        let value = Arc::new(CachedNetlist {
+            hypergraph,
+            operators: Arc::new(OperatorCache::new()),
+            bytes,
+            source: hgr.to_string(),
+        });
+        if self.max_entries == 0 || bytes > self.max_bytes {
+            return Ok(value); // uncacheable; still perfectly usable
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.map.insert(
+            key,
+            Entry {
+                value: Arc::clone(&value),
+                last_used: clock,
+            },
+        ) {
+            // concurrent miss on the same text (or collision replacement)
+            inner.bytes -= old.value.bytes;
+        }
+        inner.bytes += bytes;
+        while inner.map.len() > self.max_entries || inner.bytes > self.max_bytes {
+            let Some((&victim, _)) = inner
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key) // never evict what we just inserted
+                .min_by_key(|(_, e)| e.last_used)
+            else {
+                break;
+            };
+            let old = inner.map.remove(&victim).expect("victim present");
+            inner.bytes -= old.value.bytes;
+            inner.evictions += 1;
+        }
+        Ok(value)
+    }
+
+    /// Current usage counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+        }
+    }
+}
+
+/// FNV-1a over the netlist bytes — no cryptographic strength needed
+/// (collisions are verified against the stored source), just dispersion.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Rough resident size of the parsed structures: pin counts dominate
+/// (one u32 per pin in each direction of the incidence), plus fixed
+/// per-net/per-module overhead.
+fn estimated_bytes(hg: &Hypergraph) -> usize {
+    hg.num_pins() * 2 * std::mem::size_of::<u32>() + (hg.num_nets() + hg.num_modules()) * 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hgr(nets: &[&[usize]], modules: usize) -> String {
+        let mut s = format!("{} {modules}\n", nets.len());
+        for net in nets {
+            let line: Vec<String> = net.iter().map(|m| (m + 1).to_string()).collect();
+            s.push_str(&line.join(" "));
+            s.push('\n');
+        }
+        s
+    }
+
+    #[test]
+    fn hit_returns_the_same_parse_and_operators() {
+        let cache = NetlistCache::new(4, 1 << 20);
+        let text = hgr(&[&[0, 1], &[1, 2]], 3);
+        let a = cache.get_or_parse(&text).unwrap();
+        let b = cache.get_or_parse(&text).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the entry");
+        assert!(Arc::ptr_eq(&a.operators, &b.operators));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let cache = NetlistCache::new(4, 1 << 20);
+        let err = cache.get_or_parse("not a netlist").unwrap_err();
+        assert!(err.contains("invalid hgr"), "{err}");
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn lru_eviction_by_entry_count() {
+        let cache = NetlistCache::new(2, 1 << 20);
+        let a = hgr(&[&[0, 1]], 2);
+        let b = hgr(&[&[0, 1], &[1, 2]], 3);
+        let c = hgr(&[&[0, 1], &[1, 2], &[2, 3]], 4);
+        cache.get_or_parse(&a).unwrap();
+        cache.get_or_parse(&b).unwrap();
+        cache.get_or_parse(&a).unwrap(); // refresh a: b is now LRU
+        cache.get_or_parse(&c).unwrap(); // evicts b
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        cache.get_or_parse(&a).unwrap();
+        assert_eq!(cache.stats().hits, 2, "a must have survived");
+        cache.get_or_parse(&b).unwrap();
+        assert_eq!(cache.stats().misses, 4, "b must have been evicted");
+    }
+
+    #[test]
+    fn byte_bound_enforced() {
+        let text = hgr(&[&[0, 1], &[1, 2]], 3);
+        let cache = NetlistCache::new(100, 1); // absurdly small byte cap
+        let v = cache.get_or_parse(&text).unwrap();
+        assert!(v.bytes() > 1);
+        assert_eq!(cache.stats().entries, 0, "oversized entries bypass");
+        // same text again: still served (parsed fresh), still correct
+        let again = cache.get_or_parse(&text).unwrap();
+        assert_eq!(again.hypergraph.num_modules(), 3);
+    }
+
+    #[test]
+    fn zero_entries_disables_caching() {
+        let cache = NetlistCache::new(0, 1 << 20);
+        let text = hgr(&[&[0, 1]], 2);
+        cache.get_or_parse(&text).unwrap();
+        cache.get_or_parse(&text).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn concurrent_misses_converge() {
+        let cache = Arc::new(NetlistCache::new(8, 1 << 20));
+        let text = hgr(&[&[0, 1], &[1, 2], &[0, 2]], 3);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let text = text.clone();
+                scope.spawn(move || cache.get_or_parse(&text).unwrap());
+            }
+        });
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Request-level fault injection for the service layer.
+//!
+//! Compiled only with the `fault-inject` feature, mirroring `np-core`'s
+//! robustness-layer faults: a request may carry a
+//! [`FaultSpec`](crate::proto::FaultSpec) and the service then wraps every
+//! portfolio attempt in the matching decorator stage. The three faults
+//! model the three ways a worker misbehaves in production:
+//!
+//! * **slow** — the attempt takes much longer than expected but stays
+//!   cooperative (sleeps in short slices, checking the meter between
+//!   them, so deadlines still cancel it);
+//! * **panic** — the attempt panics mid-stage; the runner's
+//!   `catch_unwind` isolation must contain it;
+//! * **stuck** — a divergent eigensolve: the attempt spins forever,
+//!   charging the meter each spin, so only budget/deadline exhaustion
+//!   ends it.
+//!
+//! Without the feature, requests that name a fault are rejected with an
+//! explicit error — silently ignoring a fault request would make a
+//! resilience test pass vacuously.
+
+use crate::proto::FaultSpec;
+use np_core::engine::{BoxedStage, RunContext, Stage};
+use np_core::{PartitionError, PartitionResult};
+use np_netlist::Hypergraph;
+use std::time::Duration;
+
+/// Wraps `inner` in the decorator implementing `spec`.
+pub fn apply(spec: FaultSpec, inner: BoxedStage) -> BoxedStage {
+    match spec {
+        FaultSpec::Slow(ms) => Box::new(SlowStage {
+            delay: Duration::from_millis(ms),
+            inner,
+        }),
+        FaultSpec::Panic => Box::new(PanicStage),
+        FaultSpec::Stuck => Box::new(StuckStage),
+    }
+}
+
+/// Sleeps before delegating, in 1 ms slices with a meter check between
+/// slices — slow but cooperative.
+struct SlowStage {
+    delay: Duration,
+    inner: BoxedStage,
+}
+
+impl Stage for SlowStage {
+    fn name(&self) -> &'static str {
+        "fault:slow"
+    }
+
+    fn run(
+        &self,
+        hg: &Hypergraph,
+        input: Option<PartitionResult>,
+        ctx: &RunContext<'_>,
+    ) -> Result<PartitionResult, PartitionError> {
+        let slice = Duration::from_millis(1);
+        let mut remaining = self.delay;
+        while remaining > Duration::ZERO {
+            ctx.meter().check()?;
+            let nap = remaining.min(slice);
+            std::thread::sleep(nap);
+            remaining -= nap;
+        }
+        self.inner.run(hg, input, ctx)
+    }
+}
+
+/// Panics immediately — a poisoned attempt.
+struct PanicStage;
+
+impl Stage for PanicStage {
+    fn name(&self) -> &'static str {
+        "fault:panic"
+    }
+
+    fn run(
+        &self,
+        _hg: &Hypergraph,
+        _input: Option<PartitionResult>,
+        _ctx: &RunContext<'_>,
+    ) -> Result<PartitionResult, PartitionError> {
+        panic!("injected service fault: panicking stage");
+    }
+}
+
+/// Spins charging the meter until a limit trips — a stuck eigensolve.
+/// Never returns a partition.
+struct StuckStage;
+
+impl Stage for StuckStage {
+    fn name(&self) -> &'static str {
+        "fault:stuck"
+    }
+
+    fn run(
+        &self,
+        _hg: &Hypergraph,
+        _input: Option<PartitionResult>,
+        ctx: &RunContext<'_>,
+    ) -> Result<PartitionResult, PartitionError> {
+        loop {
+            // one matvec-equivalent per spin: an unlimited meter never
+            // trips, so pair this fault with a budget or deadline
+            ctx.meter().charge(1)?;
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::hypergraph_from_nets;
+    use np_runner::RandomStartFmStage;
+    use np_sparse::{Budget, BudgetMeter};
+
+    fn tiny() -> Hypergraph {
+        hypergraph_from_nets(
+            8,
+            &[
+                vec![0, 1],
+                vec![1, 2],
+                vec![2, 3],
+                vec![0, 3],
+                vec![4, 5],
+                vec![5, 6],
+                vec![6, 7],
+                vec![4, 7],
+                vec![3, 4],
+            ],
+        )
+    }
+
+    #[test]
+    fn slow_stage_is_cancellable() {
+        let stage = apply(
+            FaultSpec::Slow(60_000),
+            Box::new(RandomStartFmStage::default()),
+        );
+        let meter = BudgetMeter::new(&Budget::default().with_wall_clock(Duration::from_millis(5)));
+        let ctx = RunContext::with_meter(&meter);
+        let start = std::time::Instant::now();
+        let err = stage.run(&tiny(), None, &ctx).unwrap_err();
+        assert!(matches!(err, PartitionError::Budget(_)), "{err}");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "must not sleep out the full minute"
+        );
+    }
+
+    #[test]
+    fn slow_stage_eventually_delegates() {
+        let stage = apply(FaultSpec::Slow(2), Box::new(RandomStartFmStage::default()));
+        let result = stage.run(&tiny(), None, &RunContext::unlimited()).unwrap();
+        assert!(result.stats.cut_nets >= 1);
+    }
+
+    #[test]
+    fn stuck_stage_trips_on_budget() {
+        let stage = apply(FaultSpec::Stuck, Box::new(RandomStartFmStage::default()));
+        let meter = BudgetMeter::new(&Budget::default().with_matvecs(100));
+        let ctx = RunContext::with_meter(&meter);
+        let err = stage.run(&tiny(), None, &ctx).unwrap_err();
+        assert!(matches!(err, PartitionError::Budget(_)), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected service fault")]
+    fn panic_stage_panics() {
+        let stage = apply(FaultSpec::Panic, Box::new(RandomStartFmStage::default()));
+        let _ = stage.run(&tiny(), None, &RunContext::unlimited());
+    }
+}

@@ -1,0 +1,383 @@
+//! The JSON-lines wire protocol: request decoding and response frames.
+//!
+//! One request per line, one or more response frames per request, each a
+//! single JSON object on its own line. Every accepted request produces
+//! **exactly one terminal frame** — `result`, `shed` or `error` — plus
+//! any number of `progress` frames before it when the request opted in.
+//!
+//! ```json
+//! {"id":"r1","hgr":"4 4\n1 2\n2 3\n3 4\n4 1\n","algo":"igmatch","restarts":4,"budget_ms":200,"deadline_ms":500}
+//! {"id":"r1","frame":"result","degraded":false,"cut":1,"left":2,"right":2,...}
+//! ```
+//!
+//! Unknown request keys are rejected (a typo'd `"deadline_m"` silently
+//! ignored would be an unbounded request — the opposite of what the
+//! caller asked for).
+
+use crate::json::{self, Obj, Value};
+
+/// The algorithms a request may ask for. `Auto` is IG-Match with the
+/// paper's weighting — the service's recommended default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// IG-Match (the default).
+    Auto,
+    /// IG-Match, explicitly.
+    IgMatch,
+    /// IG-Vote.
+    IgVote,
+    /// EIG1.
+    Eig1,
+    /// Ratio-cut FM (RCut1.0).
+    Rcut,
+    /// Plain FM from random starts.
+    Fm,
+    /// Kernighan–Lin.
+    Kl,
+}
+
+impl Algo {
+    /// Wire name of the algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Auto => "auto",
+            Algo::IgMatch => "igmatch",
+            Algo::IgVote => "igvote",
+            Algo::Eig1 => "eig1",
+            Algo::Rcut => "rcut",
+            Algo::Fm => "fm",
+            Algo::Kl => "kl",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Algo> {
+        Some(match name {
+            "auto" => Algo::Auto,
+            "igmatch" => Algo::IgMatch,
+            "igvote" => Algo::IgVote,
+            "eig1" => Algo::Eig1,
+            "rcut" => Algo::Rcut,
+            "fm" => Algo::Fm,
+            "kl" => Algo::Kl,
+            _ => return None,
+        })
+    }
+}
+
+/// A request-scoped fault to inject, for resilience testing. Parsed from
+/// the `"fault"` object; *executing* one requires the `fault-inject`
+/// feature — without it the service rejects the request with an explicit
+/// error instead of silently ignoring the fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Sleep this many milliseconds (in cancellable slices) before the
+    /// real work of each attempt — a slow worker.
+    Slow(u64),
+    /// Panic inside one portfolio attempt — a poisoned stage.
+    Panic,
+    /// Spin charging the meter until the budget or deadline trips — a
+    /// stuck eigensolve (cooperatively stuck: every spin consults the
+    /// meter, as all kernels in this workspace do).
+    Stuck,
+}
+
+/// One decoded request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed on every frame.
+    pub id: String,
+    /// The netlist, in hMETIS `.hgr` text format.
+    pub hgr: String,
+    /// Algorithm to run.
+    pub algo: Algo,
+    /// Portfolio width (attempt count); `None` = server default.
+    pub restarts: Option<usize>,
+    /// Base seed; `None` = the workspace default seed.
+    pub seed: Option<u64>,
+    /// Compute budget in milliseconds; `None` = server default cap only.
+    pub budget_ms: Option<u64>,
+    /// Hard deadline in milliseconds, measured from *arrival* (so queue
+    /// wait counts against it); `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Early-stop target: cancel the portfolio once an attempt reaches
+    /// this ratio cut.
+    pub target_ratio: Option<f64>,
+    /// Stream `progress` frames (stage events) before the terminal frame.
+    pub progress: bool,
+    /// Fault to inject (resilience testing).
+    pub fault: Option<FaultSpec>,
+}
+
+const REQUEST_KEYS: &[&str] = &[
+    "id",
+    "hgr",
+    "algo",
+    "restarts",
+    "seed",
+    "budget_ms",
+    "deadline_ms",
+    "target_ratio",
+    "progress",
+    "fault",
+];
+
+impl Request {
+    /// Decodes one request line. The error string is safe to echo into
+    /// an [`error frame`](error_frame).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = json::parse(line).map_err(|e| format!("bad json: {e}"))?;
+        let keys = doc.keys().ok_or("request must be a json object")?;
+        if let Some(unknown) = keys.iter().find(|k| !REQUEST_KEYS.contains(k)) {
+            return Err(format!("unknown request key '{unknown}'"));
+        }
+        let id = doc
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or("missing string field 'id'")?
+            .to_string();
+        let hgr = doc
+            .get("hgr")
+            .and_then(Value::as_str)
+            .ok_or("missing string field 'hgr'")?
+            .to_string();
+        let algo = match doc.get("algo") {
+            None => Algo::Auto,
+            Some(v) => {
+                let name = v.as_str().ok_or("'algo' must be a string")?;
+                Algo::from_name(name).ok_or_else(|| format!("unknown algo '{name}'"))?
+            }
+        };
+        let restarts = match doc.get("restarts") {
+            None => None,
+            Some(v) => {
+                let n = v
+                    .as_u64()
+                    .ok_or("'restarts' must be a non-negative integer")?;
+                if n == 0 {
+                    return Err("'restarts' must be at least 1".into());
+                }
+                Some(n as usize)
+            }
+        };
+        let uint = |key: &'static str| -> Result<Option<u64>, String> {
+            match doc.get(key) {
+                None => Ok(None),
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("'{key}' must be a non-negative integer")),
+            }
+        };
+        let seed = uint("seed")?;
+        let budget_ms = uint("budget_ms")?;
+        let deadline_ms = uint("deadline_ms")?;
+        let target_ratio = match doc.get("target_ratio") {
+            None => None,
+            Some(v) => {
+                let x = v.as_f64().ok_or("'target_ratio' must be a number")?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err("'target_ratio' must be finite and >= 0".into());
+                }
+                Some(x)
+            }
+        };
+        let progress = match doc.get("progress") {
+            None => false,
+            Some(v) => v.as_bool().ok_or("'progress' must be a boolean")?,
+        };
+        let fault = match doc.get("fault") {
+            None => None,
+            Some(v) => Some(parse_fault(v)?),
+        };
+        Ok(Request {
+            id,
+            hgr,
+            algo,
+            restarts,
+            seed,
+            budget_ms,
+            deadline_ms,
+            target_ratio,
+            progress,
+            fault,
+        })
+    }
+}
+
+fn parse_fault(v: &Value) -> Result<FaultSpec, String> {
+    let kind = v
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("'fault' needs a string field 'kind'")?;
+    Ok(match kind {
+        "slow" => {
+            let ms = v
+                .get("ms")
+                .and_then(Value::as_u64)
+                .ok_or("fault 'slow' needs integer field 'ms'")?;
+            FaultSpec::Slow(ms)
+        }
+        "panic" => FaultSpec::Panic,
+        "stuck" => FaultSpec::Stuck,
+        other => return Err(format!("unknown fault kind '{other}'")),
+    })
+}
+
+/// Why a result is flagged `degraded: true` (absent on clean results).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Degradation {
+    /// The deadline fired before the main portfolio finished; this is
+    /// the best partition found so far.
+    DeadlineBestSoFar,
+    /// The spectral portfolio exceeded its retry budget; the answer
+    /// comes from the FM-restarts-only tier.
+    FmFallback,
+    /// The deadline expired while the request was still queued; only the
+    /// insurance slice ran.
+    ExpiredInQueue,
+}
+
+impl Degradation {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Degradation::DeadlineBestSoFar => "deadline-best-so-far",
+            Degradation::FmFallback => "fm-fallback",
+            Degradation::ExpiredInQueue => "expired-in-queue",
+        }
+    }
+}
+
+/// Renders a `shed` frame (the 429 of this protocol): the admission
+/// controller had no worker and no queue slot.
+pub fn shed_frame(id: &str, running: usize, queued: usize) -> String {
+    Obj::new()
+        .str("id", id)
+        .str("frame", "shed")
+        .int("code", 429)
+        .str("reason", "server at capacity: workers busy and queue full")
+        .int("running", running as u64)
+        .int("queued", queued as u64)
+        .render()
+}
+
+/// Renders an `error` frame (terminal; the request produced no
+/// partition).
+pub fn error_frame(id: &str, reason: &str) -> String {
+    Obj::new()
+        .str("id", id)
+        .str("frame", "error")
+        .str("reason", reason)
+        .render()
+}
+
+/// Renders a `progress` frame for one stage event of one attempt.
+pub fn progress_frame(id: &str, attempt: usize, label: &str, stage: &str, detail: &str) -> String {
+    Obj::new()
+        .str("id", id)
+        .str("frame", "progress")
+        .int("attempt", attempt as u64)
+        .str("label", label)
+        .str("stage", stage)
+        .str("detail", detail)
+        .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_request_defaults() {
+        let r = Request::parse(r#"{"id":"a","hgr":"1 2\n1 2\n"}"#).unwrap();
+        assert_eq!(r.id, "a");
+        assert_eq!(r.hgr, "1 2\n1 2\n");
+        assert_eq!(r.algo, Algo::Auto);
+        assert_eq!(r.restarts, None);
+        assert!(!r.progress);
+        assert_eq!(r.fault, None);
+    }
+
+    #[test]
+    fn full_request_parses() {
+        let r = Request::parse(
+            r#"{"id":"b","hgr":"x","algo":"fm","restarts":8,"seed":7,"budget_ms":100,
+               "deadline_ms":250,"target_ratio":0.5,"progress":true,
+               "fault":{"kind":"slow","ms":20}}"#,
+        )
+        .unwrap();
+        assert_eq!(r.algo, Algo::Fm);
+        assert_eq!(r.restarts, Some(8));
+        assert_eq!(r.seed, Some(7));
+        assert_eq!(r.budget_ms, Some(100));
+        assert_eq!(r.deadline_ms, Some(250));
+        assert_eq!(r.target_ratio, Some(0.5));
+        assert!(r.progress);
+        assert_eq!(r.fault, Some(FaultSpec::Slow(20)));
+    }
+
+    #[test]
+    fn every_algo_name_round_trips() {
+        for algo in [
+            Algo::Auto,
+            Algo::IgMatch,
+            Algo::IgVote,
+            Algo::Eig1,
+            Algo::Rcut,
+            Algo::Fm,
+            Algo::Kl,
+        ] {
+            assert_eq!(Algo::from_name(algo.name()), Some(algo));
+        }
+        assert_eq!(Algo::from_name("hybrid"), None);
+    }
+
+    #[test]
+    fn bad_requests_rejected_with_reason() {
+        for (line, needle) in [
+            ("nonsense", "bad json"),
+            ("[]", "object"),
+            (r#"{"hgr":"x"}"#, "'id'"),
+            (r#"{"id":"a"}"#, "'hgr'"),
+            (r#"{"id":"a","hgr":"x","algo":"magic"}"#, "unknown algo"),
+            (r#"{"id":"a","hgr":"x","restarts":0}"#, "at least 1"),
+            (r#"{"id":"a","hgr":"x","restarts":1.5}"#, "integer"),
+            (r#"{"id":"a","hgr":"x","deadline_ms":-1}"#, "integer"),
+            (r#"{"id":"a","hgr":"x","target_ratio":-2}"#, ">= 0"),
+            (
+                r#"{"id":"a","hgr":"x","deadline_m":5}"#,
+                "unknown request key",
+            ),
+            (
+                r#"{"id":"a","hgr":"x","fault":{"kind":"explode"}}"#,
+                "fault",
+            ),
+            (r#"{"id":"a","hgr":"x","fault":{"kind":"slow"}}"#, "'ms'"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn frames_are_single_line_valid_json() {
+        for frame in [
+            shed_frame("id\"☂", 2, 4),
+            error_frame("x", "bad\nreason"),
+            progress_frame("x", 3, "fm#3", "fm", "pass 2"),
+        ] {
+            assert!(!frame.contains('\n'));
+            let doc = crate::json::parse(&frame).unwrap();
+            assert!(doc.get("id").is_some());
+        }
+    }
+
+    #[test]
+    fn shed_frame_is_429() {
+        let doc = crate::json::parse(&shed_frame("r", 2, 4)).unwrap();
+        assert_eq!(doc.get("code").and_then(Value::as_u64), Some(429));
+        assert_eq!(doc.get("frame").and_then(Value::as_str), Some("shed"));
+        assert_eq!(doc.get("running").and_then(Value::as_u64), Some(2));
+        assert_eq!(doc.get("queued").and_then(Value::as_u64), Some(4));
+    }
+}

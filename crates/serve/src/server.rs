@@ -1,0 +1,114 @@
+//! Transports: JSON-lines over stdio or TCP.
+//!
+//! The transports are thin — all protocol and robustness logic lives in
+//! [`Service::handle_line`], which both transports call with an `emit`
+//! that locks the connection's writer per frame (frames from concurrent
+//! portfolio attempts interleave, but never tear).
+//!
+//! * **stdio** ([`serve_stdio`]): each request line is handled on its own
+//!   thread so slow requests do not head-of-line-block the next line;
+//!   responses share stdout. Thread growth is bounded by admission — a
+//!   line beyond `workers + queue` capacity is shed in microseconds and
+//!   its thread exits.
+//! * **TCP** ([`serve_tcp`]): one thread per connection, requests within
+//!   a connection handled sequentially (pipelining across connections,
+//!   ordering within one). A connection failing mid-write just drops its
+//!   remaining frames — the service never panics on a gone client.
+
+use crate::service::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+/// Runs the service over stdin/stdout until EOF. Returns when every
+/// in-flight request has emitted its terminal frame.
+pub fn serve_stdio(service: &Arc<Service>) {
+    let stdin = std::io::stdin();
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    std::thread::scope(|scope| {
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let service = Arc::clone(service);
+            let out = Arc::clone(&out);
+            scope.spawn(move || {
+                service.handle_line(&line, &|frame: &str| {
+                    let mut out = out.lock().expect("stdout lock");
+                    let _ = writeln!(out, "{frame}");
+                    let _ = out.flush();
+                });
+            });
+        }
+    });
+}
+
+/// Accept loop: one handler thread per connection, forever.
+pub fn serve_tcp(service: &Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let service = Arc::clone(service);
+        std::thread::spawn(move || handle_connection(&service, stream));
+    }
+    Ok(())
+}
+
+/// Handles one TCP connection: requests in order, one line each.
+fn handle_connection(service: &Service, stream: TcpStream) {
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = Mutex::new(stream);
+    let reader = BufReader::new(reader_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        service.handle_line(&line, &|frame: &str| {
+            let mut w = writer.lock().expect("socket lock");
+            let _ = writeln!(w, "{frame}");
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+    use std::io::{BufRead, BufReader, Write};
+    use std::time::Duration;
+
+    #[test]
+    fn tcp_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let service = Arc::new(Service::new(ServeConfig::default()));
+        {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let _ = serve_tcp(&service, listener);
+            });
+        }
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        writeln!(
+            client,
+            r#"{{"id":"t1","hgr":"3 4\n1 2\n2 3\n3 4\n","restarts":2}}"#
+        )
+        .unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("one response line");
+        assert!(line.contains("\"frame\":\"result\""), "{line}");
+        assert!(line.contains("\"id\":\"t1\""), "{line}");
+        // malformed second request on the same connection still answers
+        writeln!(client, "garbage").unwrap();
+        line.clear();
+        reader.read_line(&mut line).expect("error line");
+        assert!(line.contains("\"frame\":\"error\""), "{line}");
+    }
+}

@@ -1,0 +1,853 @@
+//! The request lifecycle: admission → deadline-bounded execution →
+//! exactly one terminal frame.
+//!
+//! # The state machine (DESIGN.md §12)
+//!
+//! ```text
+//! line ──parse──▶ enroll ──full──▶ SHED (429)
+//!                   │
+//!                 queued ──deadline passed in queue──▶ insurance only
+//!                   │                                   └▶ RESULT degraded
+//!                 permit
+//!                   │
+//!              insurance FM  (tiny slice: there is *always* a best-so-far)
+//!                   │
+//!              main portfolio ──ok──▶ RESULT (degraded iff deadline fired)
+//!                   │
+//!            transient error ──retry×N (reseed + backoff)──▶ main portfolio
+//!                   │
+//!            retries exhausted ──▶ FM-restarts tier ──ok──▶ RESULT degraded
+//!                   │                                  │
+//!                   └──────── nothing ever completed ──┴──▶ best-so-far
+//!                                                           or ERROR
+//! ```
+//!
+//! Three invariants the tests pin down:
+//!
+//! 1. **Exactly one terminal frame per request** — every path through
+//!    [`Service::handle_line`] ends in one `result`, `shed` or `error`
+//!    frame, and a panic anywhere in execution is caught and converted
+//!    into an `error` frame rather than unwinding through the server
+//!    loop.
+//! 2. **Bounded occupancy** — a request holds its worker permit for at
+//!    most the insurance slice plus `min(budget, deadline, max_wall)`
+//!    plus bounded backoff, so queued tickets always make progress and
+//!    [`Admission`] never needs a watchdog.
+//! 3. **Deadline ⇒ degraded, not dead** — the deadline is propagated as
+//!    the wall-clock limit of every [`BudgetMeter`] the request creates,
+//!    tripping the kernels cooperatively; whatever completed by then is
+//!    returned with `degraded: true` and the reason.
+
+use crate::admit::{Admission, Enrollment};
+use crate::cache::{CachedNetlist, NetlistCache};
+use crate::json::Obj;
+use crate::proto::{self, Algo, Degradation, Request};
+use np_baselines::{FmOptions, KlOptions, RcutOptions};
+use np_core::engine::stages::{Eig1Stage, IgMatchStage, IgVoteStage, KlStage, RcutStage};
+use np_core::engine::{BoxedStage, StageEvent, DEFAULT_SEED};
+use np_core::{Eig1Options, IgMatchOptions, IgVoteOptions, PartitionError, PartitionResult};
+use np_netlist::rng::derive_seed;
+use np_netlist::Side;
+use np_runner::{
+    run_portfolio_cached, Portfolio, PortfolioEvent, PortfolioOptions, RandomStartFmStage,
+};
+use np_sparse::{Budget, BudgetMeter, BudgetResource};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs. The defaults target small interactive netlists;
+/// the integration tests shrink them aggressively.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Concurrently *running* requests (admission permits).
+    pub workers: usize,
+    /// Requests allowed to wait for a permit before shedding starts.
+    pub queue: usize,
+    /// Portfolio width when the request does not name `restarts`.
+    pub default_restarts: usize,
+    /// Hard wall-clock cap on any request's compute, whatever the client
+    /// asked for — this is what guarantees queue progress.
+    pub max_wall: Duration,
+    /// Wall-clock slice of the insurance FM tier.
+    pub insurance_wall: Duration,
+    /// Matvec-equivalent cap of the insurance FM tier.
+    pub insurance_matvecs: u64,
+    /// Retry budget for transient main-tier failures (reseed + backoff).
+    pub retries: usize,
+    /// Base backoff; retry `i` sleeps `backoff << i` (cooperatively).
+    pub backoff: Duration,
+    /// Netlist cache entry bound.
+    pub cache_entries: usize,
+    /// Netlist cache byte bound.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue: 16,
+            default_restarts: 4,
+            max_wall: Duration::from_secs(5),
+            insurance_wall: Duration::from_millis(25),
+            insurance_matvecs: 200_000,
+            retries: 2,
+            backoff: Duration::from_millis(10),
+            cache_entries: 32,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Monotonic service counters (all relaxed: they are telemetry, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Request lines received.
+    pub requests: AtomicU64,
+    /// Terminal `result` frames, clean.
+    pub results: AtomicU64,
+    /// Terminal `result` frames flagged degraded.
+    pub degraded: AtomicU64,
+    /// Terminal `shed` frames.
+    pub shed: AtomicU64,
+    /// Terminal `error` frames.
+    pub errors: AtomicU64,
+    /// Main-tier retries performed.
+    pub retries: AtomicU64,
+    /// Requests that fell to the FM-restarts tier.
+    pub fm_fallbacks: AtomicU64,
+    /// Panics contained by the service/runner isolation boundaries.
+    pub panics_contained: AtomicU64,
+}
+
+impl Metrics {
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counters as a one-line JSON object.
+    pub fn to_json(&self) -> String {
+        Obj::new()
+            .int("requests", self.requests.load(Ordering::Relaxed))
+            .int("results", self.results.load(Ordering::Relaxed))
+            .int("degraded", self.degraded.load(Ordering::Relaxed))
+            .int("shed", self.shed.load(Ordering::Relaxed))
+            .int("errors", self.errors.load(Ordering::Relaxed))
+            .int("retries", self.retries.load(Ordering::Relaxed))
+            .int("fm_fallbacks", self.fm_fallbacks.load(Ordering::Relaxed))
+            .int(
+                "panics_contained",
+                self.panics_contained.load(Ordering::Relaxed),
+            )
+            .render()
+    }
+}
+
+/// The partition service: admission controller, netlist cache and
+/// metrics behind one synchronous entry point, [`handle_line`].
+///
+/// [`handle_line`]: Service::handle_line
+#[derive(Debug)]
+pub struct Service {
+    cfg: ServeConfig,
+    admission: Admission,
+    cache: NetlistCache,
+    metrics: Metrics,
+}
+
+/// Everything known about the best answer so far, carried across tiers.
+struct Candidate {
+    result: PartitionResult,
+    tier: &'static str,
+}
+
+impl Service {
+    /// A service with the given configuration.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Service {
+            admission: Admission::new(cfg.workers, cfg.queue),
+            cache: NetlistCache::new(cfg.cache_entries, cfg.cache_bytes),
+            metrics: Metrics::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this service runs under.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The service counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Netlist cache counters.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Handles one request line end to end, emitting every response
+    /// frame through `emit` (progress frames first, then exactly one
+    /// terminal frame). Blocks until the terminal frame is emitted.
+    ///
+    /// `emit` is called from this thread *and* (for progress frames)
+    /// from portfolio worker threads, hence `Sync`.
+    pub fn handle_line(&self, line: &str, emit: &(dyn Fn(&str) + Sync)) {
+        self.metrics.bump(&self.metrics.requests);
+        let arrival = Instant::now();
+        let request = match Request::parse(line) {
+            Ok(r) => r,
+            Err(reason) => {
+                // best-effort id recovery so the client can correlate
+                let id = crate::json::parse(line)
+                    .ok()
+                    .and_then(|d| d.get("id").and_then(|v| v.as_str().map(String::from)))
+                    .unwrap_or_else(|| "?".into());
+                self.metrics.bump(&self.metrics.errors);
+                emit(&proto::error_frame(&id, &reason));
+                return;
+            }
+        };
+        if request.fault.is_some() && !cfg!(feature = "fault-inject") {
+            self.metrics.bump(&self.metrics.errors);
+            emit(&proto::error_frame(
+                &request.id,
+                "fault injection is disabled in this build (feature 'fault-inject')",
+            ));
+            return;
+        }
+        let deadline = request
+            .deadline_ms
+            .map(|ms| arrival + Duration::from_millis(ms));
+
+        // ---- admission (phase one is synchronous: overload costs one
+        // lock round-trip, not a thread or a parse) ----
+        let ticket = match self.admission.enroll() {
+            Enrollment::Queued(t) => t,
+            Enrollment::Shed(load) => {
+                self.metrics.bump(&self.metrics.shed);
+                emit(&proto::shed_frame(&request.id, load.running, load.queued));
+                return;
+            }
+        };
+        let permit = ticket.wait();
+        let queue_wait = arrival.elapsed();
+
+        // ---- execution, panic-isolated: nothing unwinds past here ----
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute(&request, deadline, queue_wait, emit)
+        }));
+        drop(permit);
+        let frame = run.unwrap_or_else(|payload| {
+            self.metrics.bump(&self.metrics.panics_contained);
+            let err = np_core::panic_error(payload);
+            proto::error_frame(&request.id, &err.to_string())
+        });
+        match crate::json::parse(&frame)
+            .ok()
+            .and_then(|d| d.get("frame").and_then(|v| v.as_str().map(String::from)))
+            .as_deref()
+        {
+            Some("result") => {
+                let degraded = frame.contains("\"degraded\":true");
+                self.metrics.bump(if degraded {
+                    &self.metrics.degraded
+                } else {
+                    &self.metrics.results
+                });
+            }
+            _ => self.metrics.bump(&self.metrics.errors),
+        }
+        emit(&frame);
+    }
+
+    /// Runs the admitted request and renders its terminal frame.
+    fn execute(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+        queue_wait: Duration,
+        emit: &(dyn Fn(&str) + Sync),
+    ) -> String {
+        let cache_stats_before = self.cache.stats();
+        let cached = match self.cache.get_or_parse(&request.hgr) {
+            Ok(c) => c,
+            Err(reason) => return proto::error_frame(&request.id, &reason),
+        };
+        let cache_hit = self.cache.stats().hits > cache_stats_before.hits;
+        let seed = request.seed.unwrap_or(DEFAULT_SEED);
+        let restarts = request.restarts.unwrap_or(self.cfg.default_restarts);
+        let compute_start = Instant::now();
+        let mut retries_done = 0u64;
+
+        // ---- expired while queued: only the insurance slice runs ----
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return match self.insurance(&cached, seed) {
+                Some(best) => self.result_frame(
+                    request,
+                    &best,
+                    Some(Degradation::ExpiredInQueue),
+                    queue_wait,
+                    compute_start.elapsed(),
+                    retries_done,
+                    cache_hit,
+                ),
+                None => proto::error_frame(
+                    &request.id,
+                    "deadline expired while queued and the insurance tier found no partition",
+                ),
+            };
+        }
+
+        // ---- tier 0: insurance. After this there is always a
+        // best-so-far to degrade to. ----
+        let mut best: Option<Candidate> = self.insurance(&cached, seed);
+
+        // ---- tier 1: the main portfolio, with reseeded retries ----
+        let mut last_error: Option<PartitionError> = None;
+        let mut deadline_fired = false;
+        let mut drop_to_fm = false;
+        for retry in 0..=self.cfg.retries {
+            let Some(wall) = self.remaining_wall(request, deadline, compute_start) else {
+                deadline_fired = deadline.is_some();
+                break;
+            };
+            let attempt_seed = derive_seed(seed, retry as u64);
+            let portfolio = match self.build_portfolio(request, restarts, attempt_seed) {
+                Ok(p) => p,
+                Err(reason) => return proto::error_frame(&request.id, &reason),
+            };
+            let meter = BudgetMeter::new(&Budget::default().with_wall_clock(wall));
+            let opts = PortfolioOptions {
+                threads: 1,
+                seed: attempt_seed,
+                target_ratio: request.target_ratio,
+            };
+            let outcome = {
+                let id = request.id.as_str();
+                let progress = request.progress;
+                let sink = move |e: &PortfolioEvent<'_>| {
+                    if !progress {
+                        return;
+                    }
+                    let (stage, detail) = match e.event {
+                        StageEvent::Started { stage } => (*stage, "started".to_string()),
+                        StageEvent::Finished { stage, outcome } => (
+                            *stage,
+                            match outcome {
+                                Ok(r) => format!("finished: ratio {:.3e}", r.ratio()),
+                                Err(err) => format!("failed: {err}"),
+                            },
+                        ),
+                        StageEvent::Detail { stage, message } => (*stage, message.to_string()),
+                    };
+                    emit(&proto::progress_frame(
+                        id, e.attempt, e.label, stage, &detail,
+                    ));
+                };
+                run_portfolio_cached(
+                    &cached.hypergraph,
+                    &portfolio,
+                    &opts,
+                    &meter,
+                    Some(&sink),
+                    &|r: &PartitionResult| r.ratio(),
+                    &cached.operators,
+                )
+            };
+            match outcome {
+                Ok(out) => {
+                    for a in &out.report.attempts {
+                        if matches!(a.status, np_runner::AttemptStatus::Panicked) {
+                            self.metrics.bump(&self.metrics.panics_contained);
+                        }
+                    }
+                    let incomplete = out.report.attempts.iter().any(|a| {
+                        !matches!(
+                            a.status,
+                            np_runner::AttemptStatus::Won | np_runner::AttemptStatus::Completed
+                        )
+                    });
+                    offer(&mut best, out.best, "portfolio");
+                    // deadline (not the client's compute budget) binding
+                    // and attempts left unfinished ⇒ best-so-far answer
+                    if incomplete && self.deadline_was_binding(request, deadline, compute_start) {
+                        deadline_fired = true;
+                    }
+                    return self.result_frame(
+                        request,
+                        best.as_ref().expect("offer filled best"),
+                        deadline_fired.then_some(Degradation::DeadlineBestSoFar),
+                        queue_wait,
+                        compute_start.elapsed(),
+                        retries_done,
+                        cache_hit,
+                    );
+                }
+                Err(err) => {
+                    let error = err.error;
+                    match &error {
+                        // the whole wall ran out: whatever we hold is the answer
+                        PartitionError::Budget(b)
+                            if matches!(
+                                b.resource,
+                                BudgetResource::WallClock | BudgetResource::Cancelled
+                            ) =>
+                        {
+                            deadline_fired =
+                                self.deadline_was_binding(request, deadline, compute_start);
+                            last_error = Some(error);
+                            break;
+                        }
+                        // transient spectral failures: reseed and back off
+                        PartitionError::Eigen(_)
+                        | PartitionError::Panicked { .. }
+                        | PartitionError::Budget(_) => {
+                            if matches!(error, PartitionError::Panicked { .. }) {
+                                self.metrics.bump(&self.metrics.panics_contained);
+                            }
+                            last_error = Some(error);
+                            if retry == self.cfg.retries {
+                                drop_to_fm = true;
+                            } else {
+                                retries_done += 1;
+                                self.metrics.bump(&self.metrics.retries);
+                                self.cooperative_backoff(retry, deadline);
+                            }
+                        }
+                        // permanent: the instance itself is unpartitionable
+                        // by the spectral tier; FM may still manage
+                        PartitionError::TooSmall { .. }
+                        | PartitionError::Degenerate
+                        | PartitionError::InvalidInput { .. } => {
+                            last_error = Some(error);
+                            drop_to_fm = true;
+                        }
+                        _ => {
+                            last_error = Some(error);
+                            drop_to_fm = true;
+                        }
+                    }
+                    if drop_to_fm {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // ---- tier 2: FM-restarts-only (spectral tier gave up) ----
+        if drop_to_fm && !matches!(request.algo, Algo::Fm) {
+            if let Some(wall) = self.remaining_wall(request, deadline, compute_start) {
+                self.metrics.bump(&self.metrics.fm_fallbacks);
+                let mut portfolio = Portfolio::new();
+                for i in 0..restarts {
+                    portfolio = portfolio.attempt_boxed(
+                        format!("fm-fallback#{i}"),
+                        Box::new(RandomStartFmStage::default()),
+                    );
+                }
+                let meter = BudgetMeter::new(&Budget::default().with_wall_clock(wall));
+                let opts = PortfolioOptions {
+                    threads: 1,
+                    seed: derive_seed(seed, 0xFA11_BACC),
+                    target_ratio: request.target_ratio,
+                };
+                if let Ok(out) = run_portfolio_cached(
+                    &cached.hypergraph,
+                    &portfolio,
+                    &opts,
+                    &meter,
+                    None,
+                    &|r: &PartitionResult| r.ratio(),
+                    &cached.operators,
+                ) {
+                    offer(&mut best, out.best, "fm-fallback");
+                    return self.result_frame(
+                        request,
+                        best.as_ref().expect("offer filled best"),
+                        Some(Degradation::FmFallback),
+                        queue_wait,
+                        compute_start.elapsed(),
+                        retries_done,
+                        cache_hit,
+                    );
+                }
+            }
+        }
+
+        // ---- nothing more will complete: best-so-far or error ----
+        match &best {
+            Some(candidate) => {
+                let reason = if deadline_fired {
+                    Degradation::DeadlineBestSoFar
+                } else {
+                    Degradation::FmFallback
+                };
+                self.result_frame(
+                    request,
+                    candidate,
+                    Some(reason),
+                    queue_wait,
+                    compute_start.elapsed(),
+                    retries_done,
+                    cache_hit,
+                )
+            }
+            None => {
+                let reason = last_error
+                    .map(|e| e.to_string())
+                    .unwrap_or_else(|| "no tier produced a partition".into());
+                proto::error_frame(&request.id, &format!("request failed: {reason}"))
+            }
+        }
+    }
+
+    /// Tier 0: a one-attempt FM portfolio under a tiny private budget.
+    /// Never counts against the main tier's wall (the slice is part of
+    /// the occupancy bound instead) and never carries injected faults —
+    /// it exists precisely to survive them.
+    fn insurance(&self, cached: &CachedNetlist, seed: u64) -> Option<Candidate> {
+        let budget = Budget::default()
+            .with_wall_clock(self.cfg.insurance_wall.min(self.cfg.max_wall))
+            .with_matvecs(self.cfg.insurance_matvecs);
+        let meter = BudgetMeter::new(&budget);
+        let portfolio =
+            Portfolio::new().attempt_boxed("insurance", Box::new(RandomStartFmStage::default()));
+        let opts = PortfolioOptions {
+            threads: 1,
+            seed: derive_seed(seed, 0x1A5E_CE00),
+            target_ratio: None,
+        };
+        run_portfolio_cached(
+            &cached.hypergraph,
+            &portfolio,
+            &opts,
+            &meter,
+            None,
+            &|r: &PartitionResult| r.ratio(),
+            &cached.operators,
+        )
+        .ok()
+        .map(|out| Candidate {
+            result: out.best,
+            tier: "insurance",
+        })
+    }
+
+    /// Wall-clock room left for main-tier work:
+    /// `min(budget_ms, deadline − now, max_wall)`, or `None` when no
+    /// time remains.
+    fn remaining_wall(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+        compute_start: Instant,
+    ) -> Option<Duration> {
+        let mut wall = self.cfg.max_wall;
+        if let Some(ms) = request.budget_ms {
+            let budget = Duration::from_millis(ms);
+            let spent = compute_start.elapsed();
+            wall = wall.min(budget.checked_sub(spent)?);
+        }
+        if let Some(d) = deadline {
+            wall = wall.min(d.checked_duration_since(Instant::now())?);
+        }
+        (wall > Duration::ZERO).then_some(wall)
+    }
+
+    /// Whether the *deadline* (rather than the client's compute budget or
+    /// the server cap) is the limit that has run out.
+    fn deadline_was_binding(
+        &self,
+        request: &Request,
+        deadline: Option<Instant>,
+        compute_start: Instant,
+    ) -> bool {
+        let Some(d) = deadline else { return false };
+        if Instant::now() >= d {
+            return true;
+        }
+        // the deadline is binding if it expires before the budget would
+        let deadline_left = d.saturating_duration_since(Instant::now());
+        let budget_left = request
+            .budget_ms
+            .map(|ms| Duration::from_millis(ms).saturating_sub(compute_start.elapsed()))
+            .unwrap_or(self.cfg.max_wall);
+        deadline_left < budget_left
+    }
+
+    /// Sleeps `backoff << retry`, in short slices, stopping early when
+    /// the deadline approaches.
+    fn cooperative_backoff(&self, retry: usize, deadline: Option<Instant>) {
+        let mut remaining = self
+            .cfg
+            .backoff
+            .saturating_mul(1u32 << retry.min(16) as u32);
+        let slice = Duration::from_millis(1);
+        while remaining > Duration::ZERO {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return;
+            }
+            let nap = remaining.min(slice);
+            std::thread::sleep(nap);
+            remaining -= nap;
+        }
+    }
+
+    /// Builds the main-tier portfolio: `restarts` attempts of the
+    /// requested algorithm, each on a decorrelated seed stream, with the
+    /// request's fault decorator applied when the feature is on.
+    fn build_portfolio(
+        &self,
+        request: &Request,
+        restarts: usize,
+        seed: u64,
+    ) -> Result<Portfolio, String> {
+        let mut portfolio = Portfolio::new();
+        for i in 0..restarts {
+            let stream = derive_seed(seed, i as u64);
+            let stage = attempt_stage(request.algo, stream);
+            let stage = self.decorate(request, i, stage);
+            portfolio = portfolio.attempt_boxed(format!("{}#{i}", request.algo.name()), stage);
+        }
+        Ok(portfolio)
+    }
+
+    /// Applies the request's fault to the attempt stage (fault-inject
+    /// builds only). The panic fault poisons only attempt 0 — the point
+    /// is to prove one poisoned attempt cannot take the request (or the
+    /// server) down with it.
+    #[cfg(feature = "fault-inject")]
+    fn decorate(&self, request: &Request, attempt: usize, stage: BoxedStage) -> BoxedStage {
+        use crate::proto::FaultSpec;
+        match request.fault {
+            Some(FaultSpec::Panic) if attempt == 0 => crate::fault::apply(FaultSpec::Panic, stage),
+            Some(FaultSpec::Panic) | None => stage,
+            Some(spec) => crate::fault::apply(spec, stage),
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    fn decorate(&self, _request: &Request, _attempt: usize, stage: BoxedStage) -> BoxedStage {
+        stage
+    }
+
+    /// Renders the terminal `result` frame.
+    #[allow(clippy::too_many_arguments)]
+    fn result_frame(
+        &self,
+        request: &Request,
+        candidate: &Candidate,
+        degradation: Option<Degradation>,
+        queue_wait: Duration,
+        compute: Duration,
+        retries: u64,
+        cache_hit: bool,
+    ) -> String {
+        let result = &candidate.result;
+        let partition: String = result
+            .partition
+            .sides()
+            .iter()
+            .map(|s| if *s == Side::Left { '0' } else { '1' })
+            .collect();
+        let mut obj = Obj::new()
+            .str("id", &request.id)
+            .str("frame", "result")
+            .bool("degraded", degradation.is_some());
+        if let Some(reason) = degradation {
+            obj = obj.str("reason", reason.name());
+        }
+        obj.str("tier", candidate.tier)
+            .str("algorithm", result.algorithm)
+            .int("cut", result.stats.cut_nets as u64)
+            .int("left", result.stats.left as u64)
+            .int("right", result.stats.right as u64)
+            .num("ratio", result.ratio())
+            .str("partition", &partition)
+            .int("retries", retries)
+            .bool("cache_hit", cache_hit)
+            .num("queue_ms", queue_wait.as_secs_f64() * 1e3)
+            .num("compute_ms", compute.as_secs_f64() * 1e3)
+            .render()
+    }
+}
+
+/// Keeps the better (lower-ratio) of the held candidate and the offered
+/// result.
+fn offer(best: &mut Option<Candidate>, result: PartitionResult, tier: &'static str) {
+    let better = match best {
+        Some(held) => result.ratio() < held.result.ratio(),
+        None => true,
+    };
+    if better {
+        *best = Some(Candidate { result, tier });
+    }
+}
+
+/// One portfolio attempt of `algo` with every internal seed moved onto
+/// `stream` and internal restart loops collapsed to one run (the
+/// portfolio is the restart loop) — the same mapping the `np-part` CLI
+/// uses.
+fn attempt_stage(algo: Algo, stream: u64) -> BoxedStage {
+    match algo {
+        Algo::Auto | Algo::IgMatch => {
+            let mut o = IgMatchOptions::default();
+            o.lanczos.seed = stream;
+            Box::new(IgMatchStage::new(o))
+        }
+        Algo::IgVote => {
+            let mut o = IgVoteOptions::default();
+            o.lanczos.seed = stream;
+            Box::new(IgVoteStage::new(o))
+        }
+        Algo::Eig1 => {
+            let mut o = Eig1Options::default();
+            o.lanczos.seed = stream;
+            Box::new(Eig1Stage { opts: o })
+        }
+        Algo::Rcut => Box::new(RcutStage {
+            opts: RcutOptions {
+                runs: 1,
+                seed: stream,
+                ..Default::default()
+            },
+        }),
+        Algo::Fm => Box::new(RandomStartFmStage {
+            opts: FmOptions::default(),
+        }),
+        Algo::Kl => Box::new(KlStage {
+            opts: KlOptions {
+                runs: 1,
+                seed: stream,
+                ..Default::default()
+            },
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::io::to_hgr_string;
+    use np_testkit::banded_hypergraph;
+    use std::sync::Mutex;
+
+    fn collect(svc: &Service, line: &str) -> Vec<String> {
+        let frames = Mutex::new(Vec::new());
+        svc.handle_line(line, &|f: &str| frames.lock().unwrap().push(f.to_string()));
+        frames.into_inner().unwrap()
+    }
+
+    fn small_hgr() -> String {
+        to_hgr_string(&banded_hypergraph(7, 48, 64, 6))
+    }
+
+    fn request_line(id: &str, extra: &str) -> String {
+        let hgr = crate::json::escape(&small_hgr());
+        format!(r#"{{"id":"{id}","hgr":{hgr}{extra}}}"#)
+    }
+
+    #[test]
+    fn clean_request_gets_one_result_frame() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(&svc, &request_line("r1", r#","restarts":2"#));
+        assert_eq!(frames.len(), 1, "{frames:?}");
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_eq!(doc.get("frame").and_then(|v| v.as_str()), Some("result"));
+        assert_eq!(doc.get("degraded").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(doc.get("id").and_then(|v| v.as_str()), Some("r1"));
+        let partition = doc.get("partition").and_then(|v| v.as_str()).unwrap();
+        assert_eq!(partition.len(), 48, "one side digit per module");
+        assert!(partition.contains('0') && partition.contains('1'));
+        assert_eq!(svc.metrics().results.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parse_failures_keep_the_id_when_recoverable() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(&svc, r#"{"id":"oops","hgr":"x","bogus_key":1}"#);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].contains("\"id\":\"oops\""), "{frames:?}");
+        assert!(frames[0].contains("error"), "{frames:?}");
+        let frames = collect(&svc, "not json at all");
+        assert!(frames[0].contains("\"id\":\"?\""), "{frames:?}");
+    }
+
+    #[test]
+    fn invalid_netlist_is_an_error_frame() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(&svc, r#"{"id":"bad","hgr":"definitely not hgr"}"#);
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].contains("invalid hgr"), "{frames:?}");
+    }
+
+    #[test]
+    fn immediate_deadline_returns_degraded_best_so_far() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(&svc, &request_line("d0", r#","deadline_ms":0"#));
+        assert_eq!(frames.len(), 1);
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_eq!(doc.get("frame").and_then(|v| v.as_str()), Some("result"));
+        assert_eq!(doc.get("degraded").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(
+            doc.get("reason").and_then(|v| v.as_str()),
+            Some("expired-in-queue")
+        );
+        assert_eq!(svc.metrics().degraded.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_netlist_cache() {
+        let svc = Service::new(ServeConfig::default());
+        collect(&svc, &request_line("c1", r#","restarts":1"#));
+        let frames = collect(&svc, &request_line("c2", r#","restarts":1"#));
+        assert!(frames[0].contains("\"cache_hit\":true"), "{frames:?}");
+        assert!(svc.cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn progress_frames_stream_before_the_result() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(
+            &svc,
+            &request_line("p1", r#","restarts":2,"progress":true"#),
+        );
+        assert!(frames.len() > 1, "expected progress frames, got {frames:?}");
+        for frame in &frames[..frames.len() - 1] {
+            let doc = crate::json::parse(frame).unwrap();
+            assert_eq!(doc.get("frame").and_then(|v| v.as_str()), Some("progress"));
+        }
+        assert!(frames.last().unwrap().contains("\"frame\":\"result\""));
+    }
+
+    #[test]
+    fn every_algo_serves() {
+        let svc = Service::new(ServeConfig::default());
+        for algo in ["auto", "igmatch", "igvote", "eig1", "rcut", "fm", "kl"] {
+            let frames = collect(
+                &svc,
+                &request_line(algo, &format!(r#","algo":"{algo}","restarts":2"#)),
+            );
+            assert_eq!(frames.len(), 1, "{algo}: {frames:?}");
+            assert!(
+                frames[0].contains("\"frame\":\"result\""),
+                "{algo}: {frames:?}"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[test]
+    fn fault_requests_rejected_without_the_feature() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(&svc, &request_line("f", r#","fault":{"kind":"panic"}"#));
+        assert_eq!(frames.len(), 1);
+        assert!(
+            frames[0].contains("fault injection is disabled"),
+            "{frames:?}"
+        );
+    }
+}

@@ -1,0 +1,288 @@
+//! Service integration suite: overload safety, deadline degradation and
+//! (with `--features fault-inject`) fault resilience.
+//!
+//! The central test is the ISSUE's acceptance criterion: a worker pool
+//! of 2 facing 16 concurrent mixed-size requests must answer **every**
+//! request with exactly one terminal frame — result, degraded result or
+//! shed — with no hangs and no panics escaping the server loop.
+
+use np_serve::json::{self, Value};
+use np_serve::{ServeConfig, Service};
+use np_testkit::banded_hypergraph;
+use std::sync::mpsc;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Duration;
+
+/// A request line for a banded netlist of `modules` modules.
+fn request_line(id: &str, modules: usize, extra: &str) -> String {
+    let hg = banded_hypergraph(modules as u64, modules, modules + modules / 2, 6);
+    let hgr = json::escape(&np_netlist::io::to_hgr_string(&hg));
+    format!(r#"{{"id":"{id}","hgr":{hgr}{extra}}}"#)
+}
+
+/// Runs one request to completion, collecting its frames.
+fn collect(svc: &Service, line: &str) -> Vec<String> {
+    let frames = Mutex::new(Vec::new());
+    svc.handle_line(line, &|f: &str| frames.lock().unwrap().push(f.to_string()));
+    frames.into_inner().unwrap()
+}
+
+fn frame_kind(frame: &str) -> String {
+    json::parse(frame)
+        .expect("every frame is valid json")
+        .get("frame")
+        .and_then(Value::as_str)
+        .expect("every frame has a kind")
+        .to_string()
+}
+
+/// The acceptance criterion: workers=2, 16 concurrent mixed-size
+/// requests, exactly one terminal response each, within a bounded wall.
+#[test]
+fn overload_16_concurrent_requests_on_2_workers_all_get_terminal_answers() {
+    let svc = Arc::new(Service::new(ServeConfig {
+        workers: 2,
+        queue: 6, // 2 + 6 in flight; the rest must shed
+        max_wall: Duration::from_millis(300),
+        insurance_wall: Duration::from_millis(10),
+        ..ServeConfig::default()
+    }));
+    let (tx, rx) = mpsc::channel::<(usize, Vec<String>)>();
+    // all 16 requests hit admission at once — 2 + 6 capacity must shed
+    let gate = Arc::new(Barrier::new(16));
+    std::thread::scope(|scope| {
+        for i in 0..16 {
+            let svc = Arc::clone(&svc);
+            let tx = tx.clone();
+            let gate = Arc::clone(&gate);
+            scope.spawn(move || {
+                // mixed sizes and mixed configs: some tiny deadlines,
+                // some budgets, several algorithms
+                let modules = 24 + (i % 4) * 40;
+                let extra = match i % 4 {
+                    0 => r#","restarts":2"#.to_string(),
+                    1 => r#","deadline_ms":40,"restarts":4"#.to_string(),
+                    2 => format!(
+                        r#","algo":"{}","budget_ms":80,"restarts":2"#,
+                        ["eig1", "fm"][(i / 4) % 2]
+                    ),
+                    _ => r#","deadline_ms":1,"restarts":3"#.to_string(),
+                };
+                let line = request_line(&format!("r{i}"), modules, &extra);
+                gate.wait();
+                let frames = collect(&svc, &line);
+                tx.send((i, frames)).unwrap();
+            });
+        }
+        drop(tx);
+        let mut seen = 0;
+        // bounded wait: a hang here is exactly the bug this test exists
+        // to catch
+        while seen < 16 {
+            let (i, frames) = rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("every request must terminate; a missing response is a hang");
+            let terminals: Vec<&String> = frames
+                .iter()
+                .filter(|f| {
+                    let kind = frame_kind(f);
+                    kind == "result" || kind == "shed" || kind == "error"
+                })
+                .collect();
+            assert_eq!(
+                terminals.len(),
+                1,
+                "request r{i} must get exactly one terminal frame, got {frames:?}"
+            );
+            let doc = json::parse(terminals[0]).unwrap();
+            assert_eq!(
+                doc.get("id").and_then(Value::as_str),
+                Some(format!("r{i}").as_str()),
+                "terminal frame must echo the request id"
+            );
+            // a partition-bearing answer must be a real bipartition
+            if frame_kind(terminals[0]) == "result" {
+                let p = doc.get("partition").and_then(Value::as_str).unwrap();
+                assert!(p.contains('0') && p.contains('1'), "r{i}: {p}");
+            }
+            seen += 1;
+        }
+    });
+    let m = svc.metrics();
+    let results = m.results.load(std::sync::atomic::Ordering::Relaxed);
+    let degraded = m.degraded.load(std::sync::atomic::Ordering::Relaxed);
+    let shed = m.shed.load(std::sync::atomic::Ordering::Relaxed);
+    let errors = m.errors.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(results + degraded + shed + errors, 16, "{}", m.to_json());
+    assert!(shed >= 1, "16 requests into capacity 8 must shed some");
+    assert!(
+        results + degraded >= 8,
+        "everything admitted must be answered: {}",
+        m.to_json()
+    );
+    assert_eq!(errors, 0, "no request should error: {}", m.to_json());
+}
+
+/// Deadline-exceeded requests return best-so-far with `degraded: true`.
+#[test]
+fn deadline_mid_portfolio_returns_degraded_best_so_far() {
+    let svc = Service::new(ServeConfig {
+        workers: 1,
+        insurance_wall: Duration::from_millis(15),
+        ..ServeConfig::default()
+    });
+    // a deadline generous enough for the insurance tier but (on a large
+    // instance with many restarts) tight for the full portfolio
+    let line = request_line("tight", 160, r#","deadline_ms":60,"restarts":16"#);
+    let frames = collect(&svc, &line);
+    assert_eq!(frames.len(), 1, "{frames:?}");
+    let doc = json::parse(&frames[0]).unwrap();
+    assert_eq!(doc.get("frame").and_then(Value::as_str), Some("result"));
+    let p = doc.get("partition").and_then(Value::as_str).unwrap();
+    assert_eq!(p.len(), 160);
+    // the request either finished inside the deadline (fast machine —
+    // clean result) or was degraded with an explicit reason; both are
+    // correct, a hang or error is not
+    if doc.get("degraded").and_then(Value::as_bool) == Some(true) {
+        let reason = doc.get("reason").and_then(Value::as_str).unwrap();
+        assert!(
+            reason == "deadline-best-so-far" || reason == "expired-in-queue",
+            "{reason}"
+        );
+    }
+}
+
+/// A deadline of zero still gets a partition (insurance tier), flagged
+/// degraded.
+#[test]
+fn zero_deadline_still_answers_with_a_partition() {
+    let svc = Service::new(ServeConfig::default());
+    let frames = collect(&svc, &request_line("zero", 48, r#","deadline_ms":0"#));
+    assert_eq!(frames.len(), 1);
+    let doc = json::parse(&frames[0]).unwrap();
+    assert_eq!(doc.get("frame").and_then(Value::as_str), Some("result"));
+    assert_eq!(doc.get("degraded").and_then(Value::as_bool), Some(true));
+    assert_eq!(
+        doc.get("reason").and_then(Value::as_str),
+        Some("expired-in-queue")
+    );
+    assert_eq!(
+        doc.get("partition").and_then(Value::as_str).map(str::len),
+        Some(48)
+    );
+}
+
+/// Target-ratio early stop produces a clean (non-degraded) result.
+#[test]
+fn target_ratio_early_stop_is_clean() {
+    let svc = Service::new(ServeConfig::default());
+    let frames = collect(
+        &svc,
+        &request_line("early", 48, r#","restarts":8,"target_ratio":1.0"#),
+    );
+    assert_eq!(frames.len(), 1);
+    let doc = json::parse(&frames[0]).unwrap();
+    assert_eq!(doc.get("frame").and_then(Value::as_str), Some("result"));
+    assert_eq!(doc.get("degraded").and_then(Value::as_bool), Some(false));
+}
+
+/// Repeat submissions of the same netlist share one parse and operator
+/// cache.
+#[test]
+fn netlist_cache_is_shared_across_requests() {
+    let svc = Service::new(ServeConfig::default());
+    let line = request_line("cache-a", 64, r#","algo":"eig1","restarts":2"#);
+    collect(&svc, &line);
+    let line2 = request_line("cache-b", 64, r#","algo":"eig1","restarts":2"#);
+    let frames = collect(&svc, &line2);
+    assert!(frames[0].contains("\"cache_hit\":true"), "{frames:?}");
+    let stats = svc.cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert!(stats.hits >= 1);
+}
+
+#[cfg(feature = "fault-inject")]
+mod faults {
+    use super::*;
+
+    /// One poisoned (panicking) attempt must not take down the request:
+    /// the other attempts win and the result is clean.
+    #[test]
+    fn panicking_attempt_is_contained_and_the_request_succeeds() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(
+            &svc,
+            &request_line("poison", 48, r#","restarts":3,"fault":{"kind":"panic"}"#),
+        );
+        assert_eq!(frames.len(), 1, "{frames:?}");
+        let doc = json::parse(&frames[0]).unwrap();
+        assert_eq!(doc.get("frame").and_then(Value::as_str), Some("result"));
+        assert_eq!(doc.get("degraded").and_then(Value::as_bool), Some(false));
+        assert!(
+            svc.metrics()
+                .panics_contained
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
+    }
+
+    /// A stuck eigensolve (cooperatively divergent) is ended by the
+    /// deadline and degraded to the best-so-far answer.
+    #[test]
+    fn stuck_stage_is_rescued_by_the_deadline() {
+        let svc = Service::new(ServeConfig {
+            workers: 1,
+            max_wall: Duration::from_millis(200),
+            retries: 1,
+            backoff: Duration::from_millis(2),
+            ..ServeConfig::default()
+        });
+        let frames = collect(
+            &svc,
+            &request_line(
+                "stuck",
+                48,
+                r#","deadline_ms":120,"restarts":2,"fault":{"kind":"stuck"}"#,
+            ),
+        );
+        assert_eq!(frames.len(), 1, "{frames:?}");
+        let doc = json::parse(&frames[0]).unwrap();
+        assert_eq!(
+            doc.get("frame").and_then(Value::as_str),
+            Some("result"),
+            "{frames:?}"
+        );
+        assert_eq!(doc.get("degraded").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            doc.get("partition").and_then(Value::as_str).map(str::len),
+            Some(48)
+        );
+    }
+
+    /// Slow workers are cancelled by the deadline, not waited out.
+    #[test]
+    fn slow_worker_is_bounded_by_the_deadline() {
+        let svc = Service::new(ServeConfig {
+            workers: 1,
+            max_wall: Duration::from_millis(300),
+            retries: 0,
+            ..ServeConfig::default()
+        });
+        let started = std::time::Instant::now();
+        let frames = collect(
+            &svc,
+            &request_line(
+                "slow",
+                48,
+                r#","deadline_ms":100,"restarts":2,"fault":{"kind":"slow","ms":60000}"#,
+            ),
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "a 60s injected delay must be cut short by the 100ms deadline"
+        );
+        assert_eq!(frames.len(), 1, "{frames:?}");
+        assert!(frames[0].contains("\"frame\":\"result\""), "{frames:?}");
+        assert!(frames[0].contains("\"degraded\":true"), "{frames:?}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Cancellation-race property tests for [`BudgetMeter::cancel`].
+//!
+//! The contract under test: `cancel()` called from *any* thread at *any*
+//! moment terminates a metered kernel within one cooperative check — the
+//! worker either finishes cleanly first (a valid partition) or surfaces
+//! `PartitionError::Budget` with `BudgetResource::Cancelled`. It never
+//! hangs, never panics, and never returns a half-built partition. The
+//! tests sweep the cancellation delay across the kernel's lifetime so the
+//! cancel lands in different phases (eigensolve setup, Lanczos
+//! iterations, completion sweep) on different runs.
+
+use ig_match_repro::core::engine::RunContext;
+use ig_match_repro::core::{eig1_ctx, ig_match_ctx, Eig1Options, IgMatchOptions, PartitionError};
+use ig_match_repro::sparse::{Budget, BudgetMeter, BudgetResource};
+use ig_match_repro::Hypergraph;
+use np_testkit::banded_hypergraph;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How long we are willing to wait for the worker after cancelling. The
+/// kernels check their meter at least once per iteration's work, so even
+/// heavily loaded CI should come in orders of magnitude under this.
+const COOPERATION_BOUND: Duration = Duration::from_secs(30);
+
+fn instance() -> Hypergraph {
+    banded_hypergraph(0xCA9CE1, 220, 300, 8)
+}
+
+/// Asserts the worker outcome obeys the contract: a clean finish with a
+/// coherent bipartition, or a `Cancelled` budget error.
+fn assert_contract(
+    hg: &Hypergraph,
+    outcome: Result<ig_match_repro::PartitionResult, PartitionError>,
+) {
+    match outcome {
+        Ok(result) => {
+            // a finish that raced the cancel must still be fully built:
+            // both sides populated and stats consistent with the sides
+            let recomputed = result.partition.cut_stats(hg);
+            assert_eq!(result.stats.cut_nets, recomputed.cut_nets);
+            assert_eq!(result.stats.left, recomputed.left);
+            assert_eq!(result.stats.right, recomputed.right);
+            assert!(result.stats.left > 0 && result.stats.right > 0);
+        }
+        Err(PartitionError::Budget(exceeded)) => {
+            assert_eq!(exceeded.resource, BudgetResource::Cancelled);
+        }
+        Err(other) => panic!("cancellation must not surface as {other}"),
+    }
+}
+
+/// Runs `kernel` on a worker thread under an unlimited meter, cancels
+/// from the test thread after `delay_us`, and requires a terminal answer
+/// within [`COOPERATION_BOUND`].
+fn race_once<F>(delay_us: u64, kernel: F)
+where
+    F: FnOnce(
+            &Hypergraph,
+            &RunContext<'_>,
+        ) -> Result<ig_match_repro::PartitionResult, PartitionError>
+        + Send
+        + 'static,
+{
+    let hg = instance();
+    // no wall clock, no matvec cap: cancel() is the only way out
+    let meter = BudgetMeter::new(&Budget::default());
+    let worker_meter = meter.clone();
+    let (tx, rx) = mpsc::channel();
+    let worker = {
+        let hg = hg.clone();
+        std::thread::spawn(move || {
+            let ctx = RunContext::with_meter(&worker_meter);
+            let _ = tx.send(kernel(&hg, &ctx));
+        })
+    };
+    std::thread::sleep(Duration::from_micros(delay_us));
+    meter.cancel();
+    let outcome = rx
+        .recv_timeout(COOPERATION_BOUND)
+        .expect("worker must terminate within one cooperative check of cancel()");
+    worker.join().expect("worker must not panic");
+    assert_contract(&hg, outcome);
+}
+
+#[test]
+fn ig_match_terminates_under_cancel_at_any_phase() {
+    // sweep the cancel point from "before the eigensolve starts" to
+    // "probably finished already" — phases differ run to run, the
+    // contract may not
+    for delay_us in [0, 50, 200, 800, 3_000, 12_000, 50_000] {
+        race_once(delay_us, |hg, ctx| {
+            ig_match_ctx(hg, &IgMatchOptions::default(), ctx).map(|out| out.result)
+        });
+    }
+}
+
+#[test]
+fn eig1_lanczos_terminates_under_cancel_at_any_phase() {
+    for delay_us in [0, 100, 500, 2_000, 8_000, 30_000] {
+        race_once(delay_us, |hg, ctx| {
+            eig1_ctx(hg, &Eig1Options::default(), ctx)
+        });
+    }
+}
+
+/// Cancel before the worker even starts: the very first meter check must
+/// trip, so the worker's lifetime is bounded by its setup code alone.
+#[test]
+fn cancel_before_start_trips_the_first_check() {
+    let hg = instance();
+    let meter = BudgetMeter::new(&Budget::default());
+    meter.cancel();
+    let ctx = RunContext::with_meter(&meter);
+    let out = ig_match_ctx(&hg, &IgMatchOptions::default(), &ctx);
+    match out {
+        Err(PartitionError::Budget(e)) => assert_eq!(e.resource, BudgetResource::Cancelled),
+        other => panic!("pre-cancelled meter must trip immediately, got {other:?}"),
+    }
+}
+
+/// Cancellation observed through a tributary: the service layer hands
+/// kernels tributary meters, so a cancel on the root must propagate.
+#[test]
+fn cancel_propagates_through_tributaries() {
+    let hg = instance();
+    let root = BudgetMeter::new(&Budget::default());
+    let tributary = root.tributary();
+    let (tx, rx) = mpsc::channel();
+    let worker = {
+        let hg = hg.clone();
+        std::thread::spawn(move || {
+            let ctx = RunContext::with_meter(&tributary);
+            let _ = tx.send(ig_match_ctx(&hg, &IgMatchOptions::default(), &ctx).map(|o| o.result));
+        })
+    };
+    std::thread::sleep(Duration::from_micros(400));
+    root.cancel();
+    let outcome = rx
+        .recv_timeout(COOPERATION_BOUND)
+        .expect("tributary holder must observe the root cancel");
+    worker.join().expect("worker must not panic");
+    assert_contract(&hg, outcome);
+}
