@@ -1,0 +1,103 @@
+//! K-way method comparison: recursive bisection vs direct multiway
+//! spectral at k ∈ {4, 8, 16}, emitting a JSON record
+//! (`BENCH_kway.json` by default) with cut, balance and wall time per
+//! `(instance, k, method)` cell. CI runs this to track the k-way engine
+//! (DESIGN.md §13) the way `portfolio`/`spectral`/`sweep` track the
+//! bipartition stack.
+//!
+//! Per cell the record carries the number of cut nets, the largest block
+//! (against the `(1+ε)·n/k` bound, asserted inline — a record that
+//! violates its own balance contract is a bug, not a data point), the
+//! k-way ratio cut and the best-of-`RUNS` wall time.
+//!
+//! ```text
+//! cargo run --release -p bench --bin kway [-- OUT.json]
+//! ```
+
+use bench::{best_of, BenchEntry, BenchReport};
+use np_core::kway::{kway_partition, KwayMethod, KwayOptions};
+use np_netlist::generate::{generate, GeneratorConfig};
+use np_netlist::{balance_bound, Hypergraph};
+
+/// Timed repetitions per cell; the minimum is reported. One rep: the
+/// direct route's deflated eigensolves make every cell seconds-long, so
+/// relative timing noise is already small and CI wall time dominates.
+const RUNS: usize = 1;
+
+/// Balance slack: every block must stay within `1.25 · n/k` modules.
+const EPSILON: f64 = 0.25;
+
+/// Block counts the record tracks.
+const KS: [usize; 3] = [4, 8, 16];
+
+/// `(name, modules, nets, seed)` — sized so every `k` has room to
+/// balance while the direct route's `min(k−1, 8)` eigensolves stay
+/// CI-friendly.
+const INSTANCES: [(&str, usize, usize, u64); 3] = [
+    ("gen-S", 300, 330, 0x1C5),
+    ("gen-M", 700, 770, 0x1C6),
+    ("gen-L", 1_400, 1_540, 0x1C7),
+];
+
+fn method_name(method: KwayMethod) -> &'static str {
+    match method {
+        KwayMethod::Recursive => "recursive",
+        KwayMethod::Direct => "direct",
+    }
+}
+
+fn run_cell(hg: &Hypergraph, name: &str, k: usize, method: KwayMethod) -> BenchEntry {
+    let opts = KwayOptions {
+        k,
+        epsilon: EPSILON,
+        ..Default::default()
+    };
+    let (out, wall) = best_of(RUNS, || {
+        kway_partition(hg, &opts, method).expect("bench instances are feasible")
+    });
+    let n = hg.num_modules();
+    let bound = balance_bound(n as f64, k, EPSILON);
+    let max_block = out.stats.max_block();
+    assert!(
+        max_block as f64 <= bound * (1.0 + 1e-9) + 1e-9,
+        "{name} k={k} {}: block of {max_block} exceeds bound {bound}",
+        method_name(method)
+    );
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    println!(
+        "{name:<6} k={k:<3} {:<10} cut {:>5}  max_block {max_block:>4} (bound {bound:>7.1})  \
+         kratio {:>9.3e}  {wall_ms:>8.1} ms",
+        method_name(method),
+        out.stats.cut_nets,
+        out.stats.ratio()
+    );
+    BenchEntry::new()
+        .str("name", name)
+        .int("modules", n)
+        .int("nets", hg.num_nets())
+        .int("k", k)
+        .str("method", method_name(method))
+        .int("cut", out.stats.cut_nets)
+        .int("max_block", max_block)
+        .fixed("bound", bound)
+        .sci("kratio", out.stats.ratio())
+        .fixed("wall_ms", wall_ms)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kway.json".to_string());
+    let mut report = BenchReport::new("kway");
+    report.meta("kernel", "kway-partition");
+    report.meta("epsilon", &format!("{EPSILON}"));
+    for (name, modules, nets, seed) in INSTANCES {
+        let hg = generate(&GeneratorConfig::new(modules, nets, seed));
+        for k in KS {
+            for method in [KwayMethod::Recursive, KwayMethod::Direct] {
+                report.push(run_cell(&hg, name, k, method));
+            }
+        }
+    }
+    report.write(&out_path);
+}

@@ -1,0 +1,398 @@
+//! Direct multiway spectral partitioning: a `d`-dimensional Laplacian
+//! eigenvector embedding rounded by deterministic seeded k-means.
+//!
+//! Where EIG1 orders modules by the single Fiedler vector, the k-way
+//! generalization embeds module `m` at
+//! `(u₂[m], …, u_{d+1}[m]) ∈ R^d` with `d = min(k−1, 8)` — the smallest
+//! non-trivial eigenvectors of the clique-model Laplacian, obtained by
+//! successive deflation through the metered block-Lanczos solver (the
+//! all-ones nullvector plus every previously found vector is deflated,
+//! so each solve returns the next eigenvector up the spectrum). Lloyd's
+//! algorithm with farthest-first seeding then clusters the embedding
+//! into `k` blocks; pinned modules both seed their blocks' centers and
+//! stay assigned to them throughout, so fixed modules shape the
+//! geometry instead of fighting it. Everything is deterministic given
+//! `opts.seed`, and every matvec and Lloyd iteration charges the
+//! context meter.
+
+use super::{
+    bipartition_fast_path, finalize, prepare, trivial, KwayOptions, KwayPartitioner, KwayResult,
+};
+use crate::engine::RunContext;
+use crate::PartitionError;
+use np_eigen::{smallest_deflated_block_metered, BlockLanczosOptions};
+use np_netlist::rng::{derive_seed, Rng64};
+use np_netlist::{Hypergraph, KwayPartition, ModuleId};
+
+/// The direct multiway spectral route as a reusable unit.
+pub struct KwayDirectStage {
+    opts: KwayOptions,
+}
+
+impl KwayDirectStage {
+    /// Wraps the options into a stage.
+    pub fn new(opts: KwayOptions) -> Self {
+        KwayDirectStage { opts }
+    }
+}
+
+impl KwayPartitioner for KwayDirectStage {
+    fn name(&self) -> &'static str {
+        "kway-direct"
+    }
+
+    fn partition(
+        &self,
+        hg: &Hypergraph,
+        ctx: &RunContext<'_>,
+    ) -> Result<KwayResult, PartitionError> {
+        kway_direct_ctx(hg, &self.opts, ctx)
+    }
+}
+
+/// Maximum embedding dimension; beyond `d = 8` additional eigenvectors
+/// stop paying for their solves on the instance sizes this workspace
+/// targets.
+const MAX_DIM: usize = 8;
+
+/// Lloyd iterations for the k-means rounding.
+const KMEANS_ITERS: usize = 20;
+
+/// Seed stream tag separating the k-means start from the eigensolves.
+const KMEANS_STREAM: u64 = 0x005E_ED0C;
+
+/// Runs direct multiway spectral partitioning to `opts.k` balanced
+/// blocks.
+///
+/// # Errors
+///
+/// The shared validation errors of
+/// [`kway_partition_ctx`](super::kway_partition_ctx); additionally
+/// [`PartitionError::Eigen`] when not even the first non-trivial
+/// eigenvector can be computed, and [`PartitionError::Budget`] when the
+/// meter trips.
+pub fn kway_direct_ctx(
+    hg: &Hypergraph,
+    opts: &KwayOptions,
+    ctx: &RunContext<'_>,
+) -> Result<KwayResult, PartitionError> {
+    let prep = prepare(hg, opts)?;
+    if opts.k == 1 {
+        return Ok(trivial(hg, "kway-direct"));
+    }
+    if opts.k == 2 && prep.fixed.pinned_count() == 0 {
+        return bipartition_fast_path(hg, opts, &prep, ctx, "kway-direct");
+    }
+    let n = hg.num_modules();
+    let d = (opts.k - 1).min(MAX_DIM).min(n.saturating_sub(1)).max(1);
+    let coords = embed(hg, d, opts, ctx)?;
+    let labels = kmeans(&coords, opts.k, opts.seed, &prep, ctx)?;
+    let partition = KwayPartition::with_num_blocks(labels, opts.k);
+    finalize(hg, partition, opts, &prep, ctx, "kway-direct", true)
+}
+
+/// Computes the embedding: `coords[m]` is module `m`'s position in
+/// `R^d`, column `j` being the `(j+2)`-th smallest Laplacian
+/// eigenvector. Returns fewer than `d` columns only when a later solve
+/// fails non-fatally (the partial embedding still separates the
+/// dominant clusters).
+fn embed(
+    hg: &Hypergraph,
+    d: usize,
+    opts: &KwayOptions,
+    ctx: &RunContext<'_>,
+) -> Result<Vec<Vec<f64>>, PartitionError> {
+    let n = hg.num_modules();
+    let lap = ctx.clique_laplacian(hg);
+    let ones = vec![1.0 / (n as f64).sqrt(); n];
+    let mut deflate: Vec<Vec<f64>> = vec![ones];
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(d);
+    for j in 0..d {
+        let mut eopts = BlockLanczosOptions::default();
+        eopts.base.seed = derive_seed(opts.seed, 0xE16 + j as u64);
+        match smallest_deflated_block_metered(lap.as_ref(), &deflate, &eopts, ctx.meter()) {
+            Ok(pair) => {
+                deflate.push(pair.vector.clone());
+                columns.push(pair.vector);
+            }
+            Err(e) => {
+                let e = PartitionError::from(e);
+                if matches!(e, PartitionError::Budget(_)) || columns.is_empty() {
+                    return Err(e);
+                }
+                // A later eigenvector failing to converge degrades to a
+                // lower-dimensional embedding rather than failing the run.
+                break;
+            }
+        }
+    }
+    let dim = columns.len();
+    let mut coords = vec![vec![0.0f64; dim]; n];
+    for (j, col) in columns.iter().enumerate() {
+        for (m, &v) in col.iter().enumerate() {
+            coords[m][j] = v;
+        }
+    }
+    Ok(coords)
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Deterministic seeded k-means over the embedding. Blocks with pinned
+/// modules start at the centroid of their pins; the remaining centers
+/// are placed farthest-first. Pinned modules are never reassigned. Ties
+/// always break toward the lowest index, so the rounding is a pure
+/// function of `(coords, k, seed, pins)`.
+fn kmeans(
+    coords: &[Vec<f64>],
+    k: usize,
+    seed: u64,
+    prep: &super::Prepared,
+    ctx: &RunContext<'_>,
+) -> Result<Vec<u32>, PartitionError> {
+    let n = coords.len();
+    let dim = coords.first().map_or(0, Vec::len);
+    let mut centers: Vec<Option<Vec<f64>>> = vec![None; k];
+
+    // Pinned blocks: center at the centroid of the pins.
+    let mut pin_sums = vec![vec![0.0f64; dim]; k];
+    let mut pin_counts = vec![0usize; k];
+    for (m, b) in prep.fixed.pins() {
+        for (j, s) in pin_sums[b].iter_mut().enumerate() {
+            *s += coords[m.index()][j];
+        }
+        pin_counts[b] += 1;
+    }
+    for b in 0..k {
+        if pin_counts[b] > 0 {
+            let c = pin_sums[b]
+                .iter()
+                .map(|s| s / pin_counts[b] as f64)
+                .collect();
+            centers[b] = Some(c);
+        }
+    }
+
+    // Remaining blocks: farthest-first. With no pins at all, the first
+    // center is a seeded random module.
+    let mut rng = Rng64::new(derive_seed(seed, KMEANS_STREAM));
+    for b in 0..k {
+        if centers[b].is_some() {
+            continue;
+        }
+        let placed: Vec<&Vec<f64>> = centers.iter().flatten().collect();
+        let pick = if placed.is_empty() {
+            rng.gen_range(n)
+        } else {
+            let mut best = (f64::NEG_INFINITY, 0usize);
+            for (m, c) in coords.iter().enumerate() {
+                let dmin = placed
+                    .iter()
+                    .map(|p| dist2(c, p))
+                    .fold(f64::INFINITY, f64::min);
+                if dmin > best.0 {
+                    best = (dmin, m);
+                }
+            }
+            best.1
+        };
+        centers[b] = Some(coords[pick].clone());
+    }
+    let mut centers: Vec<Vec<f64>> = centers.into_iter().map(Option::unwrap).collect();
+
+    let mut labels = vec![0u32; n];
+    for _ in 0..KMEANS_ITERS {
+        ctx.meter().charge(1)?;
+        // Assign: pins forced, everyone else to the nearest center
+        // (ties to the lowest block index).
+        let mut changed = false;
+        for m in 0..n {
+            let b = match prep.fixed.block_of(ModuleId(m as u32)) {
+                Some(b) => b,
+                None => {
+                    let mut best = (f64::INFINITY, 0usize);
+                    for (c, center) in centers.iter().enumerate() {
+                        let dd = dist2(&coords[m], center);
+                        if dd < best.0 {
+                            best = (dd, c);
+                        }
+                    }
+                    best.1
+                }
+            };
+            if labels[m] != b as u32 {
+                labels[m] = b as u32;
+                changed = true;
+            }
+        }
+        // Update centers; an empty cluster reseeds at the farthest free
+        // point taken from a cluster that can spare one.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for m in 0..n {
+            let b = labels[m] as usize;
+            for (j, s) in sums[b].iter_mut().enumerate() {
+                *s += coords[m][j];
+            }
+            counts[b] += 1;
+        }
+        for b in 0..k {
+            if counts[b] > 0 {
+                for (j, s) in sums[b].iter().enumerate() {
+                    centers[b][j] = s / counts[b] as f64;
+                }
+            } else {
+                let mut best = (f64::NEG_INFINITY, None);
+                for m in 0..n {
+                    let from = labels[m] as usize;
+                    if counts[from] < 2 || !prep.free[m] {
+                        continue;
+                    }
+                    let dd = dist2(&coords[m], &centers[labels[m] as usize]);
+                    if dd > best.0 {
+                        best = (dd, Some(m));
+                    }
+                }
+                if let Some(m) = best.1 {
+                    centers[b] = coords[m].clone();
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{kway_partition, KwayMethod};
+    use super::*;
+    use crate::kway::refine::area_cap;
+    use np_netlist::generate::{generate, GeneratorConfig};
+    use np_netlist::FixedModules;
+    use np_sparse::BudgetMeter;
+
+    fn circuit() -> Hypergraph {
+        generate(&GeneratorConfig::new(150, 170, 0xD1CE))
+    }
+
+    fn assert_contract(hg: &Hypergraph, out: &KwayResult, k: usize, epsilon: f64) {
+        assert_eq!(out.partition.num_blocks(), k);
+        assert!(out.partition.block_sizes().iter().all(|&s| s > 0));
+        let bound = np_netlist::balance_bound(hg.num_modules() as f64, k, epsilon);
+        for &s in &out.stats.block_sizes {
+            assert!(s as f64 <= area_cap(bound), "block of {s} exceeds {bound}");
+        }
+        assert_eq!(out.stats, out.partition.cut_stats(hg));
+    }
+
+    #[test]
+    fn four_way_balanced() {
+        let hg = circuit();
+        let opts = KwayOptions {
+            k: 4,
+            epsilon: 0.4,
+            ..Default::default()
+        };
+        let out = kway_partition(&hg, &opts, KwayMethod::Direct).unwrap();
+        assert_eq!(out.algorithm, "kway-direct");
+        assert_contract(&hg, &out, 4, 0.4);
+    }
+
+    #[test]
+    fn pins_are_respected() {
+        let hg = circuit();
+        let mut fixed = FixedModules::free(hg.num_modules());
+        fixed.pin(ModuleId(3), 2);
+        fixed.pin(ModuleId(50), 0);
+        fixed.pin(ModuleId(51), 0);
+        let opts = KwayOptions {
+            k: 3,
+            epsilon: 0.5,
+            fixed: Some(fixed.clone()),
+            ..Default::default()
+        };
+        let out = kway_partition(&hg, &opts, KwayMethod::Direct).unwrap();
+        assert_contract(&hg, &out, 3, 0.5);
+        for (m, b) in fixed.pins() {
+            assert_eq!(out.partition.block_of(m), b, "pin on {m} moved");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let hg = circuit();
+        let opts = KwayOptions {
+            k: 6,
+            epsilon: 0.4,
+            ..Default::default()
+        };
+        let a = kway_partition(&hg, &opts, KwayMethod::Direct).unwrap();
+        let b = kway_partition(&hg, &opts, KwayMethod::Direct).unwrap();
+        assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    fn seed_changes_are_contained() {
+        // Different seeds may legitimately round differently, but both
+        // results must satisfy the same contract.
+        let hg = circuit();
+        for seed in [1u64, 2, 3] {
+            let opts = KwayOptions {
+                k: 5,
+                epsilon: 0.5,
+                seed,
+                ..Default::default()
+            };
+            let out = kway_partition(&hg, &opts, KwayMethod::Direct).unwrap();
+            assert_contract(&hg, &out, 5, 0.5);
+        }
+    }
+
+    #[test]
+    fn separates_planted_clusters() {
+        // Three cliques with single bridges: the embedding should
+        // recover them exactly.
+        let mut nets: Vec<Vec<u32>> = Vec::new();
+        for c in 0..3u32 {
+            let base = c * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    nets.push(vec![base + i, base + j]);
+                }
+            }
+        }
+        nets.push(vec![3, 4]);
+        nets.push(vec![7, 8]);
+        let hg = np_netlist::hypergraph_from_nets(12, &nets);
+        let opts = KwayOptions {
+            k: 3,
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        let out = kway_partition(&hg, &opts, KwayMethod::Direct).unwrap();
+        assert_contract(&hg, &out, 3, 0.0);
+        assert_eq!(out.stats.cut_nets, 2, "only the two bridges are cut");
+    }
+
+    #[test]
+    fn zero_budget_trips() {
+        let hg = circuit();
+        let meter = BudgetMeter::new(&np_sparse::Budget::default().with_matvecs(0));
+        let ctx = RunContext::with_meter(&meter);
+        let opts = KwayOptions {
+            k: 4,
+            epsilon: 0.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            kway_direct_ctx(&hg, &opts, &ctx),
+            Err(PartitionError::Budget(_))
+        ));
+    }
+}

@@ -1,0 +1,320 @@
+//! Balance repair and greedy k-way refinement over [`KwayCutTracker`].
+//!
+//! Both k-way routes produce a raw assignment first (recursive bisection
+//! or spectral rounding) and then pass through the same two phases here:
+//! [`enforce_balance`] makes the assignment *feasible* — every block
+//! non-empty and within the `(1+ε)·total/k` area bound — moving only free
+//! modules, and [`kway_refine`] is the FM-flavoured cleanup: repeated
+//! index-order sweeps that relocate a free module whenever some other
+//! block offers a strictly positive net-cut gain without breaking
+//! feasibility. Pinned modules are invisible to both phases.
+
+use crate::PartitionError;
+use np_netlist::{KwayCutTracker, ModuleId};
+use np_sparse::BudgetMeter;
+
+/// The effective per-block capacity used for feasibility checks: the
+/// exact bound plus a relative-and-absolute slack so that floating-point
+/// area accumulation never flags a mathematically tight packing (for
+/// example `ε = 0` with unit areas and `k | n`) as infeasible.
+pub(crate) fn area_cap(bound: f64) -> f64 {
+    bound * (1.0 + 1e-12) + 1e-12
+}
+
+/// Repairs `tracker` into a feasible state: every block non-empty and
+/// every block's area at most [`area_cap`]`(bound)`. Only modules with
+/// `free[m]` are moved. Among equally attractive moves the lowest module
+/// index and then the lowest target block win, so repair is
+/// deterministic.
+///
+/// # Errors
+///
+/// [`PartitionError::InvalidInput`] when no sequence of free-module moves
+/// can reach feasibility (for example all movable area is pinned away
+/// from an empty block), [`PartitionError::Budget`] when `meter` trips.
+pub(crate) fn enforce_balance(
+    tracker: &mut KwayCutTracker<'_>,
+    free: &[bool],
+    bound: f64,
+    meter: &BudgetMeter,
+) -> Result<(), PartitionError> {
+    let k = tracker.k();
+    let n = free.len();
+    let cap = area_cap(bound);
+
+    // Phase 1: populate empty blocks. Pull the best-gain free module out
+    // of some block that can spare one (count >= 2).
+    loop {
+        meter.check()?;
+        let Some(empty) = (0..k).find(|&b| tracker.block_counts()[b] == 0) else {
+            break;
+        };
+        let mut best: Option<(i64, usize)> = None;
+        for (i, &is_free) in free.iter().enumerate() {
+            if !is_free {
+                continue;
+            }
+            let m = ModuleId(i as u32);
+            let from = tracker.block_of(m);
+            if tracker.block_counts()[from] < 2 {
+                continue;
+            }
+            if tracker.block_areas()[empty] + tracker.area_of(m) > cap {
+                continue;
+            }
+            let g = tracker.gain(m, empty);
+            if best.is_none_or(|(bg, _)| g > bg) {
+                best = Some((g, i));
+            }
+        }
+        let Some((_, i)) = best else {
+            return Err(PartitionError::InvalidInput {
+                reason: "cannot populate every block with the free modules available",
+            });
+        };
+        meter.charge(1)?;
+        tracker.move_module(ModuleId(i as u32), empty);
+    }
+
+    // Phase 2: drain overfull blocks. Always work on the most-overfull
+    // block; prefer the best-gain move that lands within the cap, and
+    // fall back to any move that strictly decreases total overflow.
+    let max_steps = 4 * n + 64;
+    for _ in 0..max_steps {
+        meter.check()?;
+        let worst = (0..k)
+            .filter(|&b| tracker.block_areas()[b] > cap)
+            .max_by(|&a, &b| {
+                tracker.block_areas()[a]
+                    .partial_cmp(&tracker.block_areas()[b])
+                    .unwrap()
+            });
+        let Some(worst) = worst else {
+            return Ok(());
+        };
+        let overflow: f64 = (0..k)
+            .map(|b| (tracker.block_areas()[b] - cap).max(0.0))
+            .sum();
+        // Preferred: a move out of `worst` into a block that stays legal.
+        let mut best: Option<(i64, usize, usize)> = None;
+        // Fallback: the move (from `worst`) that most reduces overflow.
+        let mut fallback: Option<(f64, usize, usize)> = None;
+        for (i, &is_free) in free.iter().enumerate() {
+            if !is_free {
+                continue;
+            }
+            let m = ModuleId(i as u32);
+            if tracker.block_of(m) != worst || tracker.block_counts()[worst] < 2 {
+                continue;
+            }
+            let a = tracker.area_of(m);
+            for to in 0..k {
+                if to == worst {
+                    continue;
+                }
+                if tracker.block_areas()[to] + a <= cap {
+                    let g = tracker.gain(m, to);
+                    if best.is_none_or(|(bg, bi, bt)| {
+                        (g, -(i as i64), -(to as i64)) > (bg, -(bi as i64), -(bt as i64))
+                    }) {
+                        best = Some((g, i, to));
+                    }
+                } else {
+                    // Moving into another (possibly overfull) block still
+                    // helps iff total overflow strictly drops.
+                    let shed = (tracker.block_areas()[worst] - cap).min(a).max(0.0);
+                    let added = (tracker.block_areas()[to] + a - cap).max(0.0)
+                        - (tracker.block_areas()[to] - cap).max(0.0);
+                    let delta = shed - added;
+                    if delta > 1e-12 && fallback.is_none_or(|(fd, _, _)| delta > fd + 1e-12) {
+                        fallback = Some((delta, i, to));
+                    }
+                }
+            }
+        }
+        let (i, to) = match (best, fallback) {
+            (Some((_, i, to)), _) => (i, to),
+            (None, Some((_, i, to))) => (i, to),
+            (None, None) => {
+                return Err(PartitionError::InvalidInput {
+                    reason: "balance bound infeasible for the free modules available",
+                });
+            }
+        };
+        meter.charge(1)?;
+        tracker.move_module(ModuleId(i as u32), to);
+        // Safety net against pathological oscillation: demand progress.
+        let new_overflow: f64 = (0..k)
+            .map(|b| (tracker.block_areas()[b] - cap).max(0.0))
+            .sum();
+        if new_overflow >= overflow + 1e-9 {
+            return Err(PartitionError::InvalidInput {
+                reason: "balance repair failed to make progress",
+            });
+        }
+    }
+    if (0..k).all(|b| tracker.block_areas()[b] <= cap) {
+        Ok(())
+    } else {
+        Err(PartitionError::InvalidInput {
+            reason: "balance repair exceeded its step budget",
+        })
+    }
+}
+
+/// Greedy k-way refinement: up to `max_passes` index-order sweeps, each
+/// moving a free module to the best strictly-positive-gain block that
+/// fits under the cap and does not empty its source block. Stops early on
+/// a sweep with no moves. Charges `meter` once per pass.
+///
+/// # Errors
+///
+/// [`PartitionError::Budget`] when `meter` trips.
+pub(crate) fn kway_refine(
+    tracker: &mut KwayCutTracker<'_>,
+    free: &[bool],
+    bound: f64,
+    max_passes: usize,
+    meter: &BudgetMeter,
+) -> Result<usize, PartitionError> {
+    let k = tracker.k();
+
+    let cap = area_cap(bound);
+    let mut total_moves = 0usize;
+    for _ in 0..max_passes {
+        meter.charge(1)?;
+        let mut moved = 0usize;
+        for (i, &is_free) in free.iter().enumerate() {
+            if !is_free {
+                continue;
+            }
+            let m = ModuleId(i as u32);
+            let from = tracker.block_of(m);
+            if tracker.block_counts()[from] < 2 {
+                continue;
+            }
+            let a = tracker.area_of(m);
+            let mut best: Option<(i64, usize)> = None;
+            for to in 0..k {
+                if to == from || tracker.block_areas()[to] + a > cap {
+                    continue;
+                }
+                let g = tracker.gain(m, to);
+                if g > 0 && best.is_none_or(|(bg, _)| g > bg) {
+                    best = Some((g, to));
+                }
+            }
+            if let Some((_, to)) = best {
+                tracker.move_module(m, to);
+                moved += 1;
+            }
+        }
+        total_moves += moved;
+        if moved == 0 {
+            break;
+        }
+    }
+    Ok(total_moves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::areas::ModuleAreas;
+    use np_netlist::{hypergraph_from_nets, KwayPartition};
+
+    #[test]
+    fn fills_empty_blocks() {
+        let hg = hypergraph_from_nets(6, &[vec![0, 1], vec![2, 3], vec![4, 5]]);
+        let p = KwayPartition::with_num_blocks(vec![0, 0, 0, 0, 0, 0], 3);
+        let mut t = KwayCutTracker::new(&hg, &p);
+        t.set_areas(&ModuleAreas::uniform(6));
+        let free = vec![true; 6];
+        enforce_balance(&mut t, &free, 2.0, &BudgetMeter::unlimited()).unwrap();
+        assert!(t.block_counts().iter().all(|&c| c > 0));
+        assert!(t.block_areas().iter().all(|&a| a <= area_cap(2.0)));
+    }
+
+    #[test]
+    fn drains_overfull_blocks() {
+        let hg = hypergraph_from_nets(6, &[vec![0, 1, 2], vec![3, 4, 5]]);
+        let p = KwayPartition::with_num_blocks(vec![0, 0, 0, 0, 0, 1], 2);
+        let mut t = KwayCutTracker::new(&hg, &p);
+        t.set_areas(&ModuleAreas::uniform(6));
+        let free = vec![true; 6];
+        enforce_balance(&mut t, &free, 3.0, &BudgetMeter::unlimited()).unwrap();
+        assert!(t.block_areas().iter().all(|&a| a <= area_cap(3.0)));
+        // The gain-guided drain moves 3 then 4 across, reuniting the
+        // {3,4,5} net in block 1 and keeping {0,1,2} whole.
+        assert_eq!(t.cut_nets(), 0);
+    }
+
+    #[test]
+    fn respects_pins_when_repairing() {
+        let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![2, 3]]);
+        let p = KwayPartition::with_num_blocks(vec![0, 0, 0, 1], 2);
+        let mut t = KwayCutTracker::new(&hg, &p);
+        t.set_areas(&ModuleAreas::uniform(4));
+        // modules 0 and 1 pinned: only 2 may drain block 0
+        let free = vec![false, false, true, true];
+        enforce_balance(&mut t, &free, 2.0, &BudgetMeter::unlimited()).unwrap();
+        assert_eq!(t.block_of(ModuleId(0)), 0);
+        assert_eq!(t.block_of(ModuleId(1)), 0);
+        assert_eq!(t.block_of(ModuleId(2)), 1);
+    }
+
+    #[test]
+    fn infeasible_when_everything_pinned() {
+        let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![2, 3]]);
+        let p = KwayPartition::with_num_blocks(vec![0, 0, 0, 0], 2);
+        let mut t = KwayCutTracker::new(&hg, &p);
+        t.set_areas(&ModuleAreas::uniform(4));
+        let free = vec![false; 4];
+        assert!(matches!(
+            enforce_balance(&mut t, &free, 2.0, &BudgetMeter::unlimited()),
+            Err(PartitionError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn refine_improves_and_respects_bounds() {
+        // Two cliques of 4 with one bridge; start with a deliberately bad
+        // split that strands module 4 on the wrong side.
+        let nets: Vec<Vec<u32>> = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![0, 3],
+            vec![4, 5],
+            vec![5, 6],
+            vec![6, 7],
+            vec![4, 7],
+            vec![4, 6],
+            vec![3, 4],
+        ];
+        let hg = hypergraph_from_nets(8, &nets);
+        let p = KwayPartition::with_num_blocks(vec![0, 0, 0, 0, 0, 1, 1, 1], 2);
+        let mut t = KwayCutTracker::new(&hg, &p);
+        t.set_areas(&ModuleAreas::uniform(8));
+        let free = vec![true; 8];
+        let before = t.cut_nets();
+        let moves = kway_refine(&mut t, &free, 5.0, 10, &BudgetMeter::unlimited()).unwrap();
+        assert!(moves > 0);
+        assert!(t.cut_nets() < before);
+        assert!(t.block_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn refine_charges_meter_per_pass() {
+        let hg = hypergraph_from_nets(4, &[vec![0, 1], vec![2, 3]]);
+        let p = KwayPartition::with_num_blocks(vec![0, 1, 0, 1], 2);
+        let mut t = KwayCutTracker::new(&hg, &p);
+        t.set_areas(&ModuleAreas::uniform(4));
+        let meter = BudgetMeter::new(&np_sparse::Budget::default().with_matvecs(0));
+        let free = vec![true; 4];
+        assert!(matches!(
+            kway_refine(&mut t, &free, 2.5, 3, &meter),
+            Err(PartitionError::Budget(_))
+        ));
+    }
+}

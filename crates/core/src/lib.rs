@@ -21,7 +21,10 @@
 //! * [`engine`] — the composable stage layer: every algorithm above (plus
 //!   the baselines) as a uniform [`Stage`], glued together by
 //!   [`Pipeline`]s and [`FallbackChain`]s, sharing one [`RunContext`]
-//!   (budget meter, seed, instrumentation).
+//!   (budget meter, seed, instrumentation);
+//! * [`kway`] — balanced k-way partitioning with fixed modules, by
+//!   recursive bisection of the hybrid pipeline or by direct multiway
+//!   spectral embedding with seeded k-means rounding.
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@ pub mod eig1;
 pub mod engine;
 pub mod igmatch;
 pub mod igvote;
+pub mod kway;
 pub mod models;
 pub mod multiway;
 pub mod ordering;
@@ -69,6 +73,9 @@ pub use engine::{
 pub use error::{panic_error, PartitionError};
 pub use igmatch::{ig_match, ig_match_ctx, IgMatchOptions, IgMatchOutcome};
 pub use igvote::{ig_vote, ig_vote_ctx, IgVoteOptions};
+pub use kway::{
+    kway_partition, kway_partition_ctx, KwayMethod, KwayOptions, KwayPartitioner, KwayResult,
+};
 pub use models::IgWeighting;
 pub use result::PartitionResult;
 pub use robust::{

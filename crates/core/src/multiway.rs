@@ -6,13 +6,24 @@
 //! partitioning will minimize the number of signals between blocks that
 //! are multiplexed onto a hardware simulator" (§1, citing Wei–Cheng).
 //! This module recursively applies IG-Match until every block fits a size
-//! budget, and provides the block-level I/O statistics those applications
-//! care about.
+//! budget. The partition data model itself now lives in
+//! [`np_netlist::kway`] — [`MultiwayPartition`] is an alias of
+//! [`KwayPartition`](np_netlist::KwayPartition), which carries the
+//! block-level I/O statistics (crossing nets, per-block externals, span
+//! histogram) these applications care about plus the incremental
+//! [`KwayCutTracker`](np_netlist::KwayCutTracker) used by the balanced
+//! k-way engine in [`crate::kway`].
 
 use crate::{ig_match, IgMatchOptions, PartitionError};
 use np_netlist::induce::induced_subhypergraph;
-use np_netlist::{Hypergraph, ModuleId, Side};
-use std::collections::BTreeSet;
+use np_netlist::{Hypergraph, KwayPartition, ModuleId, Side};
+
+/// A partition of the modules into labelled blocks.
+///
+/// Since the k-way generalization this is the shared
+/// [`np_netlist::KwayPartition`]; the alias keeps the original
+/// `np_core::multiway::MultiwayPartition` path working.
+pub type MultiwayPartition = KwayPartition;
 
 /// Options for [`recursive_ig_match`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,116 +40,6 @@ impl Default for MultiwayOptions {
             max_block_size: 256,
             ig_match: IgMatchOptions::default(),
         }
-    }
-}
-
-/// A partition of the modules into `num_blocks` labelled blocks.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct MultiwayPartition {
-    block_of: Vec<u32>,
-    num_blocks: usize,
-}
-
-impl MultiwayPartition {
-    /// Builds a multiway partition from an explicit block-label vector.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the labels are not dense in `0..num_blocks`.
-    pub fn from_labels(block_of: Vec<u32>) -> Self {
-        let num_blocks = block_of.iter().map(|&b| b as usize + 1).max().unwrap_or(0);
-        let mut seen = vec![false; num_blocks];
-        for &b in &block_of {
-            seen[b as usize] = true;
-        }
-        assert!(
-            seen.iter().all(|&s| s),
-            "block labels must be dense in 0..num_blocks"
-        );
-        MultiwayPartition {
-            block_of,
-            num_blocks,
-        }
-    }
-
-    /// Number of blocks.
-    pub fn num_blocks(&self) -> usize {
-        self.num_blocks
-    }
-
-    /// Block label of `module`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `module` is out of range.
-    pub fn block_of(&self, module: ModuleId) -> usize {
-        self.block_of[module.index()] as usize
-    }
-
-    /// Module count of each block, indexed by label.
-    pub fn block_sizes(&self) -> Vec<usize> {
-        let mut sizes = vec![0usize; self.num_blocks];
-        for &b in &self.block_of {
-            sizes[b as usize] += 1;
-        }
-        sizes
-    }
-
-    /// Number of nets spanning more than one block — for hardware
-    /// simulation, the count of signals that must be multiplexed between
-    /// blocks.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `hg` has a different module count.
-    pub fn crossing_nets(&self, hg: &Hypergraph) -> usize {
-        assert_eq!(hg.num_modules(), self.block_of.len());
-        hg.nets()
-            .filter(|&n| {
-                let pins = hg.pins(n);
-                let first = self.block_of[pins[0].index()];
-                pins[1..].iter().any(|p| self.block_of[p.index()] != first)
-            })
-            .count()
-    }
-
-    /// Per-block external-net counts: for each block, the number of nets
-    /// with at least one pin inside and at least one pin outside it. This
-    /// is the "number of inputs to a block" that drives test-vector cost
-    /// (§1: "reducing the number of inputs to a block implies that fewer
-    /// vectors will be needed to exercise the logic").
-    pub fn external_nets_per_block(&self, hg: &Hypergraph) -> Vec<usize> {
-        assert_eq!(hg.num_modules(), self.block_of.len());
-        let mut counts = vec![0usize; self.num_blocks];
-        let mut touched = BTreeSet::new();
-        for net in hg.nets() {
-            touched.clear();
-            for p in hg.pins(net) {
-                touched.insert(self.block_of[p.index()]);
-            }
-            if touched.len() > 1 {
-                for &b in &touched {
-                    counts[b as usize] += 1;
-                }
-            }
-        }
-        counts
-    }
-
-    /// Histogram of net *span* (how many blocks each net touches), indexed
-    /// by span; entry `[1]` counts fully internal nets.
-    pub fn span_histogram(&self, hg: &Hypergraph) -> Vec<usize> {
-        assert_eq!(hg.num_modules(), self.block_of.len());
-        let mut hist = vec![0usize; self.num_blocks + 1];
-        let mut touched = BTreeSet::new();
-        for net in hg.nets() {
-            touched.clear();
-            for p in hg.pins(net) {
-                touched.insert(self.block_of[p.index()]);
-            }
-            hist[touched.len()] += 1;
-        }
-        hist
     }
 }
 
@@ -174,10 +75,10 @@ pub fn recursive_ig_match(
     let mut next_block = 0u32;
     let all: Vec<ModuleId> = hg.modules().collect();
     split(hg, all, opts, &mut block_of, &mut next_block, true)?;
-    Ok(MultiwayPartition {
+    Ok(KwayPartition::with_num_blocks(
         block_of,
-        num_blocks: next_block as usize,
-    })
+        next_block as usize,
+    ))
 }
 
 fn split(
@@ -322,6 +223,17 @@ mod tests {
     #[should_panic(expected = "dense")]
     fn sparse_labels_rejected() {
         MultiwayPartition::from_labels(vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_labels_yield_zero_blocks() {
+        // Regression: `from_labels(vec![])` used to rely on the implicit
+        // `max().unwrap_or(0)`; the shared model documents and preserves
+        // the empty partition (`num_blocks == 0`).
+        let mw = MultiwayPartition::from_labels(Vec::new());
+        assert_eq!(mw.num_blocks(), 0);
+        assert_eq!(mw.len(), 0);
+        assert!(mw.block_sizes().is_empty());
     }
 
     #[test]

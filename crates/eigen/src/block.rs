@@ -17,7 +17,7 @@ use crate::dense::try_jacobi_eigen;
 use crate::lanczos::{EigenPair, LanczosOptions};
 use crate::EigenError;
 use np_sparse::vecops::{axpy, dot, norm2, normalize};
-use np_sparse::LinearOperator;
+use np_sparse::{BudgetMeter, LinearOperator};
 
 /// Options for [`smallest_deflated_block`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -75,6 +75,28 @@ pub fn smallest_deflated_block(
     deflate: &[Vec<f64>],
     opts: &BlockLanczosOptions,
 ) -> Result<EigenPair, EigenError> {
+    smallest_deflated_block_metered(op, deflate, opts, &BudgetMeter::unlimited())
+}
+
+/// [`smallest_deflated_block`] with cooperative budget enforcement: every
+/// operator application charges one matvec to `meter`, so a caller
+/// computing several deflated eigenvectors (the direct multiway spectral
+/// embedding) spends against the same allowance as the rest of its run.
+///
+/// # Errors
+///
+/// In addition to the [`smallest_deflated_block`] errors,
+/// [`EigenError::Budget`] when `meter` reports a limit hit.
+///
+/// # Panics
+///
+/// Panics if `opts.block_size == 0`.
+pub fn smallest_deflated_block_metered(
+    op: &impl LinearOperator,
+    deflate: &[Vec<f64>],
+    opts: &BlockLanczosOptions,
+    meter: &BudgetMeter,
+) -> Result<EigenPair, EigenError> {
     assert!(opts.block_size >= 1, "block size must be at least 1");
     let n = op.dim();
     // orthonormalize the deflation set
@@ -98,7 +120,7 @@ pub fn smallest_deflated_block(
     if n <= opts.base.dense_cutoff || opts.block_size >= n {
         // small instances: fall back to the single-vector path, which has
         // its own dense solver
-        return crate::lanczos::smallest_deflated(op, &deflate, &opts.base);
+        return crate::lanczos::smallest_deflated_metered(op, &deflate, &opts.base, meter);
     }
 
     let p = opts.block_size.min(n - deflate.len()).max(1);
@@ -140,6 +162,7 @@ pub fn smallest_deflated_block(
             // apply the operator to the current block, project, extend
             let mut new_vectors: Vec<Vec<f64>> = Vec::new();
             for j in frontier..block_end {
+                meter.charge(1)?;
                 op.apply(&basis[j], &mut w);
                 matvecs += 1;
                 // record projections against the existing basis
@@ -196,6 +219,7 @@ pub fn smallest_deflated_block(
             full_orthogonalize(&mut x, &[], &deflate);
             if normalize(&mut x) > 1e-12 {
                 let mut mx = vec![0.0f64; n];
+                meter.charge(1)?;
                 op.apply(&x, &mut mx);
                 matvecs += 1;
                 axpy(-theta, &x, &mut mx);

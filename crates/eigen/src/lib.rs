@@ -44,7 +44,7 @@ mod error;
 pub mod lanczos;
 pub mod tridiag;
 
-pub use block::{smallest_deflated_block, BlockLanczosOptions};
+pub use block::{smallest_deflated_block, smallest_deflated_block_metered, BlockLanczosOptions};
 pub use error::EigenError;
 pub use lanczos::{smallest_deflated, smallest_deflated_metered, EigenPair, LanczosOptions};
 

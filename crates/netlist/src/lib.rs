@@ -15,6 +15,8 @@
 //! * [`stats`] — net-size histograms and cut-statistics tables (paper
 //!   Table 1);
 //! * [`areas`] — module areas and the area-weighted ratio cut;
+//! * [`kway`] — balanced k-way partitions, fixed modules and the k-block
+//!   [`kway::KwayCutTracker`];
 //! * [`named`] — netlists with module/net names and their text format;
 //! * [`induce`] — induced sub-hypergraphs for recursive partitioning;
 //! * [`components`] — hypergraph connectivity;
@@ -51,6 +53,7 @@ pub mod components;
 pub mod generate;
 pub mod induce;
 pub mod io;
+pub mod kway;
 pub mod named;
 pub mod partition;
 pub mod rng;
@@ -60,4 +63,5 @@ pub use builder::{hypergraph_from_nets, HypergraphBuilder};
 pub use error::NetlistError;
 pub use hypergraph::Hypergraph;
 pub use ids::{ModuleId, NetId};
+pub use kway::{balance_bound, FixedModules, KwayCutStats, KwayCutTracker, KwayPartition};
 pub use partition::{Bipartition, CutStats, Side};

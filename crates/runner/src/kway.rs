@@ -1,0 +1,351 @@
+//! A k-way portfolio: concurrent multi-start execution over the
+//! [`KwayPartitioner`] units of `np-core`, reduced by the k-way ratio
+//! cut.
+//!
+//! The bipartition portfolio in the crate root races seed-decorrelated
+//! [`Stage`](np_core::Stage)s; this module is its k-way counterpart.
+//! Attempts are [`KwayPartitioner`]s (the recursive-bisection route,
+//! seed-jittered direct spectral roundings, or any custom unit), each
+//! running under a tributary of one shared [`BudgetMeter`] with the same
+//! determinism contract: attempt `i` is seeded from
+//! `derive_seed(seed, i)` where the unit consumes a seed, and the
+//! reduction orders candidates by `(ratio, attempt_index)` so the winner
+//! is bit-identical for any worker-thread count.
+
+use crate::{effective_threads, PortfolioOptions};
+use np_core::engine::{OperatorCache, RunContext};
+use np_core::kway::{KwayDirectStage, KwayRecursiveStage};
+use np_core::{KwayOptions, KwayPartitioner, KwayResult, PartitionError};
+use np_netlist::rng::derive_seed;
+use np_netlist::Hypergraph;
+use np_sparse::BudgetMeter;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A boxed k-way unit usable as a portfolio attempt.
+pub type BoxedKwayPartitioner = Box<dyn KwayPartitioner + Send + Sync>;
+
+/// An ordered list of labelled k-way attempts. As for the bipartition
+/// portfolio, the index fixes both the seed stream and the tie-break.
+#[derive(Default)]
+pub struct KwayPortfolio {
+    attempts: Vec<(String, BoxedKwayPartitioner)>,
+}
+
+impl fmt::Debug for KwayPortfolio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KwayPortfolio")
+            .field(
+                "attempts",
+                &self.attempts.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl KwayPortfolio {
+    /// An empty portfolio.
+    pub fn new() -> Self {
+        KwayPortfolio::default()
+    }
+
+    /// Appends an attempt (builder style).
+    #[must_use]
+    pub fn attempt(
+        mut self,
+        label: impl Into<String>,
+        unit: impl KwayPartitioner + Send + Sync + 'static,
+    ) -> Self {
+        self.attempts.push((label.into(), Box::new(unit)));
+        self
+    }
+
+    /// The standard method race: one recursive-bisection attempt plus
+    /// `direct_restarts` direct spectral attempts on decorrelated seed
+    /// streams (stream `i` uses `derive_seed(opts.seed, i)`).
+    #[must_use]
+    pub fn methods(opts: &KwayOptions, direct_restarts: usize) -> Self {
+        let mut p =
+            KwayPortfolio::new().attempt("recursive", KwayRecursiveStage::new(opts.clone()));
+        for i in 0..direct_restarts {
+            let mut o = opts.clone();
+            o.seed = derive_seed(opts.seed, i as u64);
+            p = p.attempt(format!("direct#{i}"), KwayDirectStage::new(o));
+        }
+        p
+    }
+
+    /// Number of attempts.
+    pub fn len(&self) -> usize {
+        self.attempts.len()
+    }
+
+    /// `true` if no attempt has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.attempts.is_empty()
+    }
+}
+
+/// What happened to one k-way attempt.
+#[derive(Clone, Debug)]
+pub struct KwayAttemptReport {
+    /// The attempt's label.
+    pub label: String,
+    /// The k-way ratio cut of the attempt's result, when it completed.
+    pub ratio: Option<f64>,
+    /// The error message, when it failed.
+    pub error: Option<String>,
+    /// Budget units this attempt charged to the shared meter.
+    pub charge: u64,
+}
+
+/// Successful k-way portfolio outcome.
+#[derive(Debug)]
+pub struct KwayPortfolioOutcome {
+    /// The best result over all completed attempts.
+    pub best: KwayResult,
+    /// Index of the winning attempt.
+    pub winner: usize,
+    /// Per-attempt record, in index order.
+    pub attempts: Vec<KwayAttemptReport>,
+}
+
+/// Failure of the whole k-way portfolio (no attempt completed).
+#[derive(Debug)]
+pub struct KwayPortfolioError {
+    /// The first (by attempt index) error observed, or `InvalidInput`
+    /// for an empty portfolio.
+    pub error: PartitionError,
+    /// Per-attempt record, in index order.
+    pub attempts: Vec<KwayAttemptReport>,
+}
+
+impl fmt::Display for KwayPortfolioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k-way portfolio failed: {} ({} attempts, none completed)",
+            self.error,
+            self.attempts.len()
+        )
+    }
+}
+
+impl std::error::Error for KwayPortfolioError {}
+
+struct KwaySlot {
+    result: Option<KwayResult>,
+    score: f64,
+    error: Option<PartitionError>,
+    charge: u64,
+}
+
+/// Runs every attempt over a scoped worker pool and reduces to the best
+/// result by k-way ratio cut with `(score, index)` tie-breaking.
+///
+/// `meter` is the portfolio-wide budget scope; every attempt charges a
+/// [`BudgetMeter::tributary`] of it. A shared [`OperatorCache`] lets all
+/// attempts reuse the top-level spectral operators.
+///
+/// # Errors
+///
+/// [`KwayPortfolioError`] when no attempt completes or the portfolio is
+/// empty.
+pub fn run_kway_portfolio(
+    hg: &Hypergraph,
+    portfolio: &KwayPortfolio,
+    opts: &PortfolioOptions,
+    meter: &BudgetMeter,
+) -> Result<KwayPortfolioOutcome, KwayPortfolioError> {
+    let n = portfolio.len();
+    if n == 0 {
+        return Err(KwayPortfolioError {
+            error: PartitionError::InvalidInput {
+                reason: "portfolio has no attempts",
+            },
+            attempts: Vec::new(),
+        });
+    }
+    let threads = effective_threads(opts.threads, n);
+    let operators = Arc::new(OperatorCache::new());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<KwaySlot>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let (_, unit) = &portfolio.attempts[idx];
+                let tributary = meter.tributary();
+                let ctx = RunContext::with_meter(&tributary)
+                    .with_seed(derive_seed(opts.seed, idx as u64))
+                    .with_operator_cache(Arc::clone(&operators));
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    unit.partition(hg, &ctx)
+                }))
+                .unwrap_or_else(|payload| Err(np_core::panic_error(payload)));
+                let charge = tributary.local_used();
+                let slot = match outcome {
+                    Ok(result) => {
+                        let score = result.stats.ratio();
+                        KwaySlot {
+                            result: Some(result),
+                            score: if score.is_finite() {
+                                score
+                            } else {
+                                f64::INFINITY
+                            },
+                            error: None,
+                            charge,
+                        }
+                    }
+                    Err(error) => KwaySlot {
+                        result: None,
+                        score: f64::INFINITY,
+                        error: Some(error),
+                        charge,
+                    },
+                };
+                *slots[idx].lock().expect("slot lock") = Some(slot);
+            });
+        }
+    });
+
+    let mut records: Vec<KwaySlot> = slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock")
+                .expect("every slot is filled by the pool")
+        })
+        .collect();
+
+    let winner = records
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.result.is_some())
+        .min_by(|(ia, a), (ib, b)| a.score.total_cmp(&b.score).then(ia.cmp(ib)))
+        .map(|(i, _)| i);
+
+    let attempts: Vec<KwayAttemptReport> = records
+        .iter()
+        .enumerate()
+        .map(|(i, s)| KwayAttemptReport {
+            label: portfolio.attempts[i].0.clone(),
+            ratio: s.result.as_ref().map(|_| s.score),
+            error: s.error.as_ref().map(|e| e.to_string()),
+            charge: s.charge,
+        })
+        .collect();
+
+    match winner {
+        Some(w) => Ok(KwayPortfolioOutcome {
+            best: records[w].result.take().expect("winner has a result"),
+            winner: w,
+            attempts,
+        }),
+        None => Err(KwayPortfolioError {
+            error: records
+                .iter()
+                .find_map(|s| s.error.clone())
+                .expect("a failed portfolio records at least one error"),
+            attempts,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_netlist::generate::{generate, GeneratorConfig};
+
+    fn circuit() -> Hypergraph {
+        generate(&GeneratorConfig::new(140, 150, 0xCAFE))
+    }
+
+    fn kopts(k: usize) -> KwayOptions {
+        KwayOptions {
+            k,
+            epsilon: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_portfolio_rejected() {
+        let err = run_kway_portfolio(
+            &circuit(),
+            &KwayPortfolio::new(),
+            &PortfolioOptions::default(),
+            &BudgetMeter::unlimited(),
+        )
+        .unwrap_err();
+        assert!(matches!(err.error, PartitionError::InvalidInput { .. }));
+        assert!(err.to_string().contains("k-way portfolio failed"));
+    }
+
+    #[test]
+    fn method_race_produces_valid_blocks() {
+        let hg = circuit();
+        let portfolio = KwayPortfolio::methods(&kopts(4), 2);
+        assert_eq!(portfolio.len(), 3);
+        let out = run_kway_portfolio(
+            &hg,
+            &portfolio,
+            &PortfolioOptions::default().with_threads(2),
+            &BudgetMeter::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(out.best.partition.num_blocks(), 4);
+        assert_eq!(out.attempts.len(), 3);
+        let best = out.attempts[out.winner].ratio.unwrap();
+        for a in &out.attempts {
+            if let Some(r) = a.ratio {
+                assert!(best <= r + 1e-12, "winner must be the minimum");
+            }
+        }
+    }
+
+    #[test]
+    fn winner_is_thread_invariant() {
+        let hg = circuit();
+        let portfolio = KwayPortfolio::methods(&kopts(3), 3);
+        let mut winners = Vec::new();
+        for threads in [1, 2, 4] {
+            let out = run_kway_portfolio(
+                &hg,
+                &portfolio,
+                &PortfolioOptions::default().with_threads(threads),
+                &BudgetMeter::unlimited(),
+            )
+            .unwrap();
+            winners.push((out.winner, out.best.partition.clone()));
+        }
+        assert_eq!(winners[0], winners[1]);
+        assert_eq!(winners[1], winners[2]);
+    }
+
+    #[test]
+    fn failed_attempts_are_reported_not_fatal() {
+        let hg = circuit();
+        // k larger than the module count fails validation in every
+        // attempt except the sane one
+        let portfolio = KwayPortfolio::new()
+            .attempt("bad", np_core::kway::KwayDirectStage::new(kopts(10_000)))
+            .attempt("good", np_core::kway::KwayRecursiveStage::new(kopts(3)));
+        let out = run_kway_portfolio(
+            &hg,
+            &portfolio,
+            &PortfolioOptions::default().with_threads(1),
+            &BudgetMeter::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(out.winner, 1);
+        assert!(out.attempts[0].error.is_some());
+        assert!(out.attempts[1].ratio.is_some());
+    }
+}

@@ -72,9 +72,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod kway;
 pub mod presets;
 mod report;
 
+pub use kway::{
+    run_kway_portfolio, KwayAttemptReport, KwayPortfolio, KwayPortfolioError, KwayPortfolioOutcome,
+};
 pub use report::{AttemptReport, AttemptStatus, PortfolioReport, REPORT_SCHEMA};
 
 use np_baselines::{fm_bisect_metered, FmOptions};
@@ -385,7 +389,7 @@ fn reduction_score(score: f64) -> f64 {
     }
 }
 
-fn effective_threads(requested: usize, attempts: usize) -> usize {
+pub(crate) fn effective_threads(requested: usize, attempts: usize) -> usize {
     let hw = || {
         std::thread::available_parallelism()
             .map(|n| n.get())

@@ -102,6 +102,14 @@ pub struct Request {
     /// Early-stop target: cancel the portfolio once an attempt reaches
     /// this ratio cut.
     pub target_ratio: Option<f64>,
+    /// Number of blocks; `None` or `Some(2)` is the classic bipartition
+    /// path (identical frames to older clients). `k > 2` switches the
+    /// request onto the k-way portfolio and the result frame carries a
+    /// `blocks` array instead of the `partition` digit string.
+    pub k: Option<usize>,
+    /// Balance slack ε for k-way requests: every block must hold at most
+    /// `(1+ε)·total/k` area. Ignored on the bipartition path.
+    pub epsilon: Option<f64>,
     /// Stream `progress` frames (stage events) before the terminal frame.
     pub progress: bool,
     /// Fault to inject (resilience testing).
@@ -117,6 +125,8 @@ const REQUEST_KEYS: &[&str] = &[
     "budget_ms",
     "deadline_ms",
     "target_ratio",
+    "k",
+    "epsilon",
     "progress",
     "fault",
 ];
@@ -181,6 +191,26 @@ impl Request {
                 Some(x)
             }
         };
+        let k = match doc.get("k") {
+            None => None,
+            Some(v) => {
+                let n = v.as_u64().ok_or("'k' must be a non-negative integer")?;
+                if n < 2 {
+                    return Err("'k' must be at least 2".into());
+                }
+                Some(n as usize)
+            }
+        };
+        let epsilon = match doc.get("epsilon") {
+            None => None,
+            Some(v) => {
+                let x = v.as_f64().ok_or("'epsilon' must be a number")?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err("'epsilon' must be finite and >= 0".into());
+                }
+                Some(x)
+            }
+        };
         let progress = match doc.get("progress") {
             None => false,
             Some(v) => v.as_bool().ok_or("'progress' must be a boolean")?,
@@ -198,6 +228,8 @@ impl Request {
             budget_ms,
             deadline_ms,
             target_ratio,
+            k,
+            epsilon,
             progress,
             fault,
         })
@@ -317,6 +349,16 @@ mod tests {
     }
 
     #[test]
+    fn kway_fields_parse_and_default_off() {
+        let r = Request::parse(r#"{"id":"a","hgr":"x"}"#).unwrap();
+        assert_eq!(r.k, None);
+        assert_eq!(r.epsilon, None);
+        let r = Request::parse(r#"{"id":"a","hgr":"x","k":8,"epsilon":0.25}"#).unwrap();
+        assert_eq!(r.k, Some(8));
+        assert_eq!(r.epsilon, Some(0.25));
+    }
+
+    #[test]
     fn every_algo_name_round_trips() {
         for algo in [
             Algo::Auto,
@@ -344,6 +386,9 @@ mod tests {
             (r#"{"id":"a","hgr":"x","restarts":1.5}"#, "integer"),
             (r#"{"id":"a","hgr":"x","deadline_ms":-1}"#, "integer"),
             (r#"{"id":"a","hgr":"x","target_ratio":-2}"#, ">= 0"),
+            (r#"{"id":"a","hgr":"x","k":1}"#, "'k' must be at least 2"),
+            (r#"{"id":"a","hgr":"x","k":2.5}"#, "integer"),
+            (r#"{"id":"a","hgr":"x","epsilon":-0.1}"#, "'epsilon'"),
             (
                 r#"{"id":"a","hgr":"x","deadline_m":5}"#,
                 "unknown request key",

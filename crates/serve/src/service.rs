@@ -45,11 +45,14 @@ use crate::proto::{self, Algo, Degradation, Request};
 use np_baselines::{FmOptions, KlOptions, RcutOptions};
 use np_core::engine::stages::{Eig1Stage, IgMatchStage, IgVoteStage, KlStage, RcutStage};
 use np_core::engine::{BoxedStage, StageEvent, DEFAULT_SEED};
-use np_core::{Eig1Options, IgMatchOptions, IgVoteOptions, PartitionError, PartitionResult};
+use np_core::{
+    Eig1Options, IgMatchOptions, IgVoteOptions, KwayOptions, PartitionError, PartitionResult,
+};
 use np_netlist::rng::derive_seed;
 use np_netlist::Side;
 use np_runner::{
-    run_portfolio_cached, Portfolio, PortfolioEvent, PortfolioOptions, RandomStartFmStage,
+    run_kway_portfolio, run_portfolio_cached, KwayPortfolio, Portfolio, PortfolioEvent,
+    PortfolioOptions, RandomStartFmStage,
 };
 use np_sparse::{Budget, BudgetMeter, BudgetResource};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -188,6 +191,33 @@ impl Service {
         self.cache.stats()
     }
 
+    /// Renders the one-line `metrics` frame served for a `/metrics`
+    /// request line: live occupancy (running/queued), the monotonic
+    /// service counters and the netlist cache footprint.
+    pub fn metrics_frame(&self) -> String {
+        let load = self.admission.load();
+        let cache = self.cache.stats();
+        let m = &self.metrics;
+        Obj::new()
+            .str("frame", "metrics")
+            .int("running", load.running as u64)
+            .int("queued", load.queued as u64)
+            .int("requests", m.requests.load(Ordering::Relaxed))
+            .int("results", m.results.load(Ordering::Relaxed))
+            .int("degraded", m.degraded.load(Ordering::Relaxed))
+            .int("shed", m.shed.load(Ordering::Relaxed))
+            .int("errors", m.errors.load(Ordering::Relaxed))
+            .int("retries", m.retries.load(Ordering::Relaxed))
+            .int("fm_fallbacks", m.fm_fallbacks.load(Ordering::Relaxed))
+            .int(
+                "panics_contained",
+                m.panics_contained.load(Ordering::Relaxed),
+            )
+            .int("cache_entries", cache.entries as u64)
+            .int("cache_bytes", cache.bytes as u64)
+            .render()
+    }
+
     /// Handles one request line end to end, emitting every response
     /// frame through `emit` (progress frames first, then exactly one
     /// terminal frame). Blocks until the terminal frame is emitted.
@@ -195,6 +225,12 @@ impl Service {
     /// `emit` is called from this thread *and* (for progress frames)
     /// from portfolio worker threads, hence `Sync`.
     pub fn handle_line(&self, line: &str, emit: &(dyn Fn(&str) + Sync)) {
+        // the one non-JSON line in the protocol: a read-only snapshot
+        // that never enters admission (it must answer even at capacity)
+        if line.trim() == "/metrics" {
+            emit(&self.metrics_frame());
+            return;
+        }
         self.metrics.bump(&self.metrics.requests);
         let arrival = Instant::now();
         let request = match Request::parse(line) {
@@ -281,6 +317,20 @@ impl Service {
         let restarts = request.restarts.unwrap_or(self.cfg.default_restarts);
         let compute_start = Instant::now();
         let mut retries_done = 0u64;
+
+        // ---- k > 2: the k-way portfolio route (its own tiers do not
+        // apply — the recursive attempt is already the insurance) ----
+        if let Some(k) = request.k.filter(|&k| k > 2) {
+            return self.execute_kway(
+                request,
+                k,
+                &cached,
+                deadline,
+                queue_wait,
+                compute_start,
+                cache_hit,
+            );
+        }
 
         // ---- expired while queued: only the insurance slice runs ----
         if deadline.is_some_and(|d| Instant::now() >= d) {
@@ -501,6 +551,73 @@ impl Service {
                     .unwrap_or_else(|| "no tier produced a partition".into());
                 proto::error_frame(&request.id, &format!("request failed: {reason}"))
             }
+        }
+    }
+
+    /// Runs a `k > 2` request through the k-way method race (recursive
+    /// bisection + seed-jittered direct spectral attempts) and renders
+    /// its terminal frame. The race already contains its own fallback
+    /// diversity, so the bipartition tier ladder does not apply; the
+    /// deadline and budget still bound the shared meter.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_kway(
+        &self,
+        request: &Request,
+        k: usize,
+        cached: &CachedNetlist,
+        deadline: Option<Instant>,
+        queue_wait: Duration,
+        compute_start: Instant,
+        cache_hit: bool,
+    ) -> String {
+        let Some(wall) = self.remaining_wall(request, deadline, compute_start) else {
+            return proto::error_frame(
+                &request.id,
+                "deadline expired before the k-way portfolio could start",
+            );
+        };
+        let seed = request.seed.unwrap_or(DEFAULT_SEED);
+        let restarts = request.restarts.unwrap_or(self.cfg.default_restarts);
+        let mut opts = KwayOptions {
+            k,
+            seed,
+            ..Default::default()
+        };
+        if let Some(eps) = request.epsilon {
+            opts.epsilon = eps;
+        }
+        let portfolio = KwayPortfolio::methods(&opts, restarts.saturating_sub(1));
+        let meter = BudgetMeter::new(&Budget::default().with_wall_clock(wall));
+        let popts = PortfolioOptions {
+            threads: 1,
+            seed,
+            target_ratio: request.target_ratio,
+        };
+        match run_kway_portfolio(&cached.hypergraph, &portfolio, &popts, &meter) {
+            Ok(out) => {
+                let blocks: Vec<String> = out
+                    .best
+                    .partition
+                    .labels()
+                    .iter()
+                    .map(|b| b.to_string())
+                    .collect();
+                Obj::new()
+                    .str("id", &request.id)
+                    .str("frame", "result")
+                    .bool("degraded", false)
+                    .str("tier", "kway-race")
+                    .str("algorithm", out.best.algorithm)
+                    .int("k", k as u64)
+                    .int("cut", out.best.stats.cut_nets as u64)
+                    .num("ratio", out.best.stats.ratio())
+                    .raw("blocks", format!("[{}]", blocks.join(",")))
+                    .bool("cache_hit", cache_hit)
+                    .num("queue_ms", queue_wait.as_secs_f64() * 1e3)
+                    .num("compute_ms", compute_start.elapsed().as_secs_f64() * 1e3)
+                    .render()
+            }
+            Err(err) => proto::error_frame(&request.id, &format!("request failed: {err}")),
         }
     }
 
@@ -821,6 +938,64 @@ mod tests {
             assert_eq!(doc.get("frame").and_then(|v| v.as_str()), Some("progress"));
         }
         assert!(frames.last().unwrap().contains("\"frame\":\"result\""));
+    }
+
+    #[test]
+    fn metrics_line_is_a_single_snapshot_frame() {
+        let svc = Service::new(ServeConfig::default());
+        collect(&svc, &request_line("m1", r#","restarts":1"#));
+        collect(&svc, r#"{"id":"m2","hgr":"not hgr"}"#);
+        let frames = collect(&svc, "/metrics");
+        assert_eq!(frames.len(), 1, "{frames:?}");
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_eq!(doc.get("frame").and_then(|v| v.as_str()), Some("metrics"));
+        assert_eq!(doc.get("running").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(doc.get("queued").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(doc.get("requests").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(doc.get("results").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("errors").and_then(|v| v.as_u64()), Some(1));
+        assert!(doc.get("cache_bytes").and_then(|v| v.as_u64()).unwrap() > 0);
+        // the snapshot itself is not a request
+        let again = collect(&svc, "/metrics");
+        let doc = crate::json::parse(&again[0]).unwrap();
+        assert_eq!(doc.get("requests").and_then(|v| v.as_u64()), Some(2));
+    }
+
+    #[test]
+    fn kway_request_returns_a_blocks_array() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(
+            &svc,
+            &request_line("k4", r#","k":4,"epsilon":0.5,"restarts":2"#),
+        );
+        assert_eq!(frames.len(), 1, "{frames:?}");
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_eq!(doc.get("frame").and_then(|v| v.as_str()), Some("result"));
+        assert_eq!(doc.get("degraded").and_then(|v| v.as_bool()), Some(false));
+        assert_eq!(doc.get("k").and_then(|v| v.as_u64()), Some(4));
+        let blocks = match doc.get("blocks") {
+            Some(crate::json::Value::Array(items)) => items.clone(),
+            other => panic!("expected blocks array, got {other:?}"),
+        };
+        assert_eq!(blocks.len(), 48, "one label per module");
+        let labels: Vec<u64> = blocks.iter().map(|v| v.as_u64().unwrap()).collect();
+        assert!(labels.iter().all(|&b| b < 4));
+        for b in 0..4 {
+            assert!(labels.contains(&b), "block {b} must be non-empty");
+        }
+        assert!(doc.get("partition").is_none(), "k-way frames carry blocks");
+        assert_eq!(svc.metrics().results.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn k2_requests_keep_the_bipartition_frame() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(&svc, &request_line("k2", r#","k":2,"restarts":1"#));
+        assert_eq!(frames.len(), 1);
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_eq!(doc.get("frame").and_then(|v| v.as_str()), Some("result"));
+        assert!(doc.get("partition").is_some(), "{frames:?}");
+        assert!(doc.get("blocks").is_none(), "{frames:?}");
     }
 
     #[test]

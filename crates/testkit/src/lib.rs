@@ -16,7 +16,11 @@
 //!   properties on the graph-model builders;
 //! * [`banded_hypergraph`] — scalable banded instances whose natural net
 //!   order keeps every sweep move local, for benchmarks that need the
-//!   incremental-vs-from-scratch asymptotic gap to be visible.
+//!   incremental-vs-from-scratch asymptotic gap to be visible;
+//! * [`kway_reference_cut`] / [`kway_reference_externals`] — brute-force
+//!   k-way cut oracles sharing no code with the incremental trackers;
+//! * [`pinned_instance`] — small k-way instances with fixed (terminal)
+//!   modules, for the fixed-module invariants.
 //!
 //! Everything is bit-reproducible across platforms: same seed, same
 //! cases, same verdict.
@@ -25,7 +29,7 @@
 #![forbid(unsafe_code)]
 
 use np_netlist::rng::Rng64;
-use np_netlist::{Hypergraph, HypergraphBuilder, ModuleId};
+use np_netlist::{FixedModules, Hypergraph, HypergraphBuilder, ModuleId};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// A seeded pseudo-random value generator for property tests.
@@ -198,6 +202,97 @@ pub fn degenerate_hypergraph(g: &mut Gen) -> Hypergraph {
     }
 }
 
+/// Brute-force reference k-way cut: the number of nets whose pins touch
+/// more than one block, recomputed from nothing but the raw pin lists.
+///
+/// This is the oracle the k-way property suites check the incremental
+/// machinery (`KwayCutTracker`, `KwayCutStats`) against: it shares no
+/// code with the trackers, so agreement is evidence rather than
+/// tautology. `labels[m]` is the block of module `m`.
+///
+/// # Panics
+///
+/// Panics if `labels` does not cover every module.
+pub fn kway_reference_cut(hg: &Hypergraph, labels: &[u32]) -> usize {
+    assert_eq!(
+        labels.len(),
+        hg.num_modules(),
+        "one label per module required"
+    );
+    hg.nets()
+        .filter(|&net| {
+            let mut pins = hg.pins(net).iter();
+            let first = match pins.next() {
+                Some(m) => labels[m.index()],
+                None => return false,
+            };
+            pins.any(|m| labels[m.index()] != first)
+        })
+        .count()
+}
+
+/// Like [`kway_reference_cut`] but also returns the per-block external
+/// net counts (nets with pins both inside and outside the block), the
+/// other half of the k-way ratio-cut objective.
+pub fn kway_reference_externals(hg: &Hypergraph, labels: &[u32], k: usize) -> (usize, Vec<usize>) {
+    assert_eq!(
+        labels.len(),
+        hg.num_modules(),
+        "one label per module required"
+    );
+    let mut cut = 0usize;
+    let mut external = vec![0usize; k];
+    let mut touched = Vec::new();
+    for net in hg.nets() {
+        touched.clear();
+        for m in hg.pins(net) {
+            let b = labels[m.index()] as usize;
+            if !touched.contains(&b) {
+                touched.push(b);
+            }
+        }
+        if touched.len() > 1 {
+            cut += 1;
+            for &b in &touched {
+                external[b] += 1;
+            }
+        }
+    }
+    (cut, external)
+}
+
+/// An arbitrary small *pinned* k-way instance: a [`small_hypergraph`]
+/// big enough for `k` blocks plus a random set of fixed (terminal)
+/// modules, each pinned to a random block below `k`.
+///
+/// The draw leaves at least `k` modules free so every block can be
+/// populated; between 1 and `k` modules are pinned (possibly several to
+/// the same block — terminals cluster in real floorplans too).
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k > 8` (the [`small_hypergraph`] distribution
+/// tops out at 16 modules, so more blocks could not all be populated).
+pub fn pinned_instance(g: &mut Gen, k: usize) -> (Hypergraph, FixedModules) {
+    assert!(k >= 2, "a pinned instance needs at least 2 blocks");
+    assert!(k <= 8, "small instances cannot hold more than 8 blocks");
+    let hg = loop {
+        let hg = small_hypergraph(g);
+        if hg.num_modules() >= 2 * k {
+            break hg;
+        }
+    };
+    let n = hg.num_modules();
+    let mut fixed = FixedModules::free(n);
+    let pins = g.usize_in(1, k);
+    for _ in 0..pins {
+        let m = ModuleId(g.usize_in(0, n - 1) as u32);
+        let b = g.usize_in(0, k - 1);
+        fixed.pin(m, b);
+    }
+    (hg, fixed)
+}
+
 /// A deterministic *banded* hypergraph: `nets` nets over `modules`
 /// modules, where net `i` draws 2–4 distinct pins from a window of
 /// `band` consecutive modules centered at position `i · modules / nets`.
@@ -308,6 +403,39 @@ mod tests {
             assert!(hi - lo < 8, "net {net:?} spans beyond its band");
             assert_eq!(pins, b.pins(net));
         }
+    }
+
+    #[test]
+    fn reference_cut_counts_spanning_nets() {
+        // path 0-1, 1-2, 2-3 with labels [0,0,1,1]: only net {1,2} spans
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net([ModuleId(0), ModuleId(1)]).unwrap();
+        b.add_net([ModuleId(1), ModuleId(2)]).unwrap();
+        b.add_net([ModuleId(2), ModuleId(3)]).unwrap();
+        let hg = b.finish().unwrap();
+        assert_eq!(kway_reference_cut(&hg, &[0, 0, 1, 1]), 1);
+        assert_eq!(kway_reference_cut(&hg, &[0, 1, 2, 3]), 3);
+        assert_eq!(kway_reference_cut(&hg, &[5, 5, 5, 5]), 0);
+        let (cut, ext) = kway_reference_externals(&hg, &[0, 0, 1, 1], 2);
+        assert_eq!(cut, 1);
+        assert_eq!(ext, vec![1, 1]);
+        let (cut, ext) = kway_reference_externals(&hg, &[0, 1, 2, 3], 4);
+        assert_eq!(cut, 3);
+        assert_eq!(ext, vec![1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn pinned_instances_are_feasible() {
+        check_cases(48, 0xF1CED, |g| {
+            let k = g.usize_in(2, 8);
+            let (hg, fixed) = pinned_instance(g, k);
+            assert!(hg.num_modules() >= 2 * k);
+            assert_eq!(fixed.len(), hg.num_modules());
+            let pinned = fixed.pinned_count();
+            assert!((1..=k).contains(&pinned));
+            assert!(fixed.fits_k(k));
+            assert!(hg.num_modules() - pinned >= k, "every block can fill");
+        });
     }
 
     #[test]

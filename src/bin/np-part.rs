@@ -10,8 +10,19 @@
 //!                   [--budget-ms MS] [--fallback] [--trace]
 //!                   [--restarts N] [--threads T] [--seed S]
 //!                   [--target-ratio X] [--report-json FILE]
+//!                   [--k K] [--epsilon E] [--fixed FIX_FILE]
+//!                   [--kway-method recursive|direct|race]
 //!                   [--output PART_FILE] [--table]
 //! ```
+//!
+//! `--k K` (with `K != 2`) or `--fixed FILE` switches to **k-way mode**:
+//! the netlist is split into `K` blocks, each within `(1+ε)·total/K` of
+//! the average area (`--epsilon E`, default 0.1), honouring the hMETIS
+//! `.fix`-format pre-assignments in `FIX_FILE` (one line per module:
+//! a block id, or `-1` for free). `--kway-method` picks recursive
+//! bisection (default), the direct spectral embedding, or a `race` of
+//! both over the portfolio pool; `--output` then writes one block id per
+//! module line.
 //!
 //! Every algorithm is an engine [`Stage`](ig_match_repro::Stage) assembled from the CLI flags
 //! and run against one shared [`RunContext`], so `--budget-ms` (a
@@ -48,12 +59,17 @@ use ig_match_repro::core::engine::stages::{
     Eig1Stage, FmStage, IgMatchStage, IgVoteStage, KlStage, RcutStage, RobustStage,
 };
 use ig_match_repro::core::engine::DEFAULT_SEED;
+use ig_match_repro::core::kway::{
+    kway_partition_ctx, KwayDirectStage, KwayMethod, KwayOptions, KwayRecursiveStage,
+};
 use ig_match_repro::hybrid::{hybrid_pipeline, HybridOptions};
 use ig_match_repro::netlist::io::read_hgr;
 use ig_match_repro::netlist::rng::derive_seed;
 use ig_match_repro::netlist::stats::{CutBySize, NetlistSummary};
+use ig_match_repro::netlist::{FixedModules, KwayPartition};
 use ig_match_repro::runner::{
-    run_portfolio, Portfolio, PortfolioEvent, PortfolioOptions, RandomStartFmStage,
+    run_kway_portfolio, run_portfolio, KwayPortfolio, Portfolio, PortfolioEvent, PortfolioOptions,
+    RandomStartFmStage,
 };
 use ig_match_repro::sparse::{Budget, BudgetMeter};
 use ig_match_repro::{
@@ -79,6 +95,10 @@ struct Args {
     seed: u64,
     target_ratio: Option<f64>,
     report_json: Option<String>,
+    k: usize,
+    epsilon: f64,
+    fixed: Option<String>,
+    kway_method: String,
 }
 
 impl Args {
@@ -88,6 +108,12 @@ impl Args {
     fn portfolio_mode(&self) -> bool {
         self.restarts.is_some() || self.target_ratio.is_some() || self.report_json.is_some()
     }
+
+    /// A non-default block count or any pre-assignment file switches the
+    /// run onto the balanced k-way path.
+    fn kway_mode(&self) -> bool {
+        self.k != 2 || self.fixed.is_some()
+    }
 }
 
 const USAGE: &str =
@@ -96,6 +122,8 @@ const USAGE: &str =
                      [--budget-ms MS] [--fallback] [--trace] \
                      [--restarts N] [--threads T] [--seed S] \
                      [--target-ratio X] [--report-json FILE] \
+                     [--k K] [--epsilon E] [--fixed FIX_FILE] \
+                     [--kway-method recursive|direct|race] \
                      [--output FILE] [--table]";
 
 fn parse_args<I>(args: I) -> Result<Args, String>
@@ -115,6 +143,10 @@ where
     let mut seed = DEFAULT_SEED;
     let mut target_ratio = None;
     let mut report_json = None;
+    let mut k = 2usize;
+    let mut epsilon = 0.1f64;
+    let mut fixed = None;
+    let mut kway_method = "recursive".to_string();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -176,6 +208,34 @@ where
             "--report-json" => {
                 report_json = Some(iter.next().ok_or("--report-json needs a value")?);
             }
+            "--k" => {
+                let v = iter.next().ok_or("--k needs a value")?;
+                k = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--k expects a block count, got '{v}'"))?;
+                if k == 0 {
+                    return Err("--k must be at least 1".into());
+                }
+            }
+            "--epsilon" => {
+                let v = iter.next().ok_or("--epsilon needs a value")?;
+                epsilon = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--epsilon expects a number, got '{v}'"))?;
+                if !epsilon.is_finite() || epsilon < 0.0 {
+                    return Err(format!("--epsilon must be finite and >= 0, got '{v}'"));
+                }
+            }
+            "--fixed" => {
+                fixed = Some(iter.next().ok_or("--fixed needs a value")?);
+            }
+            "--kway-method" => {
+                let v = iter.next().ok_or("--kway-method needs a value")?;
+                if !["recursive", "direct", "race"].contains(&v.as_str()) {
+                    return Err(format!("unknown k-way method '{v}'\n{USAGE}"));
+                }
+                kway_method = v;
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_string());
@@ -197,6 +257,10 @@ where
         seed,
         target_ratio,
         report_json,
+        k,
+        epsilon,
+        fixed,
+        kway_method,
     })
 }
 
@@ -373,6 +437,102 @@ fn run_portfolio_mode(
     }
 }
 
+/// Builds the [`KwayOptions`] the CLI flags describe, loading the
+/// `.fix` pre-assignment file when given.
+fn kway_options_for(args: &Args, num_modules: usize) -> Result<KwayOptions, String> {
+    let fixed = match &args.fixed {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let f = FixedModules::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            if f.len() != num_modules {
+                return Err(format!(
+                    "{path}: {} fixed-module lines for {num_modules} modules",
+                    f.len()
+                ));
+            }
+            Some(f)
+        }
+        None => None,
+    };
+    Ok(KwayOptions {
+        k: args.k,
+        epsilon: args.epsilon,
+        fixed,
+        ig_match: IgMatchOptions {
+            weighting: args.weighting,
+            refine_free_modules: args.refine,
+            ..Default::default()
+        },
+        seed: args.seed,
+        ..Default::default()
+    })
+}
+
+/// K-way mode: partition into `--k` balanced blocks and print/write the
+/// block assignment.
+fn run_kway_mode(
+    args: &Args,
+    hg: &ig_match_repro::Hypergraph,
+    meter: &BudgetMeter,
+) -> Result<(), String> {
+    let opts = kway_options_for(args, hg.num_modules())?;
+    let (label, result): (String, _) = if args.kway_method == "race" || args.portfolio_mode() {
+        let portfolio = match args.kway_method.as_str() {
+            "race" => KwayPortfolio::methods(&opts, args.restarts.unwrap_or(2)),
+            "direct" => {
+                let mut p = KwayPortfolio::new();
+                for i in 0..args.restarts.unwrap_or(1) {
+                    let mut o = opts.clone();
+                    o.seed = derive_seed(args.seed, i as u64);
+                    p = p.attempt(format!("direct#{i}"), KwayDirectStage::new(o));
+                }
+                p
+            }
+            _ => KwayPortfolio::new().attempt("recursive", KwayRecursiveStage::new(opts.clone())),
+        };
+        let popts = PortfolioOptions {
+            threads: args.threads.unwrap_or(0),
+            seed: args.seed,
+            target_ratio: None,
+        };
+        let out = run_kway_portfolio(hg, &portfolio, &popts, meter).map_err(|e| e.to_string())?;
+        for a in &out.attempts {
+            match (&a.ratio, &a.error) {
+                (Some(r), _) => eprintln!("  {}: kratio {r:.3e}", a.label),
+                (None, Some(e)) => eprintln!("  {}: failed: {e}", a.label),
+                (None, None) => eprintln!("  {}: skipped", a.label),
+            }
+        }
+        (format!("kway-race[{}]", out.best.algorithm), out.best)
+    } else {
+        let method = if args.kway_method == "direct" {
+            KwayMethod::Direct
+        } else {
+            KwayMethod::Recursive
+        };
+        let ctx = RunContext::with_meter(meter)
+            .with_seed(args.seed)
+            .with_threads(args.threads.unwrap_or(1));
+        let out = kway_partition_ctx(hg, &opts, method, &ctx).map_err(|e| e.to_string())?;
+        (out.algorithm.to_string(), out)
+    };
+    println!("{label}: {}", result.stats);
+    if let Some(path) = &args.output {
+        write_kway_partition(path, &result.partition)?;
+        eprintln!("partition written to {path}");
+    }
+    Ok(())
+}
+
+fn write_kway_partition(path: &str, partition: &KwayPartition) -> Result<(), String> {
+    let mut out = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    for &b in partition.labels() {
+        writeln!(out, "{b}").map_err(|e| format!("write failed: {e}"))?;
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args(std::env::args().skip(1))?;
     let file =
@@ -382,6 +542,9 @@ fn run() -> Result<(), String> {
 
     let budget = budget_of(&args);
     let meter = BudgetMeter::new(&budget);
+    if args.kway_mode() {
+        return run_kway_mode(&args, &hg, &meter);
+    }
     let trace = args.trace;
     // details (e.g. IG-Match's matching bound) always go to stderr; the
     // per-stage start/finish stream only with --trace
@@ -617,6 +780,49 @@ mod tests {
         assert!(parse(&["x.hgr", "--target-ratio", "-1"]).is_err());
         assert!(parse(&["x.hgr", "--target-ratio", "inf"]).is_err());
         assert!(parse(&["x.hgr", "--target-ratio", "soon"]).is_err());
+    }
+
+    #[test]
+    fn kway_flags_parsed() {
+        let a = parse(&[
+            "x.hgr",
+            "--k",
+            "4",
+            "--epsilon",
+            "0.25",
+            "--fixed",
+            "pins.fix",
+            "--kway-method",
+            "direct",
+        ])
+        .unwrap();
+        assert_eq!(a.k, 4);
+        assert_eq!(a.epsilon, 0.25);
+        assert_eq!(a.fixed.as_deref(), Some("pins.fix"));
+        assert_eq!(a.kway_method, "direct");
+        assert!(a.kway_mode());
+    }
+
+    #[test]
+    fn default_k_is_bipartition_mode() {
+        let a = parse(&["x.hgr"]).unwrap();
+        assert_eq!(a.k, 2);
+        assert!(!a.kway_mode());
+        // a fixed file forces the k-way path even at k = 2
+        let b = parse(&["x.hgr", "--fixed", "p.fix"]).unwrap();
+        assert!(b.kway_mode());
+    }
+
+    #[test]
+    fn bad_kway_flags_rejected() {
+        assert!(parse(&["x.hgr", "--k", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["x.hgr", "--epsilon", "-0.1"]).is_err());
+        assert!(parse(&["x.hgr", "--epsilon", "nan"]).is_err());
+        assert!(parse(&["x.hgr", "--kway-method", "magic"])
+            .unwrap_err()
+            .contains("unknown k-way method"));
     }
 
     #[test]
