@@ -13,8 +13,8 @@
 use bench::{best_of, suite, BenchEntry, BenchReport};
 use np_core::engine::OperatorCache;
 use np_core::models::{clique_laplacian, intersection_laplacian, IgWeighting};
-use np_eigen::{fiedler, EigenPair, LanczosOptions};
-use np_sparse::resolve_threads;
+use np_eigen::{fiedler, fiedler_metered, EigenPair, LanczosOptions};
+use np_sparse::{resolve_threads, BudgetMeter};
 use std::sync::Arc;
 
 /// Attempts per configuration: models a small portfolio where several
@@ -92,12 +92,25 @@ fn main() {
             b.name
         );
         assert_eq!(serial_pairs.1.vector, cached_pairs.1.vector);
+        // Matvec throughput: both configurations run the same solves
+        // (the bit-identity above proves it), so count one attempt's
+        // matvecs with a metered re-solve and scale by ATTEMPTS.
+        let meter = BudgetMeter::unlimited();
+        fiedler_metered(&clique_laplacian(hg), &opts, &meter).expect("metered clique solve");
+        fiedler_metered(
+            &intersection_laplacian(hg, IgWeighting::Paper),
+            &opts,
+            &meter,
+        )
+        .expect("metered intersection solve");
+        let matvecs = meter.matvecs_used() as usize * ATTEMPTS;
         let serial_ms = serial.as_secs_f64() * 1e3;
         let cached_ms = cached.as_secs_f64() * 1e3;
         let speedup = serial_ms / cached_ms.max(1e-9);
+        let per_sec = matvecs as f64 / cached.as_secs_f64().max(1e-9);
         println!(
             "{:<8} {ATTEMPTS} attempts: serial {serial_ms:>9.1} ms  cached+{threads}t \
-             {cached_ms:>9.1} ms  speedup {speedup:>5.2}x",
+             {cached_ms:>9.1} ms  speedup {speedup:>5.2}x  {per_sec:>9.0} matvecs/s",
             b.name
         );
         report.push(
@@ -107,8 +120,11 @@ fn main() {
                 .int("nets", hg.num_nets())
                 .int("attempts", ATTEMPTS)
                 .int("threads", threads)
+                .int("matvecs", matvecs)
                 .fixed("serial_ms", serial_ms)
                 .fixed("cached_threaded_ms", cached_ms)
+                .rate("serial_matvecs_per_sec", matvecs, serial)
+                .rate("cached_matvecs_per_sec", matvecs, cached)
                 .fixed("speedup", speedup),
         );
     }

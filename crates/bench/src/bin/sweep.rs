@@ -113,9 +113,13 @@ fn main() {
         let scratch_ms = scratch.as_secs_f64() * 1e3;
         let inc_ms = inc.as_secs_f64() * 1e3;
         let speedup = scratch_ms / inc_ms.max(1e-9);
+        // Each sweep step moves one net across the split and re-evaluates,
+        // so the sweep's unit of work is `nets - 1` moves per pass.
+        let moves = nets - 1;
+        let per_sec = moves as f64 / inc.as_secs_f64().max(1e-9);
         println!(
             "{name:<8} {modules:>6} modules {nets:>6} nets: from-scratch {scratch_ms:>9.1} ms  \
-             incremental {inc_ms:>9.1} ms  speedup {speedup:>6.1}x"
+             incremental {inc_ms:>9.1} ms  speedup {speedup:>6.1}x  {per_sec:>9.0} moves/s"
         );
         report.push(
             BenchEntry::new()
@@ -127,8 +131,11 @@ fn main() {
                 .int("matching_size", inc_winner.matching_size)
                 .int("loser_count", inc_winner.loser_count)
                 .sci("best_ratio", f64::from_bits(inc_winner.ratio_bits))
+                .int("sweep_moves", moves)
                 .fixed("from_scratch_ms", scratch_ms)
                 .fixed("incremental_ms", inc_ms)
+                .rate("from_scratch_moves_per_sec", moves, scratch)
+                .rate("incremental_moves_per_sec", moves, inc)
                 .fixed("speedup", speedup),
         );
     }

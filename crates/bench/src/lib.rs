@@ -213,6 +213,16 @@ impl BenchEntry {
         self
     }
 
+    /// Adds a throughput field: `count` events over `wall`, rendered as
+    /// events per second. A zero wall records 0 — a rate computed from
+    /// an unmeasurably fast run carries no information.
+    #[must_use]
+    pub fn rate(self, key: &str, count: usize, wall: Duration) -> Self {
+        let secs = wall.as_secs_f64();
+        let per_sec = if secs > 0.0 { count as f64 / secs } else { 0.0 };
+        self.fixed(key, per_sec)
+    }
+
     fn render(&self) -> String {
         let body: Vec<String> = self
             .fields
@@ -358,6 +368,19 @@ mod tests {
              \"wall_ms\": 1.235, \"ratio\": 5.53e-5},\n    \
              {\"name\": \"bm2\", \"modules\": 7}\n  ]\n}\n"
         );
+    }
+
+    #[test]
+    fn rate_fields_are_events_per_second() {
+        let entry = BenchEntry::new()
+            .rate("moves_per_sec", 500, Duration::from_millis(250))
+            .rate("degenerate", 500, Duration::ZERO);
+        let rendered = entry.render();
+        assert!(
+            rendered.contains("\"moves_per_sec\": 2000.000"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("\"degenerate\": 0.000"), "{rendered}");
     }
 
     #[test]

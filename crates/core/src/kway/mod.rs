@@ -45,7 +45,7 @@
 
 mod direct;
 mod recursive;
-mod refine;
+pub mod refine;
 
 pub use direct::{kway_direct_ctx, KwayDirectStage};
 pub use recursive::{kway_recursive_ctx, KwayRecursiveStage};

@@ -17,7 +17,7 @@ use np_sparse::BudgetMeter;
 /// exact bound plus a relative-and-absolute slack so that floating-point
 /// area accumulation never flags a mathematically tight packing (for
 /// example `ε = 0` with unit areas and `k | n`) as infeasible.
-pub(crate) fn area_cap(bound: f64) -> f64 {
+pub fn area_cap(bound: f64) -> f64 {
     bound * (1.0 + 1e-12) + 1e-12
 }
 
@@ -32,7 +32,7 @@ pub(crate) fn area_cap(bound: f64) -> f64 {
 /// [`PartitionError::InvalidInput`] when no sequence of free-module moves
 /// can reach feasibility (for example all movable area is pinned away
 /// from an empty block), [`PartitionError::Budget`] when `meter` trips.
-pub(crate) fn enforce_balance(
+pub fn enforce_balance(
     tracker: &mut KwayCutTracker<'_>,
     free: &[bool],
     bound: f64,
@@ -170,7 +170,7 @@ pub(crate) fn enforce_balance(
 /// # Errors
 ///
 /// [`PartitionError::Budget`] when `meter` trips.
-pub(crate) fn kway_refine(
+pub fn kway_refine(
     tracker: &mut KwayCutTracker<'_>,
     free: &[bool],
     bound: f64,

@@ -8,7 +8,7 @@
 //! This module recursively applies IG-Match until every block fits a size
 //! budget. The partition data model itself now lives in
 //! [`np_netlist::kway`] — [`MultiwayPartition`] is an alias of
-//! [`KwayPartition`](np_netlist::KwayPartition), which carries the
+//! [`KwayPartition`], which carries the
 //! block-level I/O statistics (crossing nets, per-block externals, span
 //! histogram) these applications care about plus the incremental
 //! [`KwayCutTracker`](np_netlist::KwayCutTracker) used by the balanced

@@ -1,0 +1,69 @@
+//! Ignored stress probes for the V-cycle on the large band-ladder rungs.
+//!
+//! Run with `cargo test -p np-multilevel --release -- --ignored --nocapture`
+//! to get a phase-by-phase wall breakdown on band-XL; CI skips these.
+
+use np_multilevel::{build_hierarchy, multilevel, MultilevelOptions};
+use np_netlist::areas::ModuleAreas;
+use np_netlist::FixedModules;
+use np_sparse::BudgetMeter;
+use np_testkit::band_ladder;
+use std::time::Instant;
+
+#[test]
+#[ignore = "multi-second stress probe; run manually with --ignored"]
+fn band_xl_phase_breakdown() {
+    let spec = band_ladder()[3];
+    assert_eq!(spec.name, "band-XL");
+    let t = Instant::now();
+    let hg = spec.build();
+    println!("build: {:?}", t.elapsed());
+
+    let opts = MultilevelOptions::default();
+    let areas = ModuleAreas::uniform(hg.num_modules());
+    let fixed = FixedModules::free(hg.num_modules());
+    let t = Instant::now();
+    let hier = build_hierarchy(
+        &hg,
+        &areas,
+        &fixed,
+        &opts,
+        f64::INFINITY,
+        &BudgetMeter::unlimited(),
+    )
+    .unwrap();
+    println!("coarsen ({} levels): {:?}", hier.len(), t.elapsed());
+    for (i, level) in hier.levels.iter().enumerate() {
+        println!(
+            "  level {i}: {} modules, {} nets, {} merges, {} nets dropped",
+            level.coarse.num_modules(),
+            level.coarse.num_nets(),
+            level.merges,
+            level.dropped_nets
+        );
+    }
+
+    let t = Instant::now();
+    let out = multilevel(&hg, &opts).unwrap();
+    println!(
+        "full V-cycle: {:?} (cut {}, {} levels refined)",
+        t.elapsed(),
+        out.result.stats.cut_nets,
+        out.refined_levels
+    );
+
+    let t = Instant::now();
+    let out0 = multilevel(
+        &hg,
+        &MultilevelOptions {
+            refine_passes: 0,
+            ..opts
+        },
+    )
+    .unwrap();
+    println!(
+        "V-cycle, no refinement: {:?} (cut {})",
+        t.elapsed(),
+        out0.result.stats.cut_nets
+    );
+}

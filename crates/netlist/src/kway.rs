@@ -9,7 +9,7 @@
 //! flows share:
 //!
 //! * [`KwayPartition`] — a dense block-label assignment generalizing
-//!   [`Bipartition`](crate::Bipartition) to `k` blocks;
+//!   [`Bipartition`] to `k` blocks;
 //! * [`KwayCutStats`] — crossing-net count, per-block sizes and external
 //!   nets, and the k-way ratio cut `Σ_b ext(b)/|V_b|` (the
 //!   Chan–Schlag–Zien generalization of the paper's 2-block objective);

@@ -15,6 +15,7 @@
 use crate::{Portfolio, RandomStartFmStage};
 use np_baselines::{FmOptions, KlOptions, RcutOptions};
 use np_core::engine::stages::{KlStage, RcutStage};
+use np_multilevel::{MultilevelOptions, MultilevelStage};
 use np_netlist::rng::derive_seed;
 
 /// Best-of-`n` RCut1.0: `n` attempts of a single-run [`RcutStage`], with
@@ -44,6 +45,20 @@ pub fn kl_restarts(n: usize, seed: u64, base: &KlOptions) -> Portfolio {
                 ..base
             },
         })
+    })
+}
+
+/// Best-of-`n` multilevel V-cycle: `n` attempts of a [`MultilevelStage`]
+/// whose coarsest-level Lanczos start is seeded by `derive_seed(seed,
+/// i)`. Everything else about the V-cycle (matching, contraction,
+/// refinement) is deterministic, so the attempts differ exactly in the
+/// coarsest eigensolve — cheap diversity at the only stochastic point.
+pub fn multilevel_restarts(n: usize, seed: u64, base: &MultilevelOptions) -> Portfolio {
+    let base = *base;
+    Portfolio::new().restarts("V-cycle", n, |i| {
+        let mut opts = base;
+        opts.ig_match.lanczos.seed = derive_seed(seed, i as u64);
+        Box::new(MultilevelStage::new(opts))
     })
 }
 
@@ -88,6 +103,14 @@ mod tests {
     }
 
     #[test]
+    fn multilevel_restarts_vary_only_the_lanczos_seed() {
+        let p = multilevel_restarts(3, 42, &MultilevelOptions::default());
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.attempts()[0].label(), "V-cycle#0");
+        assert_eq!(p.attempts()[2].label(), "V-cycle#2");
+    }
+
+    #[test]
     fn presets_run_end_to_end() {
         let hg = ladder();
         let opts = PortfolioOptions::default().with_threads(2).with_seed(5);
@@ -95,6 +118,7 @@ mod tests {
             rcut_restarts(3, 5, &RcutOptions::default()),
             kl_restarts(3, 5, &KlOptions::default()),
             fm_restarts(3, &FmOptions::default()),
+            multilevel_restarts(3, 5, &MultilevelOptions::default()),
         ] {
             let out = run_portfolio(&hg, &p, &opts, &BudgetMeter::unlimited(), None).unwrap();
             assert_eq!(out.report.attempts.len(), 3);

@@ -28,8 +28,8 @@
 //!   under entry/byte bounds with LRU eviction.
 //!
 //! The `fault-inject` feature compiles request-level fault decorators
-//! ([`fault`]) — slow worker, panicking stage, stuck eigensolve — used
-//! by the resilience integration tests.
+//! (the `fault` module) — slow worker, panicking stage, stuck eigensolve
+//! — used by the resilience integration tests.
 //!
 //! # Quickstart
 //!

@@ -110,6 +110,11 @@ pub struct Request {
     /// Balance slack ε for k-way requests: every block must hold at most
     /// `(1+ε)·total/k` area. Ignored on the bipartition path.
     pub epsilon: Option<f64>,
+    /// Multilevel V-cycle routing: `Some(true)` forces the request
+    /// through the coarsen/partition/uncoarsen tier, `Some(false)` opts
+    /// out, `None` leaves the choice to the server's size-based default
+    /// (large netlists with `algo: auto` take the V-cycle).
+    pub multilevel: Option<bool>,
     /// Stream `progress` frames (stage events) before the terminal frame.
     pub progress: bool,
     /// Fault to inject (resilience testing).
@@ -127,6 +132,7 @@ const REQUEST_KEYS: &[&str] = &[
     "target_ratio",
     "k",
     "epsilon",
+    "multilevel",
     "progress",
     "fault",
 ];
@@ -211,6 +217,10 @@ impl Request {
                 Some(x)
             }
         };
+        let multilevel = match doc.get("multilevel") {
+            None => None,
+            Some(v) => Some(v.as_bool().ok_or("'multilevel' must be a boolean")?),
+        };
         let progress = match doc.get("progress") {
             None => false,
             Some(v) => v.as_bool().ok_or("'progress' must be a boolean")?,
@@ -230,6 +240,7 @@ impl Request {
             target_ratio,
             k,
             epsilon,
+            multilevel,
             progress,
             fault,
         })
@@ -267,6 +278,10 @@ pub enum Degradation {
     /// The deadline expired while the request was still queued; only the
     /// insurance slice ran.
     ExpiredInQueue,
+    /// The compute wall expired during V-cycle uncoarsening; the
+    /// remaining levels are exact projections of the coarse partition,
+    /// just unrefined.
+    ProjectionFallback,
 }
 
 impl Degradation {
@@ -276,6 +291,7 @@ impl Degradation {
             Degradation::DeadlineBestSoFar => "deadline-best-so-far",
             Degradation::FmFallback => "fm-fallback",
             Degradation::ExpiredInQueue => "expired-in-queue",
+            Degradation::ProjectionFallback => "projection-fallback",
         }
     }
 }
@@ -359,6 +375,16 @@ mod tests {
     }
 
     #[test]
+    fn multilevel_field_is_tri_state() {
+        let r = Request::parse(r#"{"id":"a","hgr":"x"}"#).unwrap();
+        assert_eq!(r.multilevel, None, "unset leaves routing to the server");
+        let r = Request::parse(r#"{"id":"a","hgr":"x","multilevel":true}"#).unwrap();
+        assert_eq!(r.multilevel, Some(true));
+        let r = Request::parse(r#"{"id":"a","hgr":"x","multilevel":false}"#).unwrap();
+        assert_eq!(r.multilevel, Some(false));
+    }
+
+    #[test]
     fn every_algo_name_round_trips() {
         for algo in [
             Algo::Auto,
@@ -389,6 +415,10 @@ mod tests {
             (r#"{"id":"a","hgr":"x","k":1}"#, "'k' must be at least 2"),
             (r#"{"id":"a","hgr":"x","k":2.5}"#, "integer"),
             (r#"{"id":"a","hgr":"x","epsilon":-0.1}"#, "'epsilon'"),
+            (
+                r#"{"id":"a","hgr":"x","multilevel":1}"#,
+                "'multilevel' must be a boolean",
+            ),
             (
                 r#"{"id":"a","hgr":"x","deadline_m":5}"#,
                 "unknown request key",

@@ -12,6 +12,9 @@
 //!                   │
 //!              insurance FM  (tiny slice: there is *always* a best-so-far)
 //!                   │
+//!        V-cycle tier (opt-in, or large netlists on the default algo)
+//!                   │         └──ok──▶ RESULT (tier "multilevel", levels)
+//!                   │
 //!              main portfolio ──ok──▶ RESULT (degraded iff deadline fired)
 //!                   │
 //!            transient error ──retry×N (reseed + backoff)──▶ main portfolio
@@ -44,10 +47,12 @@ use crate::json::Obj;
 use crate::proto::{self, Algo, Degradation, Request};
 use np_baselines::{FmOptions, KlOptions, RcutOptions};
 use np_core::engine::stages::{Eig1Stage, IgMatchStage, IgVoteStage, KlStage, RcutStage};
+use np_core::engine::RunContext;
 use np_core::engine::{BoxedStage, StageEvent, DEFAULT_SEED};
 use np_core::{
     Eig1Options, IgMatchOptions, IgVoteOptions, KwayOptions, PartitionError, PartitionResult,
 };
+use np_multilevel::{multilevel_ctx, multilevel_kway_ctx, MultilevelOptions};
 use np_netlist::rng::derive_seed;
 use np_netlist::Side;
 use np_runner::{
@@ -83,6 +88,11 @@ pub struct ServeConfig {
     pub cache_entries: usize,
     /// Netlist cache byte bound.
     pub cache_bytes: usize,
+    /// Netlists with at least this many modules route through the
+    /// multilevel V-cycle tier when the request uses the default
+    /// algorithm and does not say `"multilevel": false`. An explicit
+    /// `"multilevel": true` takes the tier at any size.
+    pub multilevel_threshold: usize,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +108,7 @@ impl Default for ServeConfig {
             backoff: Duration::from_millis(10),
             cache_entries: 32,
             cache_bytes: 64 << 20,
+            multilevel_threshold: 20_000,
         }
     }
 }
@@ -120,6 +131,8 @@ pub struct Metrics {
     pub retries: AtomicU64,
     /// Requests that fell to the FM-restarts tier.
     pub fm_fallbacks: AtomicU64,
+    /// Requests answered by the multilevel V-cycle tier.
+    pub multilevel: AtomicU64,
     /// Panics contained by the service/runner isolation boundaries.
     pub panics_contained: AtomicU64,
 }
@@ -139,6 +152,7 @@ impl Metrics {
             .int("errors", self.errors.load(Ordering::Relaxed))
             .int("retries", self.retries.load(Ordering::Relaxed))
             .int("fm_fallbacks", self.fm_fallbacks.load(Ordering::Relaxed))
+            .int("multilevel", self.multilevel.load(Ordering::Relaxed))
             .int(
                 "panics_contained",
                 self.panics_contained.load(Ordering::Relaxed),
@@ -209,6 +223,7 @@ impl Service {
             .int("errors", m.errors.load(Ordering::Relaxed))
             .int("retries", m.retries.load(Ordering::Relaxed))
             .int("fm_fallbacks", m.fm_fallbacks.load(Ordering::Relaxed))
+            .int("multilevel", m.multilevel.load(Ordering::Relaxed))
             .int(
                 "panics_contained",
                 m.panics_contained.load(Ordering::Relaxed),
@@ -349,6 +364,23 @@ impl Service {
                     "deadline expired while queued and the insurance tier found no partition",
                 ),
             };
+        }
+
+        // ---- the V-cycle tier: explicit `multilevel:true`, or a large
+        // netlist on the default algorithm (opt out with
+        // `multilevel:false`). A declined or failed V-cycle falls
+        // through to the ordinary tier ladder below. ----
+        if self.wants_multilevel(request, &cached) {
+            if let Some(frame) = self.try_multilevel(
+                request,
+                &cached,
+                deadline,
+                queue_wait,
+                compute_start,
+                cache_hit,
+            ) {
+                return frame;
+            }
         }
 
         // ---- tier 0: insurance. After this there is always a
@@ -570,6 +602,19 @@ impl Service {
         compute_start: Instant,
         cache_hit: bool,
     ) -> String {
+        if self.wants_multilevel(request, cached) {
+            if let Some(frame) = self.try_multilevel_kway(
+                request,
+                k,
+                cached,
+                deadline,
+                queue_wait,
+                compute_start,
+                cache_hit,
+            ) {
+                return frame;
+            }
+        }
         let Some(wall) = self.remaining_wall(request, deadline, compute_start) else {
             return proto::error_frame(
                 &request.id,
@@ -619,6 +664,135 @@ impl Service {
             }
             Err(err) => proto::error_frame(&request.id, &format!("request failed: {err}")),
         }
+    }
+
+    /// Whether this request routes through the multilevel V-cycle tier:
+    /// an explicit `multilevel` key wins; otherwise netlists at or above
+    /// the size threshold on the default algorithm take it (a *named*
+    /// algorithm is never silently rerouted).
+    fn wants_multilevel(&self, request: &Request, cached: &CachedNetlist) -> bool {
+        request.multilevel.unwrap_or_else(|| {
+            matches!(request.algo, Algo::Auto)
+                && cached.hypergraph.num_modules() >= self.cfg.multilevel_threshold
+        })
+    }
+
+    /// The multilevel V-cycle tier for bipartition requests.
+    /// `Some(frame)` is terminal; `None` means no wall remained or the
+    /// V-cycle failed, and the ordinary ladder should run instead.
+    fn try_multilevel(
+        &self,
+        request: &Request,
+        cached: &CachedNetlist,
+        deadline: Option<Instant>,
+        queue_wait: Duration,
+        compute_start: Instant,
+        cache_hit: bool,
+    ) -> Option<String> {
+        let wall = self.remaining_wall(request, deadline, compute_start)?;
+        let mut opts = MultilevelOptions::default();
+        opts.ig_match.lanczos.seed = request.seed.unwrap_or(DEFAULT_SEED);
+        let budget = Budget::default().with_wall_clock(wall);
+        let meter = BudgetMeter::new(&budget);
+        let ctx = RunContext::with_meter(&meter);
+        let out = multilevel_ctx(&cached.hypergraph, &opts, &ctx).ok()?;
+        self.metrics.bump(&self.metrics.multilevel);
+        let result = &out.result;
+        let partition: String = result
+            .partition
+            .sides()
+            .iter()
+            .map(|s| if *s == Side::Left { '0' } else { '1' })
+            .collect();
+        let degradation = out
+            .budget_degraded
+            .then_some(Degradation::ProjectionFallback);
+        let mut obj = Obj::new()
+            .str("id", &request.id)
+            .str("frame", "result")
+            .bool("degraded", degradation.is_some());
+        if let Some(reason) = degradation {
+            obj = obj.str("reason", reason.name());
+        }
+        Some(
+            obj.str("tier", "multilevel")
+                .str("algorithm", result.algorithm)
+                .int("levels", out.levels as u64)
+                .int("coarsest_modules", out.coarsest_modules as u64)
+                .int("cut", result.stats.cut_nets as u64)
+                .int("left", result.stats.left as u64)
+                .int("right", result.stats.right as u64)
+                .num("ratio", result.ratio())
+                .str("partition", &partition)
+                .bool("cache_hit", cache_hit)
+                .num("queue_ms", queue_wait.as_secs_f64() * 1e3)
+                .num("compute_ms", compute_start.elapsed().as_secs_f64() * 1e3)
+                .render(),
+        )
+    }
+
+    /// The multilevel V-cycle tier for `k > 2` requests; same contract
+    /// as [`try_multilevel`](Self::try_multilevel) but the frame carries
+    /// the k-way `blocks` array.
+    #[allow(clippy::too_many_arguments)]
+    fn try_multilevel_kway(
+        &self,
+        request: &Request,
+        k: usize,
+        cached: &CachedNetlist,
+        deadline: Option<Instant>,
+        queue_wait: Duration,
+        compute_start: Instant,
+        cache_hit: bool,
+    ) -> Option<String> {
+        let wall = self.remaining_wall(request, deadline, compute_start)?;
+        let seed = request.seed.unwrap_or(DEFAULT_SEED);
+        let mut kopts = KwayOptions {
+            k,
+            seed,
+            ..Default::default()
+        };
+        if let Some(eps) = request.epsilon {
+            kopts.epsilon = eps;
+        }
+        let mut mopts = MultilevelOptions::default();
+        mopts.ig_match.lanczos.seed = seed;
+        let budget = Budget::default().with_wall_clock(wall);
+        let meter = BudgetMeter::new(&budget);
+        let ctx = RunContext::with_meter(&meter);
+        let out = multilevel_kway_ctx(&cached.hypergraph, &kopts, &mopts, &ctx).ok()?;
+        self.metrics.bump(&self.metrics.multilevel);
+        let blocks: Vec<String> = out
+            .result
+            .partition
+            .labels()
+            .iter()
+            .map(|b| b.to_string())
+            .collect();
+        let degradation = out
+            .budget_degraded
+            .then_some(Degradation::ProjectionFallback);
+        let mut obj = Obj::new()
+            .str("id", &request.id)
+            .str("frame", "result")
+            .bool("degraded", degradation.is_some());
+        if let Some(reason) = degradation {
+            obj = obj.str("reason", reason.name());
+        }
+        Some(
+            obj.str("tier", "multilevel-kway")
+                .str("algorithm", out.result.algorithm)
+                .int("k", k as u64)
+                .int("levels", out.levels as u64)
+                .int("coarsest_modules", out.coarsest_modules as u64)
+                .int("cut", out.result.stats.cut_nets as u64)
+                .num("ratio", out.result.stats.ratio())
+                .raw("blocks", format!("[{}]", blocks.join(",")))
+                .bool("cache_hit", cache_hit)
+                .num("queue_ms", queue_wait.as_secs_f64() * 1e3)
+                .num("compute_ms", compute_start.elapsed().as_secs_f64() * 1e3)
+                .render(),
+        )
     }
 
     /// Tier 0: a one-attempt FM portfolio under a tiny private budget.
@@ -1012,6 +1186,68 @@ mod tests {
                 "{algo}: {frames:?}"
             );
         }
+    }
+
+    #[test]
+    fn multilevel_request_reports_levels() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(&svc, &request_line("ml", r#","multilevel":true"#));
+        assert_eq!(frames.len(), 1, "{frames:?}");
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_eq!(doc.get("frame").and_then(|v| v.as_str()), Some("result"));
+        assert_eq!(doc.get("tier").and_then(|v| v.as_str()), Some("multilevel"));
+        assert_eq!(doc.get("degraded").and_then(|v| v.as_bool()), Some(false));
+        // 48 modules sit below the coarsen target: zero levels, and the
+        // V-cycle is the flat hybrid pipeline
+        assert_eq!(doc.get("levels").and_then(|v| v.as_u64()), Some(0));
+        let partition = doc.get("partition").and_then(|v| v.as_str()).unwrap();
+        assert_eq!(partition.len(), 48);
+        assert_eq!(svc.metrics().multilevel.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn multilevel_kway_request_reports_levels_and_blocks() {
+        let svc = Service::new(ServeConfig::default());
+        let frames = collect(
+            &svc,
+            &request_line("mlk", r#","multilevel":true,"k":4,"epsilon":0.5"#),
+        );
+        assert_eq!(frames.len(), 1, "{frames:?}");
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_eq!(doc.get("frame").and_then(|v| v.as_str()), Some("result"));
+        assert_eq!(
+            doc.get("tier").and_then(|v| v.as_str()),
+            Some("multilevel-kway")
+        );
+        assert_eq!(doc.get("k").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(doc.get("levels").and_then(|v| v.as_u64()), Some(0));
+        let blocks = match doc.get("blocks") {
+            Some(crate::json::Value::Array(items)) => items.clone(),
+            other => panic!("expected blocks array, got {other:?}"),
+        };
+        assert_eq!(blocks.len(), 48, "one label per module");
+        assert!(blocks.iter().all(|v| v.as_u64().unwrap() < 4));
+    }
+
+    #[test]
+    fn large_netlists_route_through_the_vcycle_by_default() {
+        let cfg = ServeConfig {
+            multilevel_threshold: 16, // the 48-module test netlist counts as "large"
+            ..Default::default()
+        };
+        let svc = Service::new(cfg);
+        let frames = collect(&svc, &request_line("auto", ""));
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_eq!(doc.get("tier").and_then(|v| v.as_str()), Some("multilevel"));
+        // explicit opt-out returns to the portfolio ladder
+        let frames = collect(&svc, &request_line("optout", r#","multilevel":false"#));
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_ne!(doc.get("tier").and_then(|v| v.as_str()), Some("multilevel"));
+        // a named algorithm is never silently rerouted
+        let frames = collect(&svc, &request_line("fm", r#","algo":"fm","restarts":1"#));
+        let doc = crate::json::parse(&frames[0]).unwrap();
+        assert_ne!(doc.get("tier").and_then(|v| v.as_str()), Some("multilevel"));
+        assert_eq!(svc.metrics().multilevel.load(Ordering::Relaxed), 1);
     }
 
     #[cfg(not(feature = "fault-inject"))]

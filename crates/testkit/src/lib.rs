@@ -335,6 +335,147 @@ pub fn banded_hypergraph(seed: u64, modules: usize, nets: usize, band: usize) ->
     b.finish().expect("banded instance has nets")
 }
 
+/// One rung of the scalable banded benchmark ladder — see
+/// [`band_ladder`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BandSpec {
+    /// Display name (`"band-S"` … `"band-XXL"`).
+    pub name: &'static str,
+    /// Generator seed; fixed per rung so every consumer sees the same
+    /// instance forever.
+    pub seed: u64,
+    /// Module count.
+    pub modules: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Band width (pin-window size) of [`banded_hypergraph`].
+    pub band: usize,
+}
+
+impl BandSpec {
+    /// Materializes the rung via [`banded_hypergraph`].
+    pub fn build(&self) -> Hypergraph {
+        banded_hypergraph(self.seed, self.modules, self.nets, self.band)
+    }
+}
+
+/// The documented `band_xl` ladder: five banded instances from 1.5·10³
+/// to 10⁶ modules, all with seed 17.
+///
+/// The first three rungs (band-S/M/L) are exactly the instances the
+/// `bench --bin sweep` asymptotic comparison has always run on; band-XL
+/// (1.5·10⁵ modules) and band-XXL (10⁶ modules) extend the family to the
+/// scales only the multilevel V-cycle can handle. Every rung is
+/// bit-reproducible from its `(seed, modules, nets, band)` tuple, so
+/// benchmark numbers are comparable across machines and PRs.
+pub fn band_ladder() -> [BandSpec; 5] {
+    [
+        BandSpec {
+            name: "band-S",
+            seed: 17,
+            modules: 1_500,
+            nets: 1_000,
+            band: 8,
+        },
+        BandSpec {
+            name: "band-M",
+            seed: 17,
+            modules: 4_500,
+            nets: 3_000,
+            band: 12,
+        },
+        BandSpec {
+            name: "band-L",
+            seed: 17,
+            modules: 12_000,
+            nets: 8_000,
+            band: 16,
+        },
+        BandSpec {
+            name: "band-XL",
+            seed: 17,
+            modules: 150_000,
+            nets: 110_000,
+            band: 24,
+        },
+        BandSpec {
+            name: "band-XXL",
+            seed: 17,
+            modules: 1_000_000,
+            nets: 750_000,
+            band: 32,
+        },
+    ]
+}
+
+/// A deterministic two-level *hierarchical* hypergraph: `blocks` groups
+/// of `modules_per_block` modules, each wired internally by
+/// `intra_nets_per_block` banded 2–4-pin nets, plus `cross_nets` sparse
+/// two-pin nets drawn between distinct blocks.
+///
+/// The planted block structure gives multilevel coarsening a natural
+/// cluster hierarchy to discover, and gives property tests instances
+/// whose good cuts are block-aligned (the only nets a block-respecting
+/// partition can cut are the `cross_nets`).
+///
+/// Bit-reproducible: same arguments, same hypergraph.
+///
+/// # Panics
+///
+/// Panics if `blocks < 2`, `modules_per_block < 2`,
+/// `intra_nets_per_block < 1` or `cross_nets < 1`.
+pub fn hierarchical_hypergraph(
+    seed: u64,
+    blocks: usize,
+    modules_per_block: usize,
+    intra_nets_per_block: usize,
+    cross_nets: usize,
+) -> Hypergraph {
+    assert!(blocks >= 2, "need at least 2 blocks");
+    assert!(modules_per_block >= 2, "need at least 2 modules per block");
+    assert!(
+        intra_nets_per_block >= 1,
+        "need at least 1 intra net per block"
+    );
+    assert!(cross_nets >= 1, "need at least 1 cross net");
+    let mpb = modules_per_block;
+    let band = 8usize.clamp(2, mpb);
+    let mut g = Gen::new(seed);
+    let mut b = HypergraphBuilder::new(blocks * mpb);
+    for block in 0..blocks {
+        let base = block * mpb;
+        for i in 0..intra_nets_per_block {
+            let center = i * mpb / intra_nets_per_block;
+            let lo = base + center.min(mpb - band);
+            let hi = lo + band - 1;
+            loop {
+                let mut pins: Vec<u32> = g.vec_with(2, 4, |g| g.usize_in(lo, hi) as u32);
+                pins.sort_unstable();
+                pins.dedup();
+                if pins.len() >= 2 {
+                    b.add_net(pins.into_iter().map(ModuleId))
+                        .expect("block-window pins are in range");
+                    break;
+                }
+            }
+        }
+    }
+    for _ in 0..cross_nets {
+        let ba = g.usize_in(0, blocks - 1);
+        let bb = loop {
+            let c = g.usize_in(0, blocks - 1);
+            if c != ba {
+                break c;
+            }
+        };
+        let ma = (ba * mpb + g.usize_in(0, mpb - 1)) as u32;
+        let mb = (bb * mpb + g.usize_in(0, mpb - 1)) as u32;
+        b.add_net([ModuleId(ma), ModuleId(mb)])
+            .expect("cross pins are in range");
+    }
+    b.finish().expect("hierarchical instance has nets")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +577,51 @@ mod tests {
             assert!(fixed.fits_k(k));
             assert!(hg.num_modules() - pinned >= k, "every block can fill");
         });
+    }
+
+    #[test]
+    fn band_ladder_small_rungs_match_documented_shapes() {
+        let ladder = band_ladder();
+        assert_eq!(ladder.len(), 5);
+        // band-S/M/L must stay the historical sweep-bench instances
+        assert_eq!(
+            (ladder[0].modules, ladder[0].nets, ladder[0].band),
+            (1_500, 1_000, 8)
+        );
+        assert_eq!(
+            (ladder[2].modules, ladder[2].nets, ladder[2].band),
+            (12_000, 8_000, 16)
+        );
+        assert!(ladder.iter().all(|s| s.seed == 17));
+        // the XL rungs reach the multilevel scales
+        assert!(ladder[3].modules >= 100_000);
+        assert!(ladder[4].modules >= 1_000_000);
+        // building a small rung reproduces banded_hypergraph exactly
+        let a = ladder[0].build();
+        let b = banded_hypergraph(17, 1_500, 1_000, 8);
+        assert_eq!(a.num_pins(), b.num_pins());
+        for net in a.nets() {
+            assert_eq!(a.pins(net), b.pins(net));
+        }
+    }
+
+    #[test]
+    fn hierarchical_hypergraph_is_deterministic_and_block_local() {
+        let a = hierarchical_hypergraph(23, 4, 50, 60, 10);
+        let b = hierarchical_hypergraph(23, 4, 50, 60, 10);
+        assert_eq!(a.num_modules(), 200);
+        assert_eq!(a.num_nets(), 4 * 60 + 10);
+        let mut cross = 0usize;
+        for net in a.nets() {
+            assert_eq!(a.pins(net), b.pins(net));
+            let pins = a.pins(net);
+            let blocks: Vec<usize> = pins.iter().map(|m| m.index() / 50).collect();
+            if blocks.windows(2).any(|w| w[0] != w[1]) {
+                cross += 1;
+                assert_eq!(pins.len(), 2, "cross nets are two-pin");
+            }
+        }
+        assert_eq!(cross, 10, "exactly the planted cross nets span blocks");
     }
 
     #[test]

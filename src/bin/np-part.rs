@@ -8,12 +8,23 @@
 //! np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|fm|kl|hybrid|robust]
 //!                   [--refine] [--weighting paper|uniform|shared-count|size-scaled]
 //!                   [--budget-ms MS] [--fallback] [--trace]
+//!                   [--multilevel] [--coarsen-target N] [--max-levels N]
 //!                   [--restarts N] [--threads T] [--seed S]
 //!                   [--target-ratio X] [--report-json FILE]
 //!                   [--k K] [--epsilon E] [--fixed FIX_FILE]
 //!                   [--kway-method recursive|direct|race]
 //!                   [--output PART_FILE] [--table]
 //! ```
+//!
+//! `--multilevel` runs the [`np_multilevel`](ig_match_repro::multilevel)
+//! V-cycle instead of a flat algorithm: coarsen to `--coarsen-target`
+//! modules (default 3000) over at most `--max-levels` levels, partition
+//! the coarsest level with the hybrid IG-Match pipeline, then project
+//! and refine back up. It composes with every mode: single-run,
+//! portfolio (`--restarts`, each attempt reseeding the coarsest
+//! eigensolve) and k-way (`--k K`, carrying `--fixed` pins through the
+//! contraction). With `--coarsen-target` at or above the module count
+//! the V-cycle is bit-identical to `--algorithm hybrid`.
 //!
 //! `--k K` (with `K != 2`) or `--fixed FILE` switches to **k-way mode**:
 //! the netlist is split into `K` blocks, each within `(1+ε)·total/K` of
@@ -73,8 +84,9 @@ use ig_match_repro::runner::{
 };
 use ig_match_repro::sparse::{Budget, BudgetMeter};
 use ig_match_repro::{
-    robust_partition_ctx, Bipartition, BoxedStage, Eig1Options, IgMatchOptions, IgVoteOptions,
-    IgWeighting, KlOptions, RcutOptions, RobustOptions, RunContext, Side, StageEvent,
+    multilevel_kway_ctx, robust_partition_ctx, Bipartition, BoxedStage, Eig1Options,
+    IgMatchOptions, IgVoteOptions, IgWeighting, KlOptions, MultilevelOptions, MultilevelStage,
+    RcutOptions, RobustOptions, RunContext, Side, StageEvent,
 };
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
@@ -99,6 +111,9 @@ struct Args {
     epsilon: f64,
     fixed: Option<String>,
     kway_method: String,
+    multilevel: bool,
+    coarsen_target: Option<usize>,
+    max_levels: Option<usize>,
 }
 
 impl Args {
@@ -120,6 +135,7 @@ const USAGE: &str =
     "usage: np-part INPUT.hgr [--algorithm igmatch|igvote|eig1|rcut|fm|kl|hybrid|robust] \
                      [--refine] [--weighting paper|uniform|shared-count|size-scaled] \
                      [--budget-ms MS] [--fallback] [--trace] \
+                     [--multilevel] [--coarsen-target N] [--max-levels N] \
                      [--restarts N] [--threads T] [--seed S] \
                      [--target-ratio X] [--report-json FILE] \
                      [--k K] [--epsilon E] [--fixed FIX_FILE] \
@@ -147,6 +163,9 @@ where
     let mut epsilon = 0.1f64;
     let mut fixed = None;
     let mut kway_method = "recursive".to_string();
+    let mut multilevel = false;
+    let mut coarsen_target = None;
+    let mut max_levels = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -236,6 +255,24 @@ where
                 }
                 kway_method = v;
             }
+            "--multilevel" => multilevel = true,
+            "--coarsen-target" => {
+                let v = iter.next().ok_or("--coarsen-target needs a value")?;
+                let t = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--coarsen-target expects a module count, got '{v}'"))?;
+                if t == 0 {
+                    return Err("--coarsen-target must be at least 1".into());
+                }
+                coarsen_target = Some(t);
+            }
+            "--max-levels" => {
+                let v = iter.next().ok_or("--max-levels needs a value")?;
+                max_levels = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--max-levels expects a count, got '{v}'"))?,
+                );
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             other if input.is_none() && !other.starts_with('-') => {
                 input = Some(other.to_string());
@@ -261,6 +298,9 @@ where
         epsilon,
         fixed,
         kway_method,
+        multilevel,
+        coarsen_target,
+        max_levels,
     })
 }
 
@@ -272,9 +312,31 @@ fn budget_of(args: &Args) -> Budget {
     }
 }
 
+/// Builds the [`MultilevelOptions`] the CLI flags describe:
+/// `--coarsen-target`/`--max-levels` override the defaults and the
+/// coarsest-level pipeline inherits `--weighting`/`--refine`.
+fn multilevel_options_for(args: &Args) -> MultilevelOptions {
+    let base = MultilevelOptions::default();
+    MultilevelOptions {
+        coarsen_target: args.coarsen_target.unwrap_or(base.coarsen_target),
+        max_levels: args.max_levels.unwrap_or(base.max_levels),
+        ig_match: IgMatchOptions {
+            weighting: args.weighting,
+            refine_free_modules: args.refine,
+            ..Default::default()
+        },
+        ..base
+    }
+}
+
 /// Builds the engine stage the CLI flags describe. `robust` is handled
-/// separately (its chain reports structured diagnostics).
+/// separately (its chain reports structured diagnostics), and
+/// `--multilevel` takes precedence over `--algorithm` (the V-cycle runs
+/// the hybrid pipeline on the coarsest level itself).
 fn stage_for(args: &Args) -> Result<BoxedStage, String> {
+    if args.multilevel {
+        return Ok(Box::new(MultilevelStage::new(multilevel_options_for(args))));
+    }
     let ig_match = IgMatchOptions {
         weighting: args.weighting,
         refine_free_modules: args.refine,
@@ -304,6 +366,13 @@ fn stage_for(args: &Args) -> Result<BoxedStage, String> {
 /// portfolio *is* the restart loop).
 fn attempt_stage_for(args: &Args, idx: usize) -> Result<BoxedStage, String> {
     let stream = derive_seed(args.seed, idx as u64);
+    if args.multilevel {
+        // the coarsest-level eigensolve is the V-cycle's only stochastic
+        // point, so reseeding it is what diversifies the attempts
+        let mut opts = multilevel_options_for(args);
+        opts.ig_match.lanczos.seed = stream;
+        return Ok(Box::new(MultilevelStage::new(opts)));
+    }
     let ig_match = {
         let mut o = IgMatchOptions {
             weighting: args.weighting,
@@ -368,12 +437,14 @@ fn run_portfolio_mode(
     use ig_match_repro::runner::AttemptStatus;
 
     let restarts = args.restarts.unwrap_or(1);
+    let family = if args.multilevel {
+        "multilevel"
+    } else {
+        args.algorithm.as_str()
+    };
     let mut portfolio = Portfolio::new();
     for i in 0..restarts {
-        portfolio = portfolio.attempt_boxed(
-            format!("{}#{i}", args.algorithm),
-            attempt_stage_for(args, i)?,
-        );
+        portfolio = portfolio.attempt_boxed(format!("{family}#{i}"), attempt_stage_for(args, i)?);
     }
     let opts = PortfolioOptions {
         threads: args.threads.unwrap_or(0),
@@ -477,7 +548,25 @@ fn run_kway_mode(
     meter: &BudgetMeter,
 ) -> Result<(), String> {
     let opts = kway_options_for(args, hg.num_modules())?;
-    let (label, result): (String, _) = if args.kway_method == "race" || args.portfolio_mode() {
+    let (label, result): (String, _) = if args.multilevel {
+        let ctx = RunContext::with_meter(meter)
+            .with_seed(args.seed)
+            .with_threads(args.threads.unwrap_or(1));
+        let mopts = multilevel_options_for(args);
+        let out = multilevel_kway_ctx(hg, &opts, &mopts, &ctx).map_err(|e| e.to_string())?;
+        eprintln!(
+            "multilevel-kway: {} levels, coarsest {} modules, coarse cut {}{}",
+            out.levels,
+            out.coarsest_modules,
+            out.coarse_cut,
+            if out.budget_degraded {
+                " (budget degraded to projection)"
+            } else {
+                ""
+            }
+        );
+        (out.result.algorithm.to_string(), out.result)
+    } else if args.kway_method == "race" || args.portfolio_mode() {
         let portfolio = match args.kway_method.as_str() {
             "race" => KwayPortfolio::methods(&opts, args.restarts.unwrap_or(2)),
             "direct" => {
@@ -823,6 +912,59 @@ mod tests {
         assert!(parse(&["x.hgr", "--kway-method", "magic"])
             .unwrap_err()
             .contains("unknown k-way method"));
+    }
+
+    #[test]
+    fn multilevel_flags_parsed() {
+        let a = parse(&[
+            "x.hgr",
+            "--multilevel",
+            "--coarsen-target",
+            "500",
+            "--max-levels",
+            "6",
+        ])
+        .unwrap();
+        assert!(a.multilevel);
+        assert_eq!(a.coarsen_target, Some(500));
+        assert_eq!(a.max_levels, Some(6));
+        let o = multilevel_options_for(&a);
+        assert_eq!(o.coarsen_target, 500);
+        assert_eq!(o.max_levels, 6);
+        // defaults flow through when the knobs are omitted
+        let b = parse(&["x.hgr", "--multilevel"]).unwrap();
+        let d = MultilevelOptions::default();
+        let o = multilevel_options_for(&b);
+        assert_eq!(o.coarsen_target, d.coarsen_target);
+        assert_eq!(o.max_levels, d.max_levels);
+    }
+
+    #[test]
+    fn bad_multilevel_flags_rejected() {
+        assert!(parse(&["x.hgr", "--coarsen-target", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(&["x.hgr", "--coarsen-target", "many"]).is_err());
+        assert!(parse(&["x.hgr", "--max-levels", "deep"]).is_err());
+    }
+
+    #[test]
+    fn multilevel_overrides_the_algorithm_stage() {
+        let a = parse(&["x.hgr", "--multilevel", "--algorithm", "rcut"]).unwrap();
+        assert_eq!(stage_for(&a).unwrap().name(), "multilevel");
+        assert_eq!(attempt_stage_for(&a, 0).unwrap().name(), "multilevel");
+        // --weighting/--refine reach the coarsest-level pipeline
+        let b = parse(&[
+            "x.hgr",
+            "--multilevel",
+            "--weighting",
+            "uniform",
+            "--refine",
+        ])
+        .unwrap();
+        let o = multilevel_options_for(&b);
+        assert_eq!(o.ig_match.weighting, IgWeighting::Uniform);
+        assert!(o.ig_match.refine_free_modules);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   IG-Match, plus the composable stage engine ([`core::engine`])
 //!   every partitioner plugs into (`np-core`);
 //! * [`baselines`] — FM, the RCut1.0 stand-in and KL (`np-baselines`);
+//! * [`multilevel`] — the coarsen/partition/uncoarsen V-cycle for
+//!   instances too large for the flat spectral pipeline
+//!   (`np-multilevel`);
 //! * [`runner`] — the parallel multi-start portfolio executor with
 //!   deterministic best-of-N reduction (`np-runner`).
 //!
@@ -37,6 +40,7 @@ pub mod hybrid;
 pub use np_baselines as baselines;
 pub use np_core as core;
 pub use np_eigen as eigen;
+pub use np_multilevel as multilevel;
 pub use np_netlist as netlist;
 pub use np_runner as runner;
 pub use np_sparse as sparse;
@@ -51,6 +55,10 @@ pub use np_core::{
     FallbackStage, IgMatchOptions, IgMatchOutcome, IgVoteOptions, IgWeighting, PartitionError,
     PartitionResult, Partitioner, Pipeline, RobustFailure, RobustOptions, RobustOutcome,
     RunContext, Stage, StageEvent,
+};
+pub use np_multilevel::{
+    multilevel as multilevel_partition, multilevel_ctx, multilevel_kway_ctx, MultilevelOptions,
+    MultilevelOutcome, MultilevelStage,
 };
 pub use np_netlist::{Bipartition, CutStats, Hypergraph, HypergraphBuilder, ModuleId, NetId, Side};
 pub use np_runner::{
