@@ -6,7 +6,11 @@
 //! numbers measure the service — admission, tiering, portfolio compute —
 //! rather than loopback TCP. The request mix mirrors the integration
 //! suite: mostly plain portfolio requests over three netlist sizes, with
-//! a slice of tight-deadline requests to exercise the degradation path.
+//! a slice of tight-deadline requests to exercise the degradation path
+//! and a high/normal/low priority mix to exercise weighted-fair
+//! admission. Besides the client-side percentiles the report carries
+//! the service's own log-bucketed histogram quantiles (overall and per
+//! priority class) read from the final `/metrics` snapshot.
 //!
 //! ```text
 //! cargo run --release -p bench --bin serve -- \
@@ -123,8 +127,10 @@ fn main() {
                     } else {
                         ""
                     };
+                    // 1:2:1 high/normal/low mix across the pool
+                    let priority = ["high", "normal", "normal", "low"][(client + n as usize) % 4];
                     let line = format!(
-                        r#"{{"id":"c{client}-{n}","hgr":{},"restarts":2{extra}}}"#,
+                        r#"{{"id":"c{client}-{n}","hgr":{},"restarts":2,"priority":"{priority}"{extra}}}"#,
                         np_serve::json::escape(hgr)
                     );
                     let terminal = Mutex::new(String::new());
@@ -179,6 +185,22 @@ fn main() {
         0.0
     };
 
+    // the service's own log-bucketed histograms, from the final
+    // /metrics snapshot — the numbers a fleet scraper would see
+    let metrics =
+        np_serve::json::parse(&service.metrics_frame()).expect("/metrics must render valid json");
+    let hist_q = |path: &[&str], q: &str| -> usize {
+        let mut v = &metrics;
+        for key in path {
+            v = v
+                .get(key)
+                .unwrap_or_else(|| panic!("metrics path {path:?}"));
+        }
+        v.get(q)
+            .and_then(np_serve::json::Value::as_u64)
+            .unwrap_or_else(|| panic!("metrics path {path:?}.{q}")) as usize
+    };
+
     let mut report = BenchReport::new("serve");
     report.meta("binary", "serve");
     report.meta("mode", "in-process");
@@ -199,6 +221,26 @@ fn main() {
             .fixed("p50_ms", ms(p50))
             .fixed("p90_ms", ms(p90))
             .fixed("p99_ms", ms(p99)),
+    );
+    report.push(
+        BenchEntry::new()
+            .str("name", "histograms")
+            .int("latency_p50_us", hist_q(&["latency"], "p50_us"))
+            .int("latency_p90_us", hist_q(&["latency"], "p90_us"))
+            .int("latency_p99_us", hist_q(&["latency"], "p99_us"))
+            .int("queue_wait_p99_us", hist_q(&["queue_wait"], "p99_us"))
+            .int(
+                "latency_p99_us_high",
+                hist_q(&["latency_by_priority", "high"], "p99_us"),
+            )
+            .int(
+                "latency_p99_us_normal",
+                hist_q(&["latency_by_priority", "normal"], "p99_us"),
+            )
+            .int(
+                "latency_p99_us_low",
+                hist_q(&["latency_by_priority", "low"], "p99_us"),
+            ),
     );
     report.write(&cfg.out);
     println!(

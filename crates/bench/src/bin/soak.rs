@@ -1,0 +1,134 @@
+//! Soak driver for `np-serve`: runs the mixed-traffic endurance harness
+//! (`np_serve::soak`) for minutes and writes the invariant report as
+//! `SOAK_report.json`. Exits non-zero if any invariant fails, so CI can
+//! gate on it.
+//!
+//! Build with `--features fault-inject` to include the periodic fault
+//! storms (slow / panicking / stuck stages) in the mix; run it with
+//! `RUST_TEST_THREADS=1`-style isolation (its own process) so the
+//! thread-leak check sees only the harness's threads.
+//!
+//! ```text
+//! cargo run --release -p bench --features fault-inject --bin soak -- \
+//!     [--seconds N] [--clients N] [--seed N] [--out PATH] [--no-thread-check]
+//! ```
+
+use np_serve::{run_soak, SoakOptions};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str =
+    "usage: soak [--seconds N] [--clients N] [--seed N] [--out PATH] [--no-thread-check]";
+
+struct Config {
+    opts: SoakOptions,
+    out: String,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Config, String> {
+    let mut cfg = Config {
+        opts: SoakOptions {
+            duration: Duration::from_secs(60),
+            clients: 6,
+            // the soak owns its process, so the thread-leak check is
+            // meaningful here (unlike inside a parallel test runner)
+            check_threads: true,
+            ..SoakOptions::default()
+        },
+        out: "SOAK_report.json".into(),
+    };
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            iter.next()
+                .ok_or(format!("{name} needs a value"))?
+                .parse::<u64>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or(format!("{name} expects a positive number"))
+        };
+        match arg.as_str() {
+            "--seconds" => cfg.opts.duration = Duration::from_secs(num("--seconds")?),
+            "--clients" => cfg.opts.clients = num("--clients")? as usize,
+            "--seed" => cfg.opts.seed = num("--seed")?,
+            "--out" => cfg.out = iter.next().ok_or("--out needs a path")?,
+            "--no-thread-check" => cfg.opts.check_threads = false,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "soak: {}s, {} clients, seed {:#x}, fault storms {}",
+        cfg.opts.duration.as_secs(),
+        cfg.opts.clients,
+        cfg.opts.seed,
+        if cfg!(feature = "fault-inject") {
+            "on"
+        } else {
+            "off (build with --features fault-inject)"
+        },
+    );
+    let report = run_soak(&cfg.opts);
+    let json = report.to_json();
+    std::fs::write(&cfg.out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", cfg.out));
+    println!("{json}");
+    eprintln!(
+        "soak: sent {}, results {}, shed {}, errors {}, \
+         p99 high/normal/low {}/{}/{} us, low completed {}",
+        report.sent,
+        report.results,
+        report.shed,
+        report.errors,
+        report.p99_us_by_priority[0],
+        report.p99_us_by_priority[1],
+        report.p99_us_by_priority[2],
+        report.low_priority_completed,
+    );
+    if report.passed() {
+        eprintln!("soak: PASS ({:.1?})", report.elapsed);
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!("soak: VIOLATION: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_and_reject() {
+        let cfg = parse_args(
+            ["--seconds", "5", "--clients", "3", "--no-thread-check"]
+                .iter()
+                .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(cfg.opts.duration, Duration::from_secs(5));
+        assert_eq!(cfg.opts.clients, 3);
+        assert!(!cfg.opts.check_threads);
+        assert!(parse_args(["--seconds", "0"].iter().map(|s| s.to_string())).is_err());
+        assert!(parse_args(["--bogus"].iter().map(|s| s.to_string())).is_err());
+    }
+
+    #[test]
+    fn defaults_check_threads_in_own_process() {
+        let cfg = parse_args(std::iter::empty()).unwrap();
+        assert!(cfg.opts.check_threads);
+        assert_eq!(cfg.out, "SOAK_report.json");
+    }
+}

@@ -39,6 +39,7 @@ pub mod cache;
 pub mod context;
 pub mod stage;
 pub mod stages;
+pub mod trace;
 
 pub use cache::OperatorCache;
 pub use context::{EventSink, RunContext, StageEvent, DEFAULT_SEED};
@@ -46,3 +47,4 @@ pub use stage::{
     default_fatal, run_stage, BoxedStage, ChainAttempt, ChainFailure, ChainOutcome, FallbackChain,
     Partitioner, Pipeline, Stage,
 };
+pub use trace::{Span, SpanKind, SpanRecorder, SpanRing};

@@ -1,0 +1,401 @@
+//! Structured tracing spans over the engine's [`StageEvent`] stream.
+//!
+//! [`StageEvent`]s are borrowed, synchronous callbacks — perfect for
+//! streaming but useless for *after-the-fact* observability: a server
+//! that wants to answer "what did the last thousand requests spend
+//! their time on?" needs events turned into owned, timestamped records
+//! it can keep. This module does exactly that conversion:
+//!
+//! * a [`Span`] is one completed unit of work — a request, a portfolio
+//!   attempt or an engine stage — with its start offset, wall time and
+//!   outcome, all relative to the collector's epoch so records are
+//!   comparable across threads;
+//! * a [`SpanRing`] is a bounded, thread-safe ring buffer of spans:
+//!   constant memory forever, newest spans win, the number of overwritten
+//!   spans is reported so a reader can tell "quiet" from "saturated";
+//! * a [`SpanRecorder`] adapts a `&SpanRing` into an [`EventSink`], so
+//!   any engine run can be traced by attaching it to the
+//!   [`RunContext`](crate::engine::RunContext) — `Started`/`Finished`
+//!   pairs become stage spans with no changes to any stage.
+//!
+//! Higher layers add their own span kinds: `np-runner` fans per-attempt
+//! stage events into one ring (tagging spans with the attempt index),
+//! and `np-serve` records one [`SpanKind::Request`] span per request and
+//! exposes the ring over its `/trace` line.
+//!
+//! ```
+//! use np_core::engine::trace::{SpanKind, SpanRecorder, SpanRing};
+//! use np_core::engine::{RunContext, StageEvent};
+//!
+//! let ring = SpanRing::new(64);
+//! let recorder = SpanRecorder::new(&ring);
+//! let ctx = RunContext::unlimited().with_events(&recorder);
+//! ctx.emit(StageEvent::Started { stage: "demo" });
+//! ctx.emit(StageEvent::Finished {
+//!     stage: "demo",
+//!     outcome: Err(&np_core::PartitionError::Degenerate),
+//! });
+//! let spans = ring.snapshot();
+//! assert_eq!(spans.len(), 1);
+//! assert_eq!(spans[0].kind, SpanKind::Stage);
+//! assert_eq!(spans[0].label, "demo");
+//! assert_eq!(spans[0].ok, Some(false));
+//! ```
+
+use crate::engine::context::{EventSink, StageEvent};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// What a [`Span`] measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// One whole request through a serving layer.
+    Request,
+    /// One portfolio attempt.
+    Attempt,
+    /// One engine stage.
+    Stage,
+}
+
+impl SpanKind {
+    /// Wire/display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::Attempt => "attempt",
+            SpanKind::Stage => "stage",
+        }
+    }
+}
+
+/// One completed, owned, timestamped unit of work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Span {
+    /// What this span measured.
+    pub kind: SpanKind,
+    /// The stage name, attempt label or request id.
+    pub label: String,
+    /// Correlates spans of one request across layers; `0` when the
+    /// recording layer has no request scope (plain engine runs).
+    pub request: u64,
+    /// The portfolio attempt this span ran in, if any.
+    pub attempt: Option<usize>,
+    /// Start offset from the ring's epoch.
+    pub start: Duration,
+    /// Wall time from start to finish.
+    pub wall: Duration,
+    /// `Some(true)` finished ok, `Some(false)` finished with an error,
+    /// `None` for spans with no success notion (detail marks).
+    pub ok: Option<bool>,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    spans: VecDeque<Span>,
+    dropped: u64,
+    recorded: u64,
+}
+
+/// A bounded, thread-safe ring buffer of [`Span`]s.
+///
+/// Pushing is cheap (one short mutex hold, no allocation beyond the
+/// span itself) and never blocks on readers; once full, the oldest span
+/// is overwritten and counted in [`dropped`](SpanRing::dropped).
+#[derive(Debug)]
+pub struct SpanRing {
+    capacity: usize,
+    epoch: Instant,
+    inner: Mutex<RingInner>,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans (clamped to at least 1),
+    /// with its epoch starting now.
+    pub fn new(capacity: usize) -> Self {
+        SpanRing {
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            inner: Mutex::new(RingInner {
+                spans: VecDeque::new(),
+                dropped: 0,
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// The moment `start` offsets are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Maximum resident spans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one span, evicting the oldest if the ring is full.
+    pub fn record(&self, span: Span) {
+        let mut inner = self.inner.lock().expect("span ring lock");
+        if inner.spans.len() == self.capacity {
+            inner.spans.pop_front();
+            inner.dropped += 1;
+        }
+        inner.spans.push_back(span);
+        inner.recorded += 1;
+    }
+
+    /// Records a span whose work ran from `started` until now.
+    ///
+    /// Convenience for callers that hold an `Instant` rather than
+    /// offsets; `started` values before the epoch are clamped to it.
+    pub fn record_since(
+        &self,
+        kind: SpanKind,
+        label: impl Into<String>,
+        request: u64,
+        attempt: Option<usize>,
+        started: Instant,
+        ok: Option<bool>,
+    ) {
+        let start = started.saturating_duration_since(self.epoch);
+        self.record(Span {
+            kind,
+            label: label.into(),
+            request,
+            attempt,
+            start,
+            wall: started.elapsed(),
+            ok,
+        });
+    }
+
+    /// The resident spans, oldest first.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let inner = self.inner.lock().expect("span ring lock");
+        inner.spans.iter().cloned().collect()
+    }
+
+    /// Total spans ever recorded (monotonic).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().expect("span ring lock").recorded
+    }
+
+    /// Spans overwritten because the ring was full (monotonic).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("span ring lock").dropped
+    }
+}
+
+/// Adapts a [`SpanRing`] into an [`EventSink`]: `Started` opens a stage,
+/// the matching `Finished` closes it and records a [`SpanKind::Stage`]
+/// span. Nested stages (a `Pipeline` inside a `FallbackChain`) are
+/// handled as a stack — the innermost open stage closes first. `Detail`
+/// events are ignored (they carry no duration).
+///
+/// One recorder serves one logical execution stream; give concurrent
+/// streams (portfolio attempts) their own recorder each, all pointing at
+/// the same ring — that is exactly what `np-runner`'s fan-in does.
+#[derive(Debug)]
+pub struct SpanRecorder<'a> {
+    ring: &'a SpanRing,
+    request: u64,
+    attempt: Option<usize>,
+    open: Mutex<Vec<(String, Instant)>>,
+}
+
+impl<'a> SpanRecorder<'a> {
+    /// A recorder writing stage spans into `ring` with no request or
+    /// attempt tag (plain engine runs).
+    pub fn new(ring: &'a SpanRing) -> Self {
+        SpanRecorder {
+            ring,
+            request: 0,
+            attempt: None,
+            open: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A recorder tagging every span with a request sequence number and
+    /// (optionally) a portfolio attempt index.
+    pub fn tagged(ring: &'a SpanRing, request: u64, attempt: Option<usize>) -> Self {
+        SpanRecorder {
+            ring,
+            request,
+            attempt,
+            open: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Stages opened by a `Started` with no `Finished` yet (a panic can
+    /// leave stages open; they are simply never recorded).
+    pub fn open_stages(&self) -> usize {
+        self.open.lock().expect("recorder lock").len()
+    }
+}
+
+impl EventSink for SpanRecorder<'_> {
+    fn on_event(&self, event: &StageEvent<'_>) {
+        match event {
+            StageEvent::Started { stage } => {
+                self.open
+                    .lock()
+                    .expect("recorder lock")
+                    .push((stage.to_string(), Instant::now()));
+            }
+            StageEvent::Finished { stage, outcome } => {
+                let mut open = self.open.lock().expect("recorder lock");
+                // close the innermost matching open stage; an unmatched
+                // Finished (shouldn't happen, but events are advisory)
+                // records a zero-length span rather than panicking
+                let started = match open.iter().rposition(|(name, _)| name == stage) {
+                    Some(i) => open.remove(i).1,
+                    None => Instant::now(),
+                };
+                drop(open);
+                self.ring.record_since(
+                    SpanKind::Stage,
+                    *stage,
+                    self.request,
+                    self.attempt,
+                    started,
+                    Some(outcome.is_ok()),
+                );
+            }
+            StageEvent::Detail { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartitionError;
+
+    fn finish<'a>(stage: &'a str, err: &'a PartitionError) -> StageEvent<'a> {
+        StageEvent::Finished {
+            stage,
+            outcome: Err(err),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let ring = SpanRing::new(3);
+        for i in 0..5 {
+            ring.record(Span {
+                kind: SpanKind::Stage,
+                label: format!("s{i}"),
+                request: 0,
+                attempt: None,
+                start: Duration::from_micros(i),
+                wall: Duration::ZERO,
+                ok: Some(true),
+            });
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].label, "s2", "oldest spans evicted first");
+        assert_eq!(spans[2].label, "s4");
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let ring = SpanRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record_since(SpanKind::Request, "r", 1, None, Instant::now(), None);
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn recorder_pairs_started_with_finished() {
+        let ring = SpanRing::new(16);
+        let rec = SpanRecorder::tagged(&ring, 7, Some(2));
+        let err = PartitionError::Degenerate;
+        rec.on_event(&StageEvent::Started { stage: "outer" });
+        rec.on_event(&StageEvent::Started { stage: "inner" });
+        rec.on_event(&StageEvent::Detail {
+            stage: "inner",
+            message: "ignored",
+        });
+        rec.on_event(&finish("inner", &err));
+        rec.on_event(&finish("outer", &err));
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 2, "details record no span");
+        assert_eq!(spans[0].label, "inner", "innermost closes first");
+        assert_eq!(spans[1].label, "outer");
+        for s in &spans {
+            assert_eq!(s.request, 7);
+            assert_eq!(s.attempt, Some(2));
+            assert_eq!(s.ok, Some(false));
+            assert!(s.wall <= s.start + s.wall, "offsets are sane");
+        }
+        assert_eq!(rec.open_stages(), 0);
+    }
+
+    #[test]
+    fn unmatched_finished_records_zero_length_span() {
+        let ring = SpanRing::new(4);
+        let rec = SpanRecorder::new(&ring);
+        let err = PartitionError::Degenerate;
+        rec.on_event(&finish("ghost", &err));
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].wall < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn panic_leaves_stage_open_not_recorded() {
+        let ring = SpanRing::new(4);
+        let rec = SpanRecorder::new(&ring);
+        rec.on_event(&StageEvent::Started { stage: "doomed" });
+        // no Finished ever arrives (the stage panicked)
+        assert_eq!(ring.snapshot().len(), 0);
+        assert_eq!(rec.open_stages(), 1);
+    }
+
+    #[test]
+    fn record_since_clamps_pre_epoch_starts() {
+        let before = Instant::now();
+        std::thread::sleep(Duration::from_millis(1));
+        let ring = SpanRing::new(4);
+        ring.record_since(SpanKind::Request, "early", 0, None, before, Some(true));
+        let spans = ring.snapshot();
+        assert_eq!(spans[0].start, Duration::ZERO, "clamped to the epoch");
+        assert!(spans[0].wall >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe_and_lossless_under_capacity() {
+        let ring = SpanRing::new(1024);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        ring.record_since(
+                            SpanKind::Stage,
+                            format!("t{t}-{i}"),
+                            t,
+                            Some(i),
+                            Instant::now(),
+                            Some(true),
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.recorded(), 800);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.snapshot().len(), 800);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(SpanKind::Request.name(), "request");
+        assert_eq!(SpanKind::Attempt.name(), "attempt");
+        assert_eq!(SpanKind::Stage.name(), "stage");
+    }
+}

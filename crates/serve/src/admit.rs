@@ -1,4 +1,4 @@
-//! Admission control: a semaphore over a bounded queue.
+//! Admission control: weighted-fair scheduling over a bounded queue.
 //!
 //! The service accepts at most `workers` concurrently *running* requests
 //! and at most `queue` requests *waiting* for a worker. Everything beyond
@@ -7,22 +7,88 @@
 //! so overload costs the server one queue-state check per rejected
 //! request, not a thread.
 //!
+//! Waiting requests are not a single FIFO: each request carries a
+//! [`Priority`] and waits in its class's FIFO queue. Freed worker slots
+//! are granted by **smooth weighted round-robin** (the nginx algorithm)
+//! over the non-empty classes: every grant adds each contending class's
+//! weight to its running credit, the class with the most credit wins the
+//! slot and pays back the total contending weight. With weights
+//! `[9, 3, 1]` a saturated server gives high-priority traffic ~69% of
+//! slots while low-priority still drains — no class starves, because a
+//! non-empty class's credit grows every round until it must win.
+//!
 //! The two-phase shape (enroll, then [`Ticket::wait`]) exists so shedding
 //! is decided *before* any resources are committed: a caller that holds a
 //! [`Ticket`] is guaranteed a worker slot eventually, because every
 //! [`Permit`] holder's work is wall-clock bounded by the service
 //! (requests run under a hard cap even when the client asked for no
-//! budget). Dropping a ticket without waiting (client gone) releases the
-//! queue slot.
+//! budget) and the scheduler is starvation-free. Dropping a ticket
+//! without waiting (client gone) releases the queue slot — or, if the
+//! slot was already granted, releases the worker and reschedules.
 
+use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+/// Scheduling class of a request. Defaults to [`Priority::Normal`];
+/// clients opt in via the wire key `"priority"`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic: largest scheduling weight.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Batch / backfill traffic: smallest weight, never starved.
+    Low,
+}
+
+/// Number of priority classes (the length of every per-class array).
+pub const PRIORITY_CLASSES: usize = 3;
+
+/// Default smooth-WRR weights, indexed by [`Priority::index`].
+pub const DEFAULT_WEIGHTS: [u32; PRIORITY_CLASSES] = [9, 3, 1];
+
+impl Priority {
+    /// Dense index: High = 0, Normal = 1, Low = 2.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// All classes, in index order.
+    pub fn all() -> [Priority; PRIORITY_CLASSES] {
+        [Priority::High, Priority::Normal, Priority::Low]
+    }
+
+    /// Stable lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    /// Parses a wire name; `None` for anything but `high`/`normal`/`low`.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s {
+            "high" => Some(Priority::High),
+            "normal" => Some(Priority::Normal),
+            "low" => Some(Priority::Low),
+            _ => None,
+        }
+    }
+}
 
 /// Snapshot of the admission state, for shed responses and metrics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Load {
-    /// Requests currently holding a worker permit.
+    /// Requests currently holding a worker slot (granted or converted).
     pub running: usize,
-    /// Requests currently queued for a permit.
+    /// Requests currently queued for a slot.
     pub queued: usize,
 }
 
@@ -30,6 +96,14 @@ pub struct Load {
 struct State {
     running: usize,
     queued: usize,
+    next_id: u64,
+    /// FIFO of waiting ticket ids, one queue per priority class.
+    waiting: [VecDeque<u64>; PRIORITY_CLASSES],
+    /// Tickets that have been granted a worker slot but have not yet
+    /// converted in [`Ticket::wait`]. Small (≤ workers), so linear scan.
+    granted: Vec<u64>,
+    /// Smooth-WRR credit per class.
+    credit: [i64; PRIORITY_CLASSES],
 }
 
 /// The admission controller. One per service; shared by reference across
@@ -38,6 +112,7 @@ struct State {
 pub struct Admission {
     workers: usize,
     queue: usize,
+    weights: [u32; PRIORITY_CLASSES],
     state: Mutex<State>,
     wakeup: Condvar,
 }
@@ -46,7 +121,7 @@ pub struct Admission {
 #[derive(Debug)]
 pub enum Enrollment<'a> {
     /// A queue slot was granted; [`Ticket::wait`] blocks until a worker
-    /// permit is free.
+    /// slot is scheduled to this request.
     Queued(Ticket<'a>),
     /// Workers busy and queue full — the request must be answered with a
     /// shed frame. Carries the load at the moment of rejection.
@@ -54,15 +129,18 @@ pub enum Enrollment<'a> {
 }
 
 /// A granted queue slot (phase one). Converts into a [`Permit`] via
-/// [`wait`](Ticket::wait); dropping it un-queues the request.
+/// [`wait`](Ticket::wait); dropping it un-queues the request (and frees
+/// the worker slot if one was already scheduled to it).
 #[derive(Debug)]
 pub struct Ticket<'a> {
     adm: &'a Admission,
-    waited: bool,
+    id: u64,
+    class: usize,
+    converted: bool,
 }
 
 /// A granted worker slot (phase two). Work may run while this is alive;
-/// dropping it frees the slot and wakes one queued ticket.
+/// dropping it frees the slot and schedules queued tickets.
 #[derive(Debug)]
 pub struct Permit<'a> {
     adm: &'a Admission,
@@ -70,32 +148,52 @@ pub struct Permit<'a> {
 
 impl Admission {
     /// A controller admitting `workers` concurrent runs and `queue`
-    /// waiters. `workers` is clamped to at least 1 (a server that can
-    /// run nothing would shed everything).
+    /// waiters, scheduling with [`DEFAULT_WEIGHTS`]. `workers` is
+    /// clamped to at least 1 (a server that can run nothing would shed
+    /// everything).
     pub fn new(workers: usize, queue: usize) -> Self {
+        Admission::weighted(workers, queue, DEFAULT_WEIGHTS)
+    }
+
+    /// [`Admission::new`] with explicit per-class weights (indexed by
+    /// [`Priority::index`]). Each weight is clamped to at least 1 so no
+    /// class can be configured into starvation.
+    pub fn weighted(workers: usize, queue: usize, weights: [u32; PRIORITY_CLASSES]) -> Self {
         Admission {
             workers: workers.max(1),
             queue,
+            weights: weights.map(|w| w.max(1)),
             state: Mutex::new(State {
                 running: 0,
                 queued: 0,
+                next_id: 0,
+                waiting: Default::default(),
+                granted: Vec::new(),
+                credit: [0; PRIORITY_CLASSES],
             }),
             wakeup: Condvar::new(),
         }
     }
 
     /// Phase one: try to take a queue slot. Never blocks.
-    pub fn enroll(&self) -> Enrollment<'_> {
+    pub fn enroll(&self, priority: Priority) -> Enrollment<'_> {
         let mut st = self.state.lock().expect("admission lock");
         // bound total in-flight (running + queued): a ticket on a free
-        // worker converts immediately in `wait`, so free workers are
+        // worker is scheduled immediately below, so free workers are
         // usable capacity, but they must not be double-counted while
         // earlier tickets have enrolled and not yet converted
         if st.running + st.queued < self.workers + self.queue {
+            let id = st.next_id;
+            st.next_id += 1;
             st.queued += 1;
+            let class = priority.index();
+            st.waiting[class].push_back(id);
+            self.schedule(&mut st);
             Enrollment::Queued(Ticket {
                 adm: self,
-                waited: false,
+                id,
+                class,
+                converted: false,
             })
         } else {
             Enrollment::Shed(Load {
@@ -113,20 +211,75 @@ impl Admission {
             queued: st.queued,
         }
     }
+
+    /// Waiting requests per priority class (indexed by
+    /// [`Priority::index`]), for the metrics snapshot.
+    pub fn depths(&self) -> [usize; PRIORITY_CLASSES] {
+        let st = self.state.lock().expect("admission lock");
+        let mut out = [0; PRIORITY_CLASSES];
+        for (d, q) in out.iter_mut().zip(st.waiting.iter()) {
+            *d = q.len();
+        }
+        out
+    }
+
+    /// The scheduling weights in effect (post-clamp).
+    pub fn weights(&self) -> [u32; PRIORITY_CLASSES] {
+        self.weights
+    }
+
+    /// Grants free worker slots to waiting tickets by smooth weighted
+    /// round-robin, then wakes every waiter so granted tickets can
+    /// convert. Must be called with the state lock held.
+    fn schedule(&self, st: &mut State) {
+        let mut granted_any = false;
+        while st.running < self.workers {
+            let contending: Vec<usize> = (0..PRIORITY_CLASSES)
+                .filter(|&i| !st.waiting[i].is_empty())
+                .collect();
+            if contending.is_empty() {
+                break;
+            }
+            let mut total: i64 = 0;
+            for &i in &contending {
+                st.credit[i] += i64::from(self.weights[i]);
+                total += i64::from(self.weights[i]);
+            }
+            // argmax credit; ties resolve to the higher-priority class
+            // (lower index), which keeps the schedule deterministic
+            let winner = contending
+                .iter()
+                .copied()
+                .max_by_key(|&i| (st.credit[i], std::cmp::Reverse(i)))
+                .expect("contending is non-empty");
+            st.credit[winner] -= total;
+            let id = st.waiting[winner].pop_front().expect("winner is non-empty");
+            st.granted.push(id);
+            st.queued -= 1;
+            st.running += 1;
+            granted_any = true;
+        }
+        if granted_any {
+            self.wakeup.notify_all();
+        }
+    }
 }
 
 impl<'a> Ticket<'a> {
-    /// Phase two: block until a worker permit is free. Progress is
-    /// guaranteed because every permit holder's work is wall-clock
-    /// bounded by the service.
+    /// Phase two: block until the scheduler grants this request a worker
+    /// slot. Progress is guaranteed because every permit holder's work
+    /// is wall-clock bounded by the service and smooth WRR never starves
+    /// a non-empty class.
     pub fn wait(mut self) -> Permit<'a> {
         let mut st = self.adm.state.lock().expect("admission lock");
-        while st.running >= self.adm.workers {
+        loop {
+            if let Some(pos) = st.granted.iter().position(|&g| g == self.id) {
+                st.granted.swap_remove(pos);
+                break;
+            }
             st = self.adm.wakeup.wait(st).expect("admission lock");
         }
-        st.queued -= 1;
-        st.running += 1;
-        self.waited = true; // Drop must not decrement `queued` again
+        self.converted = true; // Drop must not release anything
         drop(st);
         Permit { adm: self.adm }
     }
@@ -134,8 +287,17 @@ impl<'a> Ticket<'a> {
 
 impl Drop for Ticket<'_> {
     fn drop(&mut self) {
-        if !self.waited {
-            let mut st = self.adm.state.lock().expect("admission lock");
+        if self.converted {
+            return;
+        }
+        let mut st = self.adm.state.lock().expect("admission lock");
+        if let Some(pos) = st.granted.iter().position(|&g| g == self.id) {
+            // granted but never converted: the worker slot comes back
+            st.granted.swap_remove(pos);
+            st.running -= 1;
+            self.adm.schedule(&mut st);
+        } else if let Some(pos) = st.waiting[self.class].iter().position(|&w| w == self.id) {
+            st.waiting[self.class].remove(pos);
             st.queued -= 1;
         }
     }
@@ -145,8 +307,7 @@ impl Drop for Permit<'_> {
     fn drop(&mut self) {
         let mut st = self.adm.state.lock().expect("admission lock");
         st.running -= 1;
-        drop(st);
-        self.adm.wakeup.notify_one();
+        self.adm.schedule(&mut st);
     }
 }
 
@@ -162,14 +323,14 @@ mod tests {
         let adm = Admission::new(2, 3);
         let mut held = Vec::new();
         for _ in 0..5 {
-            match adm.enroll() {
+            match adm.enroll(Priority::Normal) {
                 Enrollment::Queued(t) => held.push(t),
                 Enrollment::Shed(_) => panic!("capacity 2+3 must admit 5"),
             }
         }
-        match adm.enroll() {
+        match adm.enroll(Priority::High) {
             Enrollment::Shed(load) => {
-                assert_eq!(load.queued, 5);
+                assert_eq!(load.running + load.queued, 5);
             }
             Enrollment::Queued(_) => panic!("sixth request must shed"),
         }
@@ -181,7 +342,7 @@ mod tests {
                 queued: 0
             }
         );
-        assert!(matches!(adm.enroll(), Enrollment::Queued(_)));
+        assert!(matches!(adm.enroll(Priority::Low), Enrollment::Queued(_)));
     }
 
     #[test]
@@ -190,12 +351,13 @@ mod tests {
         let peak = Arc::new(AtomicUsize::new(0));
         let live = Arc::new(AtomicUsize::new(0));
         std::thread::scope(|scope| {
-            for _ in 0..8 {
+            for i in 0..8 {
                 let adm = Arc::clone(&adm);
                 let peak = Arc::clone(&peak);
                 let live = Arc::clone(&live);
                 scope.spawn(move || {
-                    let Enrollment::Queued(ticket) = adm.enroll() else {
+                    let priority = Priority::all()[i % PRIORITY_CLASSES];
+                    let Enrollment::Queued(ticket) = adm.enroll(priority) else {
                         panic!("queue of 16 cannot shed 8");
                     };
                     let permit = ticket.wait();
@@ -220,25 +382,152 @@ mod tests {
     #[test]
     fn dropped_ticket_frees_its_queue_slot() {
         let adm = Admission::new(1, 1);
-        let Enrollment::Queued(t1) = adm.enroll() else {
+        let Enrollment::Queued(t1) = adm.enroll(Priority::Normal) else {
             panic!()
         };
         let _p1 = t1.wait(); // occupies the only worker
-        let Enrollment::Queued(t2) = adm.enroll() else {
+        let Enrollment::Queued(t2) = adm.enroll(Priority::Normal) else {
             panic!()
         };
-        assert!(matches!(adm.enroll(), Enrollment::Shed(_)));
+        assert!(matches!(adm.enroll(Priority::High), Enrollment::Shed(_)));
         drop(t2); // client went away while queued
-        assert!(matches!(adm.enroll(), Enrollment::Queued(_)));
+        assert!(matches!(adm.enroll(Priority::Low), Enrollment::Queued(_)));
+    }
+
+    #[test]
+    fn dropped_granted_ticket_frees_the_worker_slot() {
+        let adm = Admission::new(1, 4);
+        let Enrollment::Queued(t1) = adm.enroll(Priority::Normal) else {
+            panic!()
+        };
+        // t1 was scheduled onto the free worker but never converts
+        assert_eq!(adm.load().running, 1);
+        let Enrollment::Queued(t2) = adm.enroll(Priority::Normal) else {
+            panic!()
+        };
+        drop(t1); // slot must come back and go to t2
+        assert_eq!(
+            adm.load(),
+            Load {
+                running: 1,
+                queued: 0
+            }
+        );
+        let _p2 = t2.wait(); // converts without blocking
+        assert_eq!(
+            adm.load(),
+            Load {
+                running: 1,
+                queued: 0
+            }
+        );
     }
 
     #[test]
     fn zero_workers_clamped_to_one() {
         let adm = Admission::new(0, 0);
-        let Enrollment::Queued(t) = adm.enroll() else {
+        let Enrollment::Queued(t) = adm.enroll(Priority::Normal) else {
             panic!("one request must always be admittable")
         };
         let _p = t.wait();
-        assert!(matches!(adm.enroll(), Enrollment::Shed(_)));
+        assert!(matches!(adm.enroll(Priority::Normal), Enrollment::Shed(_)));
+    }
+
+    /// Fills the queue with one waiter per class (plus a running permit),
+    /// then releases slots one at a time and records the grant order.
+    fn grant_order(weights: [u32; PRIORITY_CLASSES], mix: &[Priority]) -> Vec<Priority> {
+        let adm = Admission::weighted(1, mix.len(), weights);
+        let Enrollment::Queued(t0) = adm.enroll(Priority::Normal) else {
+            panic!()
+        };
+        let gate = t0.wait(); // occupy the worker so the mix queues up
+        let order = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let mut tickets = Vec::new();
+            for &p in mix {
+                let Enrollment::Queued(t) = adm.enroll(p) else {
+                    panic!("queue sized to the mix")
+                };
+                tickets.push((p, t));
+            }
+            for (p, t) in tickets {
+                let order = &order;
+                scope.spawn(move || {
+                    let permit = t.wait();
+                    order.lock().unwrap().push(p);
+                    // serialize grants: one release at a time
+                    std::thread::sleep(Duration::from_millis(2));
+                    drop(permit);
+                });
+            }
+            drop(gate);
+        });
+        order.into_inner().unwrap()
+    }
+
+    #[test]
+    fn weighted_round_robin_favors_high_without_starving_low() {
+        let mix: Vec<Priority> = Priority::all().into_iter().cycle().take(12).collect();
+        let order = grant_order([9, 3, 1], &mix);
+        assert_eq!(order.len(), 12);
+        // with 4 waiters per class and weights 9:3:1, every high grant
+        // lands before every low grant
+        let last_high = order
+            .iter()
+            .rposition(|&p| p == Priority::High)
+            .expect("high requests granted");
+        let first_low = order
+            .iter()
+            .position(|&p| p == Priority::Low)
+            .expect("low requests granted — no starvation");
+        assert!(
+            last_high < first_low,
+            "9:3:1 must clear high before low: {order:?}"
+        );
+        // all twelve completed — low drained even under strict priority
+        for p in Priority::all() {
+            assert_eq!(order.iter().filter(|&&q| q == p).count(), 4);
+        }
+    }
+
+    #[test]
+    fn equal_weights_interleave_classes() {
+        let mix: Vec<Priority> = Priority::all().into_iter().cycle().take(9).collect();
+        let order = grant_order([1, 1, 1], &mix);
+        // with equal weights, the first three grants cover all classes
+        let head: std::collections::HashSet<_> = order[..3].iter().copied().collect();
+        assert_eq!(head.len(), 3, "equal weights must interleave: {order:?}");
+    }
+
+    #[test]
+    fn load_returns_to_zero_after_mixed_churn() {
+        let adm = Arc::new(Admission::new(2, 8));
+        std::thread::scope(|scope| {
+            for i in 0..24 {
+                let adm = Arc::clone(&adm);
+                scope.spawn(move || {
+                    let p = Priority::all()[i % PRIORITY_CLASSES];
+                    match adm.enroll(p) {
+                        Enrollment::Queued(t) => {
+                            if i % 5 == 0 {
+                                drop(t); // simulate client abandon
+                            } else {
+                                let _permit = t.wait();
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                        Enrollment::Shed(_) => {}
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            adm.load(),
+            Load {
+                running: 0,
+                queued: 0
+            }
+        );
+        assert_eq!(adm.depths(), [0, 0, 0]);
     }
 }

@@ -3,13 +3,18 @@
 //! ```text
 //! np-serve [--listen ADDR | --stdio]
 //!          [--workers N] [--queue N] [--restarts N] [--max-wall-ms MS]
+//!          [--metrics-interval-ms MS]
 //! ```
 //!
 //! Speaks the JSON-lines protocol of `np_serve::proto`: one request
 //! object per line in, one or more frames per request out (progress
 //! frames if requested, then exactly one terminal `result`/`shed`/
 //! `error` frame). `--stdio` (the default) serves stdin→stdout, handy
-//! for piping; `--listen 127.0.0.1:7199` serves TCP.
+//! for piping; `--listen 127.0.0.1:7199` serves TCP. Clients can pull
+//! a metrics snapshot on demand by sending a bare `/metrics` line (or
+//! `/trace` for recent spans); `--metrics-interval-ms` additionally
+//! pushes the same snapshot to stderr on a timer, for scraping the
+//! service without holding a connection.
 
 use np_serve::{ServeConfig, Service};
 use std::net::TcpListener;
@@ -18,10 +23,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: np-serve [--listen ADDR | --stdio] \
-                     [--workers N] [--queue N] [--restarts N] [--max-wall-ms MS]";
+                     [--workers N] [--queue N] [--restarts N] [--max-wall-ms MS] \
+                     [--metrics-interval-ms MS]";
 
 struct Args {
     listen: Option<String>,
+    metrics_interval: Option<Duration>,
     cfg: ServeConfig,
 }
 
@@ -30,6 +37,7 @@ where
     I: IntoIterator<Item = String>,
 {
     let mut listen = None;
+    let mut metrics_interval = None;
     let mut cfg = ServeConfig::default();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -67,11 +75,33 @@ where
                     .ok_or_else(|| format!("--max-wall-ms expects milliseconds, got '{v}'"))?;
                 cfg.max_wall = Duration::from_millis(ms);
             }
+            "--metrics-interval-ms" => {
+                let v = iter.next().ok_or("--metrics-interval-ms needs a value")?;
+                let ms = v.parse::<u64>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                    format!("--metrics-interval-ms expects milliseconds, got '{v}'")
+                })?;
+                metrics_interval = Some(Duration::from_millis(ms));
+            }
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unexpected argument '{other}'\n{USAGE}")),
         }
     }
-    Ok(Args { listen, cfg })
+    Ok(Args {
+        listen,
+        metrics_interval,
+        cfg,
+    })
+}
+
+/// Pushes a metrics frame to stderr every `interval` until the process
+/// exits. Detached on purpose: the exporter must never hold the server
+/// up, and the thread dies with the process.
+fn spawn_metrics_exporter(service: &Arc<Service>, interval: Duration) {
+    let service = Arc::clone(service);
+    std::thread::spawn(move || loop {
+        std::thread::sleep(interval);
+        eprintln!("{}", service.metrics_frame());
+    });
 }
 
 fn main() -> ExitCode {
@@ -83,6 +113,9 @@ fn main() -> ExitCode {
         }
     };
     let service = Arc::new(Service::new(args.cfg));
+    if let Some(interval) = args.metrics_interval {
+        spawn_metrics_exporter(&service, interval);
+    }
     match args.listen {
         Some(addr) => {
             let listener = match TcpListener::bind(&addr) {
@@ -118,7 +151,16 @@ mod tests {
     fn defaults_to_stdio() {
         let a = parse(&[]).unwrap();
         assert!(a.listen.is_none());
+        assert!(a.metrics_interval.is_none());
         assert_eq!(a.cfg.workers, ServeConfig::default().workers);
+    }
+
+    #[test]
+    fn metrics_interval_parses_and_rejects_zero() {
+        let a = parse(&["--metrics-interval-ms", "250"]).unwrap();
+        assert_eq!(a.metrics_interval, Some(Duration::from_millis(250)));
+        assert!(parse(&["--metrics-interval-ms", "0"]).is_err());
+        assert!(parse(&["--metrics-interval-ms"]).is_err());
     }
 
     #[test]

@@ -78,6 +78,25 @@ pub struct CacheStats {
     pub bytes: usize,
 }
 
+/// Result of [`NetlistCache::audit`]: the incrementally-maintained byte
+/// total versus a from-scratch recount of the resident entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheAudit {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// The running total the byte bound enforces.
+    pub recorded_bytes: usize,
+    /// Per-entry sizes recomputed from the stored source and parse.
+    pub recomputed_bytes: usize,
+}
+
+impl CacheAudit {
+    /// Whether the running total matches the recount exactly.
+    pub fn consistent(&self) -> bool {
+        self.recorded_bytes == self.recomputed_bytes
+    }
+}
+
 /// The bounded content-addressed cache. One per service.
 #[derive(Debug)]
 pub struct NetlistCache {
@@ -164,6 +183,27 @@ impl NetlistCache {
             inner.evictions += 1;
         }
         Ok(value)
+    }
+
+    /// Audits the byte accounting: recomputes every resident entry's
+    /// size from its stored source and parse, and compares the sum with
+    /// the incrementally-maintained total the LRU bound relies on. The
+    /// two must always be equal — re-insert (collision replacement or a
+    /// racing concurrent miss) and eviction both adjust the total by the
+    /// exact recorded entry size. Used by the soak harness to prove no
+    /// bytes leak over long mixed traffic.
+    pub fn audit(&self) -> CacheAudit {
+        let inner = self.inner.lock().expect("cache lock");
+        let recomputed = inner
+            .map
+            .values()
+            .map(|e| e.value.source.len() + estimated_bytes(&e.value.hypergraph))
+            .sum();
+        CacheAudit {
+            entries: inner.map.len(),
+            recorded_bytes: inner.bytes,
+            recomputed_bytes: recomputed,
+        }
     }
 
     /// Current usage counters.
@@ -271,6 +311,96 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn refresh_does_not_double_count_bytes() {
+        let cache = NetlistCache::new(4, 1 << 20);
+        let text = hgr(&[&[0, 1], &[1, 2]], 3);
+        let first = cache.get_or_parse(&text).unwrap();
+        let after_insert = cache.stats().bytes;
+        assert_eq!(after_insert, first.bytes());
+        for _ in 0..10 {
+            cache.get_or_parse(&text).unwrap(); // refresh hits
+        }
+        assert_eq!(
+            cache.stats().bytes,
+            after_insert,
+            "refreshing an entry must not change the byte total"
+        );
+        assert!(cache.audit().consistent(), "{:?}", cache.audit());
+    }
+
+    /// Model-based property test: replay a deterministic insert /
+    /// refresh / evict sequence against a trivially-correct model (a
+    /// map of key → byte size with the same LRU rules) and require the
+    /// cache's recorded byte total to match the model *and* a
+    /// from-scratch recount after every step.
+    #[test]
+    fn byte_accounting_matches_a_model_over_mixed_sequences() {
+        // distinct netlists of growing size: index i has i+1 nets
+        let texts: Vec<String> = (0..12)
+            .map(|i| {
+                let nets: Vec<Vec<usize>> = (0..=i).map(|n| vec![n, n + 1]).collect();
+                let refs: Vec<&[usize]> = nets.iter().map(Vec::as_slice).collect();
+                hgr(&refs, i + 2)
+            })
+            .collect();
+        let sizes: Vec<usize> = texts
+            .iter()
+            .map(|t| t.len() + estimated_bytes(&np_netlist::io::parse_hgr(t).unwrap()))
+            .collect();
+        let max_entries = 4;
+        let max_bytes = sizes.iter().take(5).sum::<usize>(); // forces byte evictions
+        let cache = NetlistCache::new(max_entries, max_bytes);
+
+        // the model: (key, size, last_used) with the same eviction rule
+        let mut model: Vec<(usize, usize, u64)> = Vec::new();
+        let mut clock = 0u64;
+        // xorshift for a deterministic but well-mixed access pattern
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..400 {
+            let i = (rng() % texts.len() as u64) as usize;
+            cache.get_or_parse(&texts[i]).unwrap();
+            clock += 1;
+            // model update: refresh or insert, then evict like the cache
+            if let Some(slot) = model.iter_mut().find(|(k, _, _)| *k == i) {
+                slot.2 = clock;
+            } else if sizes[i] <= max_bytes {
+                model.push((i, sizes[i], clock));
+                loop {
+                    let total: usize = model.iter().map(|(_, s, _)| s).sum();
+                    if model.len() <= max_entries && total <= max_bytes {
+                        break;
+                    }
+                    let victim = model
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (k, _, _))| *k != i)
+                        .min_by_key(|(_, (_, _, used))| *used)
+                        .map(|(pos, _)| pos)
+                        .expect("eviction candidate");
+                    model.remove(victim);
+                }
+            }
+            let expected: usize = model.iter().map(|(_, s, _)| s).sum();
+            let stats = cache.stats();
+            assert_eq!(stats.bytes, expected, "model divergence at clock {clock}");
+            assert_eq!(stats.entries, model.len());
+            assert!(stats.bytes <= max_bytes, "byte bound violated");
+            let audit = cache.audit();
+            assert!(audit.consistent(), "recount mismatch: {audit:?}");
+        }
+        assert!(
+            cache.stats().evictions > 0,
+            "the sequence must actually exercise eviction"
+        );
     }
 
     #[test]

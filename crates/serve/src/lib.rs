@@ -8,7 +8,10 @@
 //! * **Admission control** ([`admit`]) — a semaphore over a bounded
 //!   queue; beyond `workers + queue` in-flight requests the service
 //!   sheds synchronously with an explicit 429-style frame instead of
-//!   queueing unboundedly.
+//!   queueing unboundedly. Queued requests are granted workers by
+//!   smooth weighted round-robin over three `priority` classes
+//!   (high/normal/low), so high priority keeps a bounded tail under
+//!   saturation while low priority still drains.
 //! * **Deadlines** ([`service`]) — a request's `deadline_ms` becomes the
 //!   wall-clock limit of every [`BudgetMeter`](np_sparse::BudgetMeter)
 //!   the request creates, so the numerical kernels cancel themselves
@@ -25,11 +28,23 @@
 //!   `error` frame instead of a dead server.
 //! * **Bounded caching** ([`cache`]) — repeat netlists are recognized by
 //!   content hash and share one parse plus one spectral-operator cache,
-//!   under entry/byte bounds with LRU eviction.
+//!   under entry/byte bounds with LRU eviction (byte accounting audited
+//!   by [`Service::cache_audit`](service::Service::cache_audit)).
+//! * **Observability** ([`metrics`], `np_core::engine::trace`) — a bare
+//!   `/metrics` line (outside admission, so it answers at full load)
+//!   returns monotonic counters, log-bucketed latency/queue-wait
+//!   histograms per priority class and degradation tier, and live
+//!   queue-depth gauges; `/trace` returns recent structured spans
+//!   (request → attempt → stage) from a bounded ring.
+//! * **Endurance** ([`soak`]) — a deterministic mixed-traffic soak
+//!   harness asserting the service leaks no permits, threads or cache
+//!   bytes and that its metrics stay self-consistent over minutes of
+//!   faulty traffic.
 //!
 //! The `fault-inject` feature compiles request-level fault decorators
 //! (the `fault` module) — slow worker, panicking stage, stuck eigensolve
-//! — used by the resilience integration tests.
+//! — used by the resilience integration tests and the soak's fault
+//! storms.
 //!
 //! # Quickstart
 //!
@@ -56,11 +71,15 @@ pub mod cache;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod json;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod soak;
 
-pub use admit::{Admission, Enrollment};
+pub use admit::{Admission, Enrollment, Priority};
 pub use cache::{CacheStats, NetlistCache};
+pub use metrics::{Histogram, HistogramSnapshot, Metrics};
 pub use proto::{Algo, FaultSpec, Request};
-pub use service::{Metrics, ServeConfig, Service};
+pub use service::{ServeConfig, Service};
+pub use soak::{run_soak, SoakOptions, SoakReport};

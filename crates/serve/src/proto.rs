@@ -14,7 +14,18 @@
 //! ignored would be an unbounded request — the opposite of what the
 //! caller asked for).
 
+use crate::admit::Priority;
 use crate::json::{self, Obj, Value};
+
+/// Upper bound on the requested portfolio width. The portfolio builder
+/// boxes one stage per restart, so an unchecked `"restarts": 1e15` would
+/// be an allocation attack; no legitimate request needs more attempts
+/// than this.
+pub const MAX_RESTARTS: usize = 4096;
+
+/// Upper bound on the requested block count, for the same reason: k-way
+/// state is allocated per block before the netlist is even parsed.
+pub const MAX_K: usize = 4096;
 
 /// The algorithms a request may ask for. `Auto` is IG-Match with the
 /// paper's weighting — the service's recommended default.
@@ -117,6 +128,10 @@ pub struct Request {
     pub multilevel: Option<bool>,
     /// Stream `progress` frames (stage events) before the terminal frame.
     pub progress: bool,
+    /// Admission class: `"high"`, `"normal"` (default) or `"low"`.
+    /// Under saturation the weighted-fair scheduler gives `high` most of
+    /// the freed worker slots while still draining `low`.
+    pub priority: Priority,
     /// Fault to inject (resilience testing).
     pub fault: Option<FaultSpec>,
 }
@@ -134,8 +149,19 @@ const REQUEST_KEYS: &[&str] = &[
     "epsilon",
     "multilevel",
     "progress",
+    "priority",
     "fault",
 ];
+
+/// Checked u64 → usize with an explicit upper bound: rejects values that
+/// overflow `usize` (32-bit targets) or exceed `max`, instead of the
+/// silent truncation an `as usize` cast would produce.
+fn bounded_usize(n: u64, key: &str, max: usize) -> Result<usize, String> {
+    match usize::try_from(n) {
+        Ok(v) if v <= max => Ok(v),
+        _ => Err(format!("'{key}' must be at most {max}")),
+    }
+}
 
 impl Request {
     /// Decodes one request line. The error string is safe to echo into
@@ -172,7 +198,7 @@ impl Request {
                 if n == 0 {
                     return Err("'restarts' must be at least 1".into());
                 }
-                Some(n as usize)
+                Some(bounded_usize(n, "restarts", MAX_RESTARTS)?)
             }
         };
         let uint = |key: &'static str| -> Result<Option<u64>, String> {
@@ -204,7 +230,7 @@ impl Request {
                 if n < 2 {
                     return Err("'k' must be at least 2".into());
                 }
-                Some(n as usize)
+                Some(bounded_usize(n, "k", MAX_K)?)
             }
         };
         let epsilon = match doc.get("epsilon") {
@@ -225,6 +251,15 @@ impl Request {
             None => false,
             Some(v) => v.as_bool().ok_or("'progress' must be a boolean")?,
         };
+        let priority = match doc.get("priority") {
+            None => Priority::Normal,
+            Some(v) => {
+                let name = v.as_str().ok_or("'priority' must be a string")?;
+                Priority::parse(name).ok_or_else(|| {
+                    format!("unknown priority '{name}' (expected high, normal or low)")
+                })?
+            }
+        };
         let fault = match doc.get("fault") {
             None => None,
             Some(v) => Some(parse_fault(v)?),
@@ -242,6 +277,7 @@ impl Request {
             epsilon,
             multilevel,
             progress,
+            priority,
             fault,
         })
     }
@@ -432,6 +468,57 @@ mod tests {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn priority_parses_and_defaults_to_normal() {
+        let r = Request::parse(r#"{"id":"a","hgr":"x"}"#).unwrap();
+        assert_eq!(r.priority, Priority::Normal);
+        for (name, want) in [
+            ("high", Priority::High),
+            ("normal", Priority::Normal),
+            ("low", Priority::Low),
+        ] {
+            let line = format!(r#"{{"id":"a","hgr":"x","priority":"{name}"}}"#);
+            assert_eq!(Request::parse(&line).unwrap().priority, want);
+        }
+        let err = Request::parse(r#"{"id":"a","hgr":"x","priority":"urgent"}"#).unwrap_err();
+        assert!(err.contains("unknown priority"), "{err}");
+        let err = Request::parse(r#"{"id":"a","hgr":"x","priority":1}"#).unwrap_err();
+        assert!(err.contains("must be a string"), "{err}");
+    }
+
+    #[test]
+    fn adversarial_numbers_rejected_not_truncated() {
+        // every line here used to risk a lossy `as usize` truncation or
+        // an unbounded allocation; all must reject with a clear reason
+        for (line, needle) in [
+            // negative and fractional integers
+            (r#"{"id":"a","hgr":"x","k":-1}"#, "integer"),
+            (r#"{"id":"a","hgr":"x","k":2.5}"#, "integer"),
+            (r#"{"id":"a","hgr":"x","restarts":-4}"#, "integer"),
+            (r#"{"id":"a","hgr":"x","restarts":0.5}"#, "integer"),
+            (r#"{"id":"a","hgr":"x","seed":-7}"#, "integer"),
+            // magnitudes beyond exact f64 integer range
+            (r#"{"id":"a","hgr":"x","deadline_ms":1e300}"#, "integer"),
+            (r#"{"id":"a","hgr":"x","budget_ms":1e300}"#, "integer"),
+            (r#"{"id":"a","hgr":"x","restarts":1e300}"#, "integer"),
+            // in-range for u64 but beyond the allocation caps
+            (r#"{"id":"a","hgr":"x","restarts":1000000000}"#, "at most"),
+            (r#"{"id":"a","hgr":"x","k":1000000000}"#, "at most"),
+            (r#"{"id":"a","hgr":"x","restarts":4097}"#, "at most"),
+            (r#"{"id":"a","hgr":"x","k":4097}"#, "at most"),
+            // non-finite and non-numeric
+            (r#"{"id":"a","hgr":"x","target_ratio":1e999}"#, "bad json"),
+            (r#"{"id":"a","hgr":"x","deadline_ms":"5"}"#, "integer"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+        // the caps themselves are accepted
+        let r = Request::parse(r#"{"id":"a","hgr":"x","restarts":4096,"k":4096}"#).unwrap();
+        assert_eq!(r.restarts, Some(MAX_RESTARTS));
+        assert_eq!(r.k, Some(MAX_K));
     }
 
     #[test]

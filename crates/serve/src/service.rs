@@ -41,12 +41,14 @@
 //!    tripping the kernels cooperatively; whatever completed by then is
 //!    returned with `degraded: true` and the reason.
 
-use crate::admit::{Admission, Enrollment};
+use crate::admit::{Admission, Enrollment, Priority, PRIORITY_CLASSES};
 use crate::cache::{CachedNetlist, NetlistCache};
 use crate::json::Obj;
+use crate::metrics::{Metrics, TIER_NAMES};
 use crate::proto::{self, Algo, Degradation, Request};
 use np_baselines::{FmOptions, KlOptions, RcutOptions};
 use np_core::engine::stages::{Eig1Stage, IgMatchStage, IgVoteStage, KlStage, RcutStage};
+use np_core::engine::trace::{SpanKind, SpanRing};
 use np_core::engine::RunContext;
 use np_core::engine::{BoxedStage, StageEvent, DEFAULT_SEED};
 use np_core::{
@@ -55,6 +57,7 @@ use np_core::{
 use np_multilevel::{multilevel_ctx, multilevel_kway_ctx, MultilevelOptions};
 use np_netlist::rng::derive_seed;
 use np_netlist::Side;
+use np_runner::trace::{record_attempt_spans, SpanFanIn};
 use np_runner::{
     run_kway_portfolio, run_portfolio_cached, KwayPortfolio, Portfolio, PortfolioEvent,
     PortfolioOptions, RandomStartFmStage,
@@ -93,6 +96,11 @@ pub struct ServeConfig {
     /// algorithm and does not say `"multilevel": false`. An explicit
     /// `"multilevel": true` takes the tier at any size.
     pub multilevel_threshold: usize,
+    /// Smooth-WRR admission weights per priority class, indexed by
+    /// [`Priority::index`] (high, normal, low). Each clamps to ≥ 1.
+    pub priority_weights: [u32; PRIORITY_CLASSES],
+    /// Capacity of the tracing span ring buffer.
+    pub span_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -109,60 +117,14 @@ impl Default for ServeConfig {
             cache_entries: 32,
             cache_bytes: 64 << 20,
             multilevel_threshold: 20_000,
+            priority_weights: crate::admit::DEFAULT_WEIGHTS,
+            span_capacity: 1024,
         }
     }
 }
 
-/// Monotonic service counters (all relaxed: they are telemetry, not
-/// synchronization).
-#[derive(Debug, Default)]
-pub struct Metrics {
-    /// Request lines received.
-    pub requests: AtomicU64,
-    /// Terminal `result` frames, clean.
-    pub results: AtomicU64,
-    /// Terminal `result` frames flagged degraded.
-    pub degraded: AtomicU64,
-    /// Terminal `shed` frames.
-    pub shed: AtomicU64,
-    /// Terminal `error` frames.
-    pub errors: AtomicU64,
-    /// Main-tier retries performed.
-    pub retries: AtomicU64,
-    /// Requests that fell to the FM-restarts tier.
-    pub fm_fallbacks: AtomicU64,
-    /// Requests answered by the multilevel V-cycle tier.
-    pub multilevel: AtomicU64,
-    /// Panics contained by the service/runner isolation boundaries.
-    pub panics_contained: AtomicU64,
-}
-
-impl Metrics {
-    fn bump(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Renders the counters as a one-line JSON object.
-    pub fn to_json(&self) -> String {
-        Obj::new()
-            .int("requests", self.requests.load(Ordering::Relaxed))
-            .int("results", self.results.load(Ordering::Relaxed))
-            .int("degraded", self.degraded.load(Ordering::Relaxed))
-            .int("shed", self.shed.load(Ordering::Relaxed))
-            .int("errors", self.errors.load(Ordering::Relaxed))
-            .int("retries", self.retries.load(Ordering::Relaxed))
-            .int("fm_fallbacks", self.fm_fallbacks.load(Ordering::Relaxed))
-            .int("multilevel", self.multilevel.load(Ordering::Relaxed))
-            .int(
-                "panics_contained",
-                self.panics_contained.load(Ordering::Relaxed),
-            )
-            .render()
-    }
-}
-
-/// The partition service: admission controller, netlist cache and
-/// metrics behind one synchronous entry point, [`handle_line`].
+/// The partition service: admission controller, netlist cache, metrics
+/// and span ring behind one synchronous entry point, [`handle_line`].
 ///
 /// [`handle_line`]: Service::handle_line
 #[derive(Debug)]
@@ -171,6 +133,8 @@ pub struct Service {
     admission: Admission,
     cache: NetlistCache,
     metrics: Metrics,
+    spans: SpanRing,
+    seq: AtomicU64,
 }
 
 /// Everything known about the best answer so far, carried across tiers.
@@ -183,9 +147,11 @@ impl Service {
     /// A service with the given configuration.
     pub fn new(cfg: ServeConfig) -> Self {
         Service {
-            admission: Admission::new(cfg.workers, cfg.queue),
+            admission: Admission::weighted(cfg.workers, cfg.queue, cfg.priority_weights),
             cache: NetlistCache::new(cfg.cache_entries, cfg.cache_bytes),
             metrics: Metrics::default(),
+            spans: SpanRing::new(cfg.span_capacity),
+            seq: AtomicU64::new(0),
             cfg,
         }
     }
@@ -205,21 +171,65 @@ impl Service {
         self.cache.stats()
     }
 
+    /// Recounts the netlist cache's byte accounting (soak invariant).
+    pub fn cache_audit(&self) -> crate::cache::CacheAudit {
+        self.cache.audit()
+    }
+
+    /// The tracing span ring (request → attempt → stage spans).
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
     /// Renders the one-line `metrics` frame served for a `/metrics`
-    /// request line: live occupancy (running/queued), the monotonic
-    /// service counters and the netlist cache footprint.
+    /// request line: live occupancy (running, queued, per-class queue
+    /// depth), the monotonic service counters, the latency histograms
+    /// (overall, per priority class, per degradation tier), the netlist
+    /// cache footprint and the span-ring gauges.
     pub fn metrics_frame(&self) -> String {
         let load = self.admission.load();
+        let depths = self.admission.depths();
+        let weights = self.admission.weights();
         let cache = self.cache.stats();
         let m = &self.metrics;
+        let requests = m.requests.load(Ordering::Relaxed);
+        let shed = m.shed.load(Ordering::Relaxed);
+        let by_priority = |hists: &[crate::metrics::Histogram; PRIORITY_CLASSES]| {
+            let mut obj = Obj::new();
+            for p in Priority::all() {
+                obj = obj.raw(p.as_str(), hists[p.index()].snapshot().to_json());
+            }
+            obj.render()
+        };
+        let tiers = {
+            let mut obj = Obj::new();
+            for (name, hist) in TIER_NAMES.iter().zip(m.wall_by_tier.iter()) {
+                obj = obj.raw(name, hist.snapshot().to_json());
+            }
+            obj.render()
+        };
+        let queue_depth = {
+            let mut obj = Obj::new();
+            for p in Priority::all() {
+                obj = obj.int(p.as_str(), depths[p.index()] as u64);
+            }
+            obj.render()
+        };
         Obj::new()
             .str("frame", "metrics")
+            .str("schema", "np-serve/metrics/v2")
             .int("running", load.running as u64)
             .int("queued", load.queued as u64)
-            .int("requests", m.requests.load(Ordering::Relaxed))
+            .raw("queue_depth", queue_depth)
+            .raw(
+                "weights",
+                format!("[{}]", weights.map(|w| w.to_string()).join(",")),
+            )
+            .int("requests", requests)
+            .int("admitted", m.admitted.load(Ordering::Relaxed))
             .int("results", m.results.load(Ordering::Relaxed))
             .int("degraded", m.degraded.load(Ordering::Relaxed))
-            .int("shed", m.shed.load(Ordering::Relaxed))
+            .int("shed", shed)
             .int("errors", m.errors.load(Ordering::Relaxed))
             .int("retries", m.retries.load(Ordering::Relaxed))
             .int("fm_fallbacks", m.fm_fallbacks.load(Ordering::Relaxed))
@@ -228,8 +238,68 @@ impl Service {
                 "panics_contained",
                 m.panics_contained.load(Ordering::Relaxed),
             )
+            .num(
+                "shed_rate",
+                if requests == 0 {
+                    0.0
+                } else {
+                    shed as f64 / requests as f64
+                },
+            )
+            .raw("latency", m.latency.snapshot().to_json())
+            .raw("latency_by_priority", by_priority(&m.latency_by_priority))
+            .raw("queue_wait", m.queue_wait.snapshot().to_json())
+            .raw(
+                "queue_wait_by_priority",
+                by_priority(&m.queue_wait_by_priority),
+            )
+            .raw("wall_by_tier", tiers)
             .int("cache_entries", cache.entries as u64)
             .int("cache_bytes", cache.bytes as u64)
+            .int("cache_hits", cache.hits)
+            .int("cache_misses", cache.misses)
+            .int("cache_evictions", cache.evictions)
+            .int("spans_recorded", self.spans.recorded())
+            .int("spans_dropped", self.spans.dropped())
+            .int("span_capacity", self.spans.capacity() as u64)
+            .render()
+    }
+
+    /// Renders the one-line `trace` frame served for a `/trace` request
+    /// line: the spans currently resident in the ring, oldest first,
+    /// with offsets in microseconds since the service started.
+    pub fn trace_frame(&self) -> String {
+        let spans = self.spans.snapshot();
+        let rendered: Vec<String> = spans
+            .iter()
+            .map(|s| {
+                let mut obj = Obj::new()
+                    .str("kind", s.kind.name())
+                    .str("label", &s.label)
+                    .int("request", s.request);
+                if let Some(a) = s.attempt {
+                    obj = obj.int("attempt", a as u64);
+                }
+                obj = obj
+                    .int(
+                        "start_us",
+                        u64::try_from(s.start.as_micros()).unwrap_or(u64::MAX),
+                    )
+                    .int(
+                        "wall_us",
+                        u64::try_from(s.wall.as_micros()).unwrap_or(u64::MAX),
+                    );
+                if let Some(ok) = s.ok {
+                    obj = obj.bool("ok", ok);
+                }
+                obj.render()
+            })
+            .collect();
+        Obj::new()
+            .str("frame", "trace")
+            .int("recorded", self.spans.recorded())
+            .int("dropped", self.spans.dropped())
+            .raw("spans", format!("[{}]", rendered.join(",")))
             .render()
     }
 
@@ -240,10 +310,14 @@ impl Service {
     /// `emit` is called from this thread *and* (for progress frames)
     /// from portfolio worker threads, hence `Sync`.
     pub fn handle_line(&self, line: &str, emit: &(dyn Fn(&str) + Sync)) {
-        // the one non-JSON line in the protocol: a read-only snapshot
-        // that never enters admission (it must answer even at capacity)
+        // the two non-JSON lines in the protocol: read-only snapshots
+        // that never enter admission (they must answer even at capacity)
         if line.trim() == "/metrics" {
             emit(&self.metrics_frame());
+            return;
+        }
+        if line.trim() == "/trace" {
+            emit(&self.trace_frame());
             return;
         }
         self.metrics.bump(&self.metrics.requests);
@@ -257,12 +331,16 @@ impl Service {
                     .and_then(|d| d.get("id").and_then(|v| v.as_str().map(String::from)))
                     .unwrap_or_else(|| "?".into());
                 self.metrics.bump(&self.metrics.errors);
+                self.metrics
+                    .observe_latency(Priority::Normal, arrival.elapsed());
                 emit(&proto::error_frame(&id, &reason));
                 return;
             }
         };
         if request.fault.is_some() && !cfg!(feature = "fault-inject") {
             self.metrics.bump(&self.metrics.errors);
+            self.metrics
+                .observe_latency(request.priority, arrival.elapsed());
             emit(&proto::error_frame(
                 &request.id,
                 "fault injection is disabled in this build (feature 'fault-inject')",
@@ -275,49 +353,82 @@ impl Service {
 
         // ---- admission (phase one is synchronous: overload costs one
         // lock round-trip, not a thread or a parse) ----
-        let ticket = match self.admission.enroll() {
+        let ticket = match self.admission.enroll(request.priority) {
             Enrollment::Queued(t) => t,
             Enrollment::Shed(load) => {
                 self.metrics.bump(&self.metrics.shed);
+                self.metrics
+                    .observe_latency(request.priority, arrival.elapsed());
                 emit(&proto::shed_frame(&request.id, load.running, load.queued));
                 return;
             }
         };
         let permit = ticket.wait();
         let queue_wait = arrival.elapsed();
+        self.metrics.bump(&self.metrics.admitted);
+        self.metrics
+            .observe_queue_wait(request.priority, queue_wait);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
 
         // ---- execution, panic-isolated: nothing unwinds past here ----
+        let exec_start = Instant::now();
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.execute(&request, deadline, queue_wait, emit)
+            self.execute(&request, seq, deadline, queue_wait, emit)
         }));
         drop(permit);
+        let wall = exec_start.elapsed();
         let frame = run.unwrap_or_else(|payload| {
             self.metrics.bump(&self.metrics.panics_contained);
             let err = np_core::panic_error(payload);
             proto::error_frame(&request.id, &err.to_string())
         });
-        match crate::json::parse(&frame)
-            .ok()
-            .and_then(|d| d.get("frame").and_then(|v| v.as_str().map(String::from)))
-            .as_deref()
-        {
+        let doc = crate::json::parse(&frame).ok();
+        let kind = doc
+            .as_ref()
+            .and_then(|d| d.get("frame").and_then(|v| v.as_str()));
+        let ok = match kind {
             Some("result") => {
-                let degraded = frame.contains("\"degraded\":true");
+                let degraded = doc
+                    .as_ref()
+                    .and_then(|d| d.get("degraded").and_then(|v| v.as_bool()))
+                    .unwrap_or(false);
+                let tier = doc
+                    .as_ref()
+                    .and_then(|d| d.get("reason").and_then(|v| v.as_str()))
+                    .and_then(|r| TIER_NAMES.iter().position(|n| *n == r))
+                    .unwrap_or(0);
+                self.metrics.wall_by_tier[tier].observe(wall);
                 self.metrics.bump(if degraded {
                     &self.metrics.degraded
                 } else {
                     &self.metrics.results
                 });
+                true
             }
-            _ => self.metrics.bump(&self.metrics.errors),
-        }
+            _ => {
+                self.metrics.bump(&self.metrics.errors);
+                false
+            }
+        };
+        self.metrics
+            .observe_latency(request.priority, arrival.elapsed());
+        self.spans.record_since(
+            SpanKind::Request,
+            request.id.as_str(),
+            seq,
+            None,
+            arrival,
+            Some(ok),
+        );
         emit(&frame);
     }
 
-    /// Runs the admitted request and renders its terminal frame.
+    /// Runs the admitted request and renders its terminal frame. `seq`
+    /// is the request's span tag (see [`Service::trace_frame`]).
     fn execute(
         &self,
         request: &Request,
+        seq: u64,
         deadline: Option<Instant>,
         queue_wait: Duration,
         emit: &(dyn Fn(&str) + Sync),
@@ -407,6 +518,7 @@ impl Service {
                 seed: attempt_seed,
                 target_ratio: request.target_ratio,
             };
+            let portfolio_started = Instant::now();
             let outcome = {
                 let id = request.id.as_str();
                 let progress = request.progress;
@@ -429,18 +541,20 @@ impl Service {
                         id, e.attempt, e.label, stage, &detail,
                     ));
                 };
+                let fan_in = SpanFanIn::new(&self.spans, seq).forwarding(&sink);
                 run_portfolio_cached(
                     &cached.hypergraph,
                     &portfolio,
                     &opts,
                     &meter,
-                    Some(&sink),
+                    Some(&fan_in),
                     &|r: &PartitionResult| r.ratio(),
                     &cached.operators,
                 )
             };
             match outcome {
                 Ok(out) => {
+                    record_attempt_spans(&self.spans, seq, &out.report, portfolio_started);
                     for a in &out.report.attempts {
                         if matches!(a.status, np_runner::AttemptStatus::Panicked) {
                             self.metrics.bump(&self.metrics.panics_contained);

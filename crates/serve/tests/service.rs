@@ -201,6 +201,252 @@ fn netlist_cache_is_shared_across_requests() {
     assert!(stats.hits >= 1);
 }
 
+/// Parses the current `/metrics` frame of a service.
+fn metrics_doc(svc: &Service) -> Value {
+    json::parse(&svc.metrics_frame()).expect("/metrics must always render valid json")
+}
+
+/// Integer field of a metrics document.
+fn counter(doc: &Value, key: &str) -> u64 {
+    doc.get(key)
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("metrics frame must carry integer '{key}'"))
+}
+
+/// `(count, sum-of-bucket-cells)` for one histogram object.
+fn hist_cells(hist: &Value) -> (u64, u64) {
+    let count = hist.get("count").and_then(Value::as_u64).unwrap();
+    let cells = match hist.get("buckets") {
+        Some(Value::Array(items)) => items.iter().filter_map(Value::as_u64).sum(),
+        _ => panic!("histogram must carry a bucket array"),
+    };
+    (count, cells)
+}
+
+/// Blocks until the service reports at least one running request — used
+/// to park a "plug" request on the only worker before queueing rivals.
+fn wait_until_running(svc: &Service) {
+    let started = std::time::Instant::now();
+    while counter(&metrics_doc(svc), "running") == 0 {
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "plug request never started running"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// The weighted-fair acceptance criterion: under a saturated single
+/// worker, high-priority requests are granted ahead of a much larger
+/// low-priority cohort — their p99 latency is strictly lower — while
+/// every low-priority request still completes (no starvation).
+#[test]
+fn high_priority_p99_beats_low_under_saturation_and_low_still_drains() {
+    let svc = Arc::new(Service::new(ServeConfig {
+        workers: 1,
+        queue: 40,
+        max_wall: Duration::from_secs(2),
+        insurance_wall: Duration::from_millis(5),
+        ..ServeConfig::default()
+    }));
+    const HIGH: usize = 3;
+    const LOW: usize = 24;
+    std::thread::scope(|scope| {
+        // a plug occupies the lone worker so all contenders pile up in
+        // the queue and admission order is decided by the scheduler,
+        // not by arrival timing
+        {
+            let svc = Arc::clone(&svc);
+            scope.spawn(move || {
+                let line = request_line("plug", 160, r#","restarts":6,"budget_ms":60"#);
+                collect(&svc, &line);
+            });
+        }
+        wait_until_running(&svc);
+        let gate = Arc::new(Barrier::new(HIGH + LOW));
+        for i in 0..HIGH + LOW {
+            let svc = Arc::clone(&svc);
+            let gate = Arc::clone(&gate);
+            scope.spawn(move || {
+                let class = if i < HIGH { "high" } else { "low" };
+                let line = request_line(
+                    &format!("{class}{i}"),
+                    160,
+                    &format!(r#","restarts":6,"budget_ms":30,"priority":"{class}""#),
+                );
+                gate.wait();
+                let frames = collect(&svc, &line);
+                assert_eq!(frames.len(), 1, "{class}{i}: {frames:?}");
+                assert_eq!(frame_kind(&frames[0]), "result", "{class}{i}: {frames:?}");
+            });
+        }
+    });
+    let doc = metrics_doc(&svc);
+    assert_eq!(counter(&doc, "shed"), 0, "queue 40 must hold the burst");
+    let by_priority = doc.get("latency_by_priority").unwrap();
+    let p99 = |class: &str| {
+        by_priority
+            .get(class)
+            .and_then(|h| h.get("p99_us"))
+            .and_then(Value::as_u64)
+            .unwrap()
+    };
+    let (low_count, _) = hist_cells(by_priority.get("low").unwrap());
+    assert_eq!(low_count, LOW as u64, "every low request must complete");
+    assert!(
+        p99("high") < p99("low"),
+        "high p99 {}us must be strictly below low p99 {}us\n{doc:?}",
+        p99("high"),
+        p99("low")
+    );
+}
+
+/// Satellite regression: requests whose deadline expires while they sit
+/// in the queue must each release their permit exactly once — the load
+/// gauge returns to zero and the service keeps accepting work.
+#[test]
+fn queue_expiry_racing_dispatch_releases_every_permit_exactly_once() {
+    let svc = Arc::new(Service::new(ServeConfig {
+        workers: 1,
+        queue: 12,
+        max_wall: Duration::from_millis(500),
+        insurance_wall: Duration::from_millis(10),
+        ..ServeConfig::default()
+    }));
+    std::thread::scope(|scope| {
+        {
+            let svc = Arc::clone(&svc);
+            scope.spawn(move || {
+                let line = request_line("plug", 160, r#","restarts":6,"budget_ms":80"#);
+                collect(&svc, &line);
+            });
+        }
+        wait_until_running(&svc);
+        // deadlines of 0..8ms all expire behind the ~80ms plug; some
+        // race their expiry against the moment the worker frees up
+        for i in 0..8u64 {
+            let svc = Arc::clone(&svc);
+            scope.spawn(move || {
+                let line = request_line(
+                    &format!("e{i}"),
+                    48,
+                    &format!(r#","deadline_ms":{i},"restarts":2"#),
+                );
+                let frames = collect(&svc, &line);
+                let terminals = frames
+                    .iter()
+                    .filter(|f| frame_kind(f) != "progress")
+                    .count();
+                assert_eq!(terminals, 1, "e{i} must terminate exactly once: {frames:?}");
+            });
+        }
+    });
+    // every handle_line returned, so every permit must be home
+    let doc = metrics_doc(&svc);
+    assert_eq!(counter(&doc, "running"), 0, "{doc:?}");
+    assert_eq!(counter(&doc, "queued"), 0, "{doc:?}");
+    assert_eq!(
+        counter(&doc, "admitted"),
+        counter(&doc, "requests"),
+        "queue 12 holds all 9 requests, nothing sheds: {doc:?}"
+    );
+    let (wait_count, _) = hist_cells(doc.get("queue_wait").unwrap());
+    assert_eq!(wait_count, counter(&doc, "admitted"), "{doc:?}");
+    // the pool is intact: a fresh request is admitted and answered
+    let frames = collect(&svc, &request_line("after", 48, r#","restarts":2"#));
+    assert_eq!(frames.len(), 1, "{frames:?}");
+    assert_eq!(frame_kind(&frames[0]), "result", "{frames:?}");
+}
+
+/// Satellite: `/metrics` under concurrent load — snapshots taken during
+/// a 16-request burst always parse, counters never move backwards, and
+/// the final snapshot satisfies the quiescent consistency identities.
+#[test]
+fn metrics_snapshots_stay_consistent_under_a_concurrent_burst() {
+    let svc = Arc::new(Service::new(ServeConfig {
+        workers: 2,
+        queue: 14, // 16 in flight: the whole burst fits, nothing sheds
+        max_wall: Duration::from_millis(300),
+        insurance_wall: Duration::from_millis(10),
+        ..ServeConfig::default()
+    }));
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // two samplers hammer /metrics for the whole burst
+        for _ in 0..2 {
+            let svc = Arc::clone(&svc);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                let keys = [
+                    "requests", "admitted", "results", "degraded", "shed", "errors",
+                ];
+                let mut last = [0u64; 6];
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    let doc = metrics_doc(&svc);
+                    let now: Vec<u64> = keys.iter().map(|k| counter(&doc, k)).collect();
+                    for (j, key) in keys.iter().enumerate() {
+                        assert!(now[j] >= last[j], "'{key}' moved backwards: {doc:?}");
+                        last[j] = now[j];
+                    }
+                    let settled = now[2] + now[3] + now[4] + now[5];
+                    assert!(settled <= now[0], "more answers than requests: {doc:?}");
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+        let gate = Arc::new(Barrier::new(16));
+        let workers: Vec<_> = (0..16)
+            .map(|i| {
+                let svc = Arc::clone(&svc);
+                let gate = Arc::clone(&gate);
+                scope.spawn(move || {
+                    let class = ["high", "normal", "low"][i % 3];
+                    let line = request_line(
+                        &format!("b{i}"),
+                        32 + (i % 4) * 32,
+                        &format!(r#","restarts":2,"budget_ms":40,"priority":"{class}""#),
+                    );
+                    gate.wait();
+                    collect(&svc, &line);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    let doc = metrics_doc(&svc);
+    assert_eq!(counter(&doc, "requests"), 16, "{doc:?}");
+    assert_eq!(counter(&doc, "shed"), 0, "{doc:?}");
+    assert_eq!(counter(&doc, "errors"), 0, "{doc:?}");
+    assert_eq!(
+        counter(&doc, "results") + counter(&doc, "degraded"),
+        16,
+        "{doc:?}"
+    );
+    // quiescent identities: every request is measured exactly once, and
+    // every histogram's bucket cells sum to its own count
+    let (lat_count, lat_cells) = hist_cells(doc.get("latency").unwrap());
+    assert_eq!(lat_count, 16, "{doc:?}");
+    assert_eq!(lat_cells, lat_count, "{doc:?}");
+    let (wait_count, wait_cells) = hist_cells(doc.get("queue_wait").unwrap());
+    assert_eq!(wait_count, counter(&doc, "admitted"), "{doc:?}");
+    assert_eq!(wait_cells, wait_count, "{doc:?}");
+    for group in ["latency_by_priority", "queue_wait_by_priority"] {
+        let mut total = 0;
+        for class in ["high", "normal", "low"] {
+            let (count, cells) = hist_cells(doc.get(group).unwrap().get(class).unwrap());
+            assert_eq!(cells, count, "{group}.{class}: {doc:?}");
+            total += count;
+        }
+        assert_eq!(
+            total, 16,
+            "{group} classes must partition the burst: {doc:?}"
+        );
+    }
+}
+
 #[cfg(feature = "fault-inject")]
 mod faults {
     use super::*;

@@ -1,0 +1,34 @@
+//! Test-mode entry for the soak harness: a bounded run of the same
+//! mixed-traffic loop the CI soak job executes for minutes, asserting
+//! the leak and consistency invariants hold end to end.
+
+use np_serve::{run_soak, SoakOptions};
+use std::time::Duration;
+
+/// A two-second mixed-priority soak must finish with zero invariant
+/// violations and a self-consistent final `/metrics` snapshot.
+#[test]
+fn bounded_soak_holds_every_invariant() {
+    let report = run_soak(&SoakOptions {
+        duration: Duration::from_millis(2000),
+        clients: 5,
+        seed: 0xC0FF_EE00,
+        ..SoakOptions::default()
+    });
+    assert!(
+        report.passed(),
+        "soak violations: {:?}\nfinal metrics: {}",
+        report.violations,
+        report.final_metrics
+    );
+    assert!(report.sent > 0, "harness must generate traffic");
+    assert_eq!(report.terminal_violations, 0);
+    assert!(
+        report.low_priority_completed > 0,
+        "low priority must not starve: {}",
+        report.to_json()
+    );
+    // the report renders as one valid JSON document
+    let doc = np_serve::json::parse(&report.to_json()).expect("report json");
+    assert!(doc.get("passed").is_some());
+}
