@@ -18,7 +18,7 @@
 
 use bench::{timed, BenchEntry, BenchReport};
 use np_core::engine::RunContext;
-use np_multilevel::{multilevel, multilevel_ctx, MultilevelOptions};
+use np_multilevel::{multilevel_ctx, MultilevelOptions};
 use np_sparse::{Budget, BudgetMeter};
 use np_testkit::band_ladder;
 use std::time::Duration;
@@ -56,7 +56,15 @@ fn main() {
         }
         let hg = spec.build();
         let opts = MultilevelOptions::default();
-        let (ml, ml_wall) = timed(|| multilevel(&hg, &opts).expect("V-cycle"));
+        // Meter the V-cycle arm so the record carries a throughput
+        // counter: matvec-equivalents charged across the whole cycle
+        // (eigensolve matvecs, coarsening levels, FM passes) per second.
+        let vcycle_meter = BudgetMeter::unlimited();
+        let (ml, ml_wall) = timed(|| {
+            let ctx = RunContext::with_meter(&vcycle_meter);
+            multilevel_ctx(&hg, &opts, &ctx).expect("V-cycle")
+        });
+        let matvecs = vcycle_meter.matvecs_used() as usize;
         let flat_opts = MultilevelOptions {
             coarsen_target: usize::MAX,
             ..opts
@@ -80,6 +88,10 @@ fn main() {
             .int("vcycle_cut", ml.result.stats.cut_nets)
             .sci("vcycle_ratio", ml.result.ratio())
             .fixed("vcycle_ms", ml_ms)
+            .int("matvecs", matvecs)
+            // canonical throughput field: the headline (fast-arm) rate
+            // every bench record carries under the same key
+            .rate("matvecs_per_sec", matvecs, ml_wall)
             .fixed("flat_budget_ms", flat_budget.as_secs_f64() * 1e3)
             .int("flat_completed", flat.is_ok() as usize);
         match flat {

@@ -21,6 +21,67 @@ use np_netlist::Side;
 
 const NONE: u32 = u32::MAX;
 
+/// One-bit-per-net side mask of the sliding split (bit set = `R` side).
+///
+/// The alternating BFS tests a vertex's side on every edge it scans;
+/// packing sides 64-per-word keeps the whole mask in a few cache lines
+/// (band-L's 8000 nets fit in 1 KiB) where a byte-per-net `Vec<Side>`
+/// would stream 8× the data through L1.
+#[derive(Clone, Debug)]
+struct SideBits {
+    words: Vec<u64>,
+}
+
+impl SideBits {
+    fn all_left(n: usize) -> Self {
+        SideBits {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn is_right(&self, v: u32) -> bool {
+        (self.words[(v >> 6) as usize] >> (v & 63)) & 1 != 0
+    }
+
+    #[inline]
+    fn set_right(&mut self, v: u32) {
+        self.words[(v >> 6) as usize] |= 1u64 << (v & 63);
+    }
+
+    #[inline]
+    fn side_of(&self, v: u32) -> Side {
+        if self.is_right(v) {
+            Side::Right
+        } else {
+            Side::Left
+        }
+    }
+}
+
+/// Epoch-stamped BFS scratch, structure-of-arrays: one visit stamp, one
+/// predecessor and one queue slot per net, allocated once per matcher and
+/// reused by every traversal — clearing between traversals is a single
+/// epoch bump, never an `O(n)` reset.
+#[derive(Clone, Debug)]
+struct BfsArena {
+    seen: Vec<u32>,
+    prev: Vec<u32>,
+    queue: Vec<u32>,
+    epoch: u32,
+}
+
+impl BfsArena {
+    fn new(n: usize) -> Self {
+        BfsArena {
+            seen: vec![0; n],
+            prev: vec![NONE; n],
+            queue: Vec::new(),
+            epoch: 0,
+        }
+    }
+}
+
 /// Status labels from the alternating-path classification
 /// (paper Figure 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -171,46 +232,73 @@ impl MoveDelta {
 /// assert_eq!(c.losers.len(), 1);
 /// ```
 #[derive(Clone, Debug)]
-pub struct SplitMatcher<'a> {
-    neighbors: &'a [Vec<u32>],
-    side: Vec<Side>,
+pub struct SplitMatcher {
+    /// Flattened CSR adjacency of the intersection graph: the neighbors
+    /// of net `v` are `adj[adj_off[v]..adj_off[v + 1]]`. One contiguous
+    /// array instead of a `Vec<Vec<u32>>`, so edge scans never chase a
+    /// per-row heap pointer.
+    adj_off: Vec<u32>,
+    adj: Vec<u32>,
+    n: usize,
+    side: SideBits,
     mate: Vec<u32>,
     matching: usize,
-    // BFS scratch, epoch-stamped to avoid per-call clearing
-    seen: Vec<u32>,
-    prev: Vec<u32>,
-    epoch: u32,
-    queue: Vec<u32>,
+    arena: BfsArena,
 }
 
-impl<'a> SplitMatcher<'a> {
+impl SplitMatcher {
     /// Creates a matcher with every net on the `L` side.
     ///
     /// `neighbors[v]` must list the intersection-graph neighbors of net
     /// `v` (symmetric, no self-loops) — see
     /// [`intersection_neighbors`](crate::models::intersection_neighbors).
-    pub fn new(neighbors: &'a [Vec<u32>]) -> Self {
+    /// The adjacency is flattened into an owned CSR layout, so the
+    /// matcher does not borrow `neighbors`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net count or total edge-endpoint count reaches
+    /// `u32::MAX`.
+    pub fn new(neighbors: &[Vec<u32>]) -> Self {
         let n = neighbors.len();
+        assert!(n < u32::MAX as usize, "net count overflows u32 indices");
+        let total: usize = neighbors.iter().map(Vec::len).sum();
+        assert!(
+            total < u32::MAX as usize,
+            "edge count overflows u32 offsets"
+        );
+        let mut adj_off = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(total);
+        adj_off.push(0u32);
+        for nb in neighbors {
+            adj.extend_from_slice(nb);
+            adj_off.push(adj.len() as u32);
+        }
         SplitMatcher {
-            neighbors,
-            side: vec![Side::Left; n],
+            adj_off,
+            adj,
+            n,
+            side: SideBits::all_left(n),
             mate: vec![NONE; n],
             matching: 0,
-            seen: vec![0; n],
-            prev: vec![NONE; n],
-            epoch: 0,
-            queue: Vec::new(),
+            arena: BfsArena::new(n),
         }
     }
 
     /// Number of nets.
     pub fn len(&self) -> usize {
-        self.side.len()
+        self.n
     }
 
     /// Returns `true` if the matcher tracks zero nets.
     pub fn is_empty(&self) -> bool {
-        self.side.is_empty()
+        self.n == 0
+    }
+
+    /// The intersection-graph neighbors of net `v` (flattened CSR row).
+    #[inline]
+    fn nbrs(&self, v: u32) -> &[u32] {
+        &self.adj[self.adj_off[v as usize] as usize..self.adj_off[v as usize + 1] as usize]
     }
 
     /// Current size of the maintained maximum matching — by König's
@@ -222,7 +310,7 @@ impl<'a> SplitMatcher<'a> {
 
     /// The side net `v` is currently on.
     pub fn side_of(&self, v: u32) -> Side {
-        self.side[v as usize]
+        self.side.side_of(v)
     }
 
     /// Current partner of net `v`, if matched.
@@ -253,11 +341,11 @@ impl<'a> SplitMatcher<'a> {
     /// Panics if `v` is out of range or already on the `R` side.
     pub fn move_to_r_into(&mut self, v: u32, delta: &mut MoveDelta) {
         assert_eq!(
-            self.side[v as usize],
+            self.side.side_of(v),
             Side::Left,
             "net {v} is already on the R side"
         );
-        delta.reset(v, !self.neighbors[v as usize].is_empty());
+        delta.reset(v, self.adj_off[v as usize] != self.adj_off[v as usize + 1]);
         // detach v from its partner (an R vertex), if any
         let exposed = self.mate[v as usize];
         if exposed != NONE {
@@ -268,7 +356,7 @@ impl<'a> SplitMatcher<'a> {
             delta.mates_changed.push(v);
             delta.mates_changed.push(exposed);
         }
-        self.side[v as usize] = Side::Right;
+        self.side.set_right(v);
         // the exposed ex-partner may re-match through another L vertex
         if exposed != NONE {
             let flipped_from = delta.mates_changed.len();
@@ -293,31 +381,39 @@ impl<'a> SplitMatcher<'a> {
     /// exists. Vertices whose mate is flipped are appended to `flipped`
     /// (the caller truncates them away on a failed attempt).
     fn augment_from_r(&mut self, start: u32, flipped: &mut Vec<u32>) -> bool {
-        debug_assert_eq!(self.side[start as usize], Side::Right);
+        debug_assert!(self.side.is_right(start));
         debug_assert_eq!(self.mate[start as usize], NONE);
-        self.epoch += 1;
-        let epoch = self.epoch;
-        self.queue.clear();
-        self.queue.push(start);
+        let Self {
+            adj_off,
+            adj,
+            side,
+            mate,
+            arena,
+            ..
+        } = self;
+        arena.epoch += 1;
+        let epoch = arena.epoch;
+        arena.queue.clear();
+        arena.queue.push(start);
         let mut head = 0;
-        while head < self.queue.len() {
-            let y = self.queue[head];
+        while head < arena.queue.len() {
+            let y = arena.queue[head];
             head += 1;
-            for &x in &self.neighbors[y as usize] {
-                if self.side[x as usize] != Side::Left || self.seen[x as usize] == epoch {
+            for &x in &adj[adj_off[y as usize] as usize..adj_off[y as usize + 1] as usize] {
+                if side.is_right(x) || arena.seen[x as usize] == epoch {
                     continue;
                 }
-                self.seen[x as usize] = epoch;
-                self.prev[x as usize] = y;
-                let next = self.mate[x as usize];
+                arena.seen[x as usize] = epoch;
+                arena.prev[x as usize] = y;
+                let next = mate[x as usize];
                 if next == NONE {
                     // augment along the stored path
                     let mut x = x;
                     loop {
-                        let y = self.prev[x as usize];
-                        let continue_from = self.mate[y as usize];
-                        self.mate[x as usize] = y;
-                        self.mate[y as usize] = x;
+                        let y = arena.prev[x as usize];
+                        let continue_from = mate[y as usize];
+                        mate[x as usize] = y;
+                        mate[y as usize] = x;
                         flipped.push(x);
                         flipped.push(y);
                         if continue_from == NONE {
@@ -326,7 +422,7 @@ impl<'a> SplitMatcher<'a> {
                         x = continue_from;
                     }
                 }
-                self.queue.push(next);
+                arena.queue.push(next);
             }
         }
         false
@@ -342,21 +438,24 @@ impl<'a> SplitMatcher<'a> {
         out.clear();
         let n = self.len();
         let mut status = vec![Status::Unreached; n];
+        // Take the queue out of the arena so the BFS below can borrow
+        // `self` immutably for adjacency/side/mate reads.
+        let mut queue = std::mem::take(&mut self.arena.queue);
 
         // BFS from unmatched L vertices: Even(L) winners, Odd(L) losers
-        self.queue.clear();
+        queue.clear();
         for v in 0..n as u32 {
-            if self.side[v as usize] == Side::Left && self.mate[v as usize] == NONE {
+            if !self.side.is_right(v) && self.mate[v as usize] == NONE {
                 status[v as usize] = Status::EvenL;
-                self.queue.push(v);
+                queue.push(v);
             }
         }
         let mut head = 0;
-        while head < self.queue.len() {
-            let x = self.queue[head];
+        while head < queue.len() {
+            let x = queue[head];
             head += 1;
-            for &y in &self.neighbors[x as usize] {
-                if self.side[y as usize] != Side::Right {
+            for &y in self.nbrs(x) {
+                if !self.side.is_right(y) {
                     continue;
                 }
                 if status[y as usize] != Status::Unreached {
@@ -371,26 +470,26 @@ impl<'a> SplitMatcher<'a> {
                 );
                 if status[x2 as usize] == Status::Unreached {
                     status[x2 as usize] = Status::EvenL;
-                    self.queue.push(x2);
+                    queue.push(x2);
                 }
             }
         }
 
         // BFS from unmatched R vertices: Even(R) winners, Odd(R) losers
-        self.queue.clear();
+        queue.clear();
         for v in 0..n as u32 {
-            if self.side[v as usize] == Side::Right && self.mate[v as usize] == NONE {
+            if self.side.is_right(v) && self.mate[v as usize] == NONE {
                 debug_assert_eq!(status[v as usize], Status::Unreached);
                 status[v as usize] = Status::EvenR;
-                self.queue.push(v);
+                queue.push(v);
             }
         }
         let mut head = 0;
-        while head < self.queue.len() {
-            let y = self.queue[head];
+        while head < queue.len() {
+            let y = queue[head];
             head += 1;
-            for &x in &self.neighbors[y as usize] {
-                if self.side[x as usize] != Side::Left {
+            for &x in self.nbrs(y) {
+                if self.side.is_right(x) {
                     continue;
                 }
                 if status[x as usize] != Status::Unreached {
@@ -407,20 +506,24 @@ impl<'a> SplitMatcher<'a> {
                 debug_assert_ne!(y2, NONE);
                 if status[y2 as usize] == Status::Unreached {
                     status[y2 as usize] = Status::EvenR;
-                    self.queue.push(y2);
+                    queue.push(y2);
                 }
             }
         }
+        self.arena.queue = queue;
 
         for v in 0..n as u32 {
             match status[v as usize] {
                 Status::EvenL => out.winners_l.push(v),
                 Status::EvenR => out.winners_r.push(v),
                 Status::OddL | Status::OddR => out.losers.push(v),
-                Status::Unreached => match self.side[v as usize] {
-                    Side::Left => out.bprime_l.push(v),
-                    Side::Right => out.bprime_r.push(v),
-                },
+                Status::Unreached => {
+                    if self.side.is_right(v) {
+                        out.bprime_r.push(v);
+                    } else {
+                        out.bprime_l.push(v);
+                    }
+                }
             }
         }
     }
@@ -445,10 +548,10 @@ impl<'a> SplitMatcher<'a> {
             if self.mate[m as usize] != v {
                 return false;
             }
-            if self.side[v as usize] == self.side[m as usize] {
+            if self.side.is_right(v) == self.side.is_right(m) {
                 return false;
             }
-            if !self.neighbors[v as usize].contains(&m) {
+            if !self.nbrs(v).contains(&m) {
                 return false;
             }
         }
@@ -540,7 +643,7 @@ impl NetClassifier {
     /// classifier was built for.
     pub fn refresh(
         &mut self,
-        matcher: &SplitMatcher<'_>,
+        matcher: &SplitMatcher,
         delta: &MoveDelta,
         changes: &mut Vec<NetClassChange>,
     ) {
@@ -566,16 +669,16 @@ impl NetClassifier {
         self.region.clear();
         self.queue.clear();
         self.seed_region(v, epoch);
-        for &u in &matcher.neighbors[v as usize] {
+        for &u in matcher.nbrs(v) {
             self.seed_region(u, epoch);
         }
         let mut head = 0;
         while head < self.queue.len() {
             let u = self.queue[head];
             head += 1;
-            let u_side = matcher.side[u as usize];
-            for &w in &matcher.neighbors[u as usize] {
-                if matcher.side[w as usize] != u_side && self.visit[w as usize] != epoch {
+            let u_right = matcher.side.is_right(u);
+            for &w in matcher.nbrs(u) {
+                if matcher.side.is_right(w) != u_right && self.visit[w as usize] != epoch {
                     self.seed_region(w, epoch);
                 }
             }
@@ -590,7 +693,7 @@ impl NetClassifier {
         self.queue.clear();
         for i in 0..self.region.len() {
             let u = self.region[i];
-            if matcher.side[u as usize] == Side::Left && matcher.mate[u as usize] == NONE {
+            if !matcher.side.is_right(u) && matcher.mate[u as usize] == NONE {
                 self.mark[u as usize] = epoch;
                 self.newclass[u as usize] = NetClass::WinnerL;
                 self.queue.push(u);
@@ -600,8 +703,8 @@ impl NetClassifier {
         while head < self.queue.len() {
             let x = self.queue[head];
             head += 1;
-            for &y in &matcher.neighbors[x as usize] {
-                if matcher.side[y as usize] != Side::Right || self.mark[y as usize] == epoch {
+            for &y in matcher.nbrs(x) {
+                if !matcher.side.is_right(y) || self.mark[y as usize] == epoch {
                     continue;
                 }
                 self.mark[y as usize] = epoch;
@@ -625,7 +728,7 @@ impl NetClassifier {
         self.queue.clear();
         for i in 0..self.region.len() {
             let u = self.region[i];
-            if matcher.side[u as usize] == Side::Right && matcher.mate[u as usize] == NONE {
+            if matcher.side.is_right(u) && matcher.mate[u as usize] == NONE {
                 debug_assert_ne!(self.mark[u as usize], epoch);
                 self.mark[u as usize] = epoch;
                 self.newclass[u as usize] = NetClass::WinnerR;
@@ -636,8 +739,8 @@ impl NetClassifier {
         while head < self.queue.len() {
             let y = self.queue[head];
             head += 1;
-            for &x in &matcher.neighbors[y as usize] {
-                if matcher.side[x as usize] != Side::Left {
+            for &x in matcher.nbrs(y) {
+                if matcher.side.is_right(x) {
                     continue;
                 }
                 if self.mark[x as usize] == epoch {
@@ -669,9 +772,10 @@ impl NetClassifier {
                 self.newclass[u as usize]
             } else {
                 debug_assert_ne!(matcher.mate[u as usize], NONE);
-                match matcher.side[u as usize] {
-                    Side::Left => NetClass::BPrimeL,
-                    Side::Right => NetClass::BPrimeR,
+                if matcher.side.is_right(u) {
+                    NetClass::BPrimeR
+                } else {
+                    NetClass::BPrimeL
                 }
             };
             self.record(u, new, changes);

@@ -435,8 +435,8 @@ impl IncrementalCompletion {
 /// assert_eq!(eval.candidate().stats.cut_nets, 1);
 /// assert_eq!(sweep.matching_size(), 1);
 /// ```
-pub struct SweepState<'a> {
-    matcher: SplitMatcher<'a>,
+pub struct SweepState {
+    matcher: SplitMatcher,
     classifier: NetClassifier,
     completion: IncrementalCompletion,
     delta: MoveDelta,
@@ -445,16 +445,18 @@ pub struct SweepState<'a> {
     oracle: CompletionOracle,
 }
 
-impl<'a> SweepState<'a> {
+impl SweepState {
     /// A sweep at the initial all-`L` split.
     ///
     /// `neighbors` must be the intersection-graph adjacency of `hg` (see
     /// [`intersection_neighbors`](crate::models::intersection_neighbors)).
+    /// The adjacency is flattened into the matcher's owned CSR layout, so
+    /// the sweep does not borrow it.
     ///
     /// # Panics
     ///
     /// Panics if `neighbors.len() != hg.num_nets()`.
-    pub fn new(hg: &Hypergraph, neighbors: &'a [Vec<u32>]) -> Self {
+    pub fn new(hg: &Hypergraph, neighbors: &[Vec<u32>]) -> Self {
         assert_eq!(
             neighbors.len(),
             hg.num_nets(),

@@ -16,7 +16,7 @@
 use crate::dense::try_jacobi_eigen;
 use crate::lanczos::{EigenPair, LanczosOptions};
 use crate::EigenError;
-use np_sparse::vecops::{axpy, dot, norm2, normalize};
+use np_sparse::vecops::{accumulate_scaled, axpy, dot_hot, norm2, normalize, orthogonalize_fused};
 use np_sparse::{BudgetMeter, LinearOperator};
 
 /// Options for [`smallest_deflated_block`].
@@ -42,14 +42,11 @@ impl Default for BlockLanczosOptions {
 
 use crate::lanczos::splitmix_stream;
 
-/// Modified Gram–Schmidt of `v` against `basis` (twice) and `deflate`.
+/// Modified Gram–Schmidt of `v` against `basis` (twice) and `deflate`,
+/// fused into one sweep (same projection order as the unfused loops:
+/// deflate, basis, deflate, basis).
 fn full_orthogonalize(v: &mut [f64], basis: &[Vec<f64>], deflate: &[Vec<f64>]) {
-    for _ in 0..2 {
-        for u in deflate.iter().chain(basis.iter()) {
-            let c = dot(u, v);
-            axpy(-c, u, v);
-        }
-    }
+    orthogonalize_fused(&[deflate, basis, deflate, basis], v);
 }
 
 /// Computes the smallest eigenpair of `op` restricted to the orthogonal
@@ -104,10 +101,7 @@ pub fn smallest_deflated_block_metered(
         let mut out: Vec<Vec<f64>> = Vec::with_capacity(deflate.len());
         for v in deflate {
             let mut w = v.clone();
-            for b in &out {
-                let c = dot(b, &w);
-                axpy(-c, b, &mut w);
-            }
+            orthogonalize_fused(&[&out], &mut w);
             if normalize(&mut w) > 1e-12 {
                 out.push(w);
             }
@@ -173,19 +167,15 @@ pub fn smallest_deflated_block_metered(
                     row.resize(basis.len(), 0.0);
                 }
                 for (i, b) in basis.iter().enumerate() {
-                    let c = dot(b, &w);
+                    let c = dot_hot(b, &w);
                     t[i][j] = c;
                     t[j][i] = c;
                 }
+                let coeffs: Vec<f64> = (0..basis.len()).map(|i| -t[i][j]).collect();
                 let mut res = w.clone();
-                for (i, b) in basis.iter().enumerate() {
-                    axpy(-t[i][j], b, &mut res);
-                }
+                accumulate_scaled(&coeffs, &basis, &mut res);
                 full_orthogonalize(&mut res, &basis, &deflate);
-                for nv in &new_vectors {
-                    let c = dot(nv, &res);
-                    axpy(-c, nv, &mut res);
-                }
+                orthogonalize_fused(&[&new_vectors], &mut res);
                 if normalize(&mut res) > 1e-10 {
                     new_vectors.push(res);
                 }
@@ -213,9 +203,7 @@ pub fn smallest_deflated_block_metered(
             let theta = eig.values[0];
             let y = &eig.vectors[0];
             let mut x = vec![0.0f64; n];
-            for (yi, b) in y.iter().zip(&basis) {
-                axpy(*yi, b, &mut x);
-            }
+            accumulate_scaled(y, &basis, &mut x);
             full_orthogonalize(&mut x, &[], &deflate);
             if normalize(&mut x) > 1e-12 {
                 let mut mx = vec![0.0f64; n];

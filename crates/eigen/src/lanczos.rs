@@ -25,7 +25,9 @@
 use crate::dense::{materialize, try_jacobi_eigen};
 use crate::tridiag::eigh_tridiagonal;
 use crate::EigenError;
-use np_sparse::vecops::{axpy, dot, norm2, normalize};
+use np_sparse::vecops::{
+    accumulate_scaled, axpy, axpy2, dot_hot, norm2, norm2_hot, normalize, orthogonalize_fused,
+};
 use np_sparse::{BudgetMeter, LinearOperator};
 
 /// An eigenvalue/eigenvector pair.
@@ -87,10 +89,7 @@ fn orthonormalize(vectors: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(vectors.len());
     for v in vectors {
         let mut w = v.clone();
-        for b in &basis {
-            let c = dot(b, &w);
-            axpy(-c, b, &mut w);
-        }
+        orthogonalize_fused(&[&basis], &mut w);
         if normalize(&mut w) > 1e-12 {
             basis.push(w);
         }
@@ -99,14 +98,9 @@ fn orthonormalize(vectors: &[Vec<f64>]) -> Vec<Vec<f64>> {
 }
 
 /// Projects `x` onto the orthogonal complement of the orthonormal set `us`
-/// (applied twice for numerical robustness).
+/// (applied twice for numerical robustness), as one fused sweep.
 fn project_out(us: &[Vec<f64>], x: &mut [f64]) {
-    for _ in 0..2 {
-        for u in us {
-            let c = dot(u, x);
-            axpy(-c, u, x);
-        }
-    }
+    orthogonalize_fused(&[us, us], x);
 }
 
 /// Computes the smallest eigenpair of `op` restricted to the orthogonal
@@ -186,28 +180,23 @@ pub fn smallest_deflated_metered(
             op.apply(&basis[j], &mut w);
             matvecs += 1;
             meter.charge(1)?;
-            let alpha = dot(&w, &basis[j]);
+            let alpha = dot_hot(&w, &basis[j]);
             if !alpha.is_finite() {
                 return Err(EigenError::NonFinite {
                     stage: "lanczos iteration",
                 });
             }
             alphas.push(alpha);
-            axpy(-alpha, &basis[j], &mut w);
             if j > 0 {
-                let beta_prev = betas[j - 1];
-                let prev = basis[j - 1].clone();
-                axpy(-beta_prev, &prev, &mut w);
+                // both recurrence subtractions in one pass over w
+                axpy2(-alpha, &basis[j], -betas[j - 1], &basis[j - 1], &mut w);
+            } else {
+                axpy(-alpha, &basis[j], &mut w);
             }
-            // full reorthogonalization (deflation set + basis), twice
-            project_out(&deflate, &mut w);
-            for _ in 0..2 {
-                for b in &basis {
-                    let c = dot(b, &w);
-                    axpy(-c, b, &mut w);
-                }
-            }
-            let beta = norm2(&w);
+            // full reorthogonalization (deflation set twice, then the
+            // basis twice), fused into a single m+1-pass sweep
+            orthogonalize_fused(&[&deflate, &deflate, &basis, &basis], &mut w);
+            let beta = norm2_hot(&w);
             if !beta.is_finite() {
                 return Err(EigenError::NonFinite {
                     stage: "lanczos iteration",
@@ -221,11 +210,9 @@ pub fn smallest_deflated_metered(
                 let eig = eigh_tridiagonal(&alphas, &betas)?;
                 let theta = eig.values[0];
                 let y = &eig.vectors[0];
-                // assemble the Ritz vector
+                // assemble the Ritz vector (pairwise-fused axpy passes)
                 let mut x = vec![0.0f64; n];
-                for (yi, b) in y.iter().zip(&basis) {
-                    axpy(*yi, b, &mut x);
-                }
+                accumulate_scaled(y, &basis, &mut x);
                 project_out(&deflate, &mut x);
                 if normalize(&mut x) > 1e-12 {
                     // verified residual

@@ -34,7 +34,7 @@ pub mod parallel;
 pub mod vecops;
 
 pub use budget::{Budget, BudgetExceeded, BudgetMeter, BudgetResource};
-pub use csr::{CsrMatrix, TripletBuilder};
+pub use csr::{CsrMatrix, IndexOverflow, TripletBuilder};
 pub use laplacian::Laplacian;
 pub use operator::LinearOperator;
 pub use parallel::{resolve_threads, shard_ranges, ThreadedLaplacian};

@@ -1,4 +1,18 @@
 //! Dense-vector kernels used by the Lanczos iteration.
+//!
+//! # Fusion and the bit-identity contract
+//!
+//! The Lanczos hot loop is memory-bound: its cost is passes over `O(n)`
+//! vectors, not flops. The fused kernels here ([`axpy_dot`], [`axpy2`],
+//! [`orthogonalize_fused`], [`accumulate_scaled`]) combine what would be
+//! two or more passes into one, **without changing the floating-point
+//! operation order**: every fused kernel is bit-identical to the sequence
+//! of naive kernels it replaces (the equivalence property tests in
+//! `tests/spectral.rs` pin this down). Reassociating variants that *do*
+//! change the reduction order ([`dot_reassoc`], [`norm2_reassoc`]) are
+//! always compiled (so they can be tested) but are only dispatched to by
+//! the hot-path entry points ([`dot_hot`], [`norm2_hot`]) when the
+//! `reassoc-fast` cargo feature is enabled.
 
 /// Dot product `xᵀy`.
 ///
@@ -61,6 +75,161 @@ pub fn orthogonalize_against(u: &[f64], x: &mut [f64]) {
     axpy(-c, u, x);
 }
 
+/// Fused update-and-project: `y ← y + alpha · x`, returning `zᵀy` for the
+/// *updated* `y` — one pass over memory instead of an [`axpy`] pass
+/// followed by a [`dot`] pass.
+///
+/// Bit-identical to `axpy(alpha, x, y); dot(z, y)`: the update expression
+/// and the single-accumulator ascending-index reduction are exactly the
+/// ones the two separate kernels use.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy_dot(alpha: f64, x: &[f64], y: &mut [f64], z: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "axpy_dot length mismatch");
+    assert_eq!(z.len(), y.len(), "axpy_dot length mismatch");
+    // −0.0 is the IEEE additive identity `f64::sum()` folds from; starting
+    // there keeps even the empty and all-(−0.0) cases bit-identical to
+    // [`dot`].
+    let mut acc = -0.0;
+    for ((yi, xi), zi) in y.iter_mut().zip(x).zip(z) {
+        let v = *yi + alpha * xi;
+        *yi = v;
+        acc += zi * v;
+    }
+    acc
+}
+
+/// Fused double update: `y ← y + a1 · x1 + a2 · x2` in one pass.
+///
+/// Bit-identical to `axpy(a1, x1, y); axpy(a2, x2, y)`: each element is
+/// updated by the two terms in the same order the sequential kernels
+/// would apply them, and elements are independent.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy2(a1: f64, x1: &[f64], a2: f64, x2: &[f64], y: &mut [f64]) {
+    assert_eq!(x1.len(), y.len(), "axpy2 length mismatch");
+    assert_eq!(x2.len(), y.len(), "axpy2 length mismatch");
+    for ((yi, v1), v2) in y.iter_mut().zip(x1).zip(x2) {
+        *yi = (*yi + a1 * v1) + a2 * v2;
+    }
+}
+
+/// Fused modified-Gram–Schmidt sweep: projects the concatenation of
+/// `sets` out of `x`, in order.
+///
+/// Equivalent to `for u in concat(sets) { orthogonalize_against(u, x) }`
+/// bit for bit, but each vector's subtraction pass doubles as the next
+/// vector's projection pass (via [`axpy_dot`]), so a sweep over `m`
+/// vectors touches `x` `m + 1` times instead of `2m` times. Since full
+/// reorthogonalization is the dominant `O(j·n)` cost of a Lanczos step,
+/// this roughly halves the hot loop's memory traffic.
+///
+/// `sets` may repeat a set (e.g. `&[basis, basis]` for the
+/// apply-twice-for-robustness idiom) — repetitions fuse across the
+/// boundary too.
+///
+/// # Panics
+///
+/// Panics if any vector's length differs from `x.len()`.
+pub fn orthogonalize_fused(sets: &[&[Vec<f64>]], x: &mut [f64]) {
+    let mut it = sets.iter().flat_map(|s| s.iter()).peekable();
+    let Some(first) = it.next() else { return };
+    let mut u: &Vec<f64> = first;
+    let mut c = dot(u, x);
+    for next in it {
+        c = axpy_dot(-c, u, x, next);
+        u = next;
+    }
+    axpy(-c, u, x);
+}
+
+/// Accumulates `y ← y + Σᵢ coeffs[i] · vecs[i]`, fusing consecutive pairs
+/// of terms with [`axpy2`] — the Ritz-vector assembly kernel.
+///
+/// Bit-identical to `for (c, v) in coeffs.zip(vecs) { axpy(*c, v, y) }`.
+///
+/// # Panics
+///
+/// Panics if `coeffs.len() != vecs.len()` or any vector's length differs
+/// from `y.len()`.
+pub fn accumulate_scaled(coeffs: &[f64], vecs: &[Vec<f64>], y: &mut [f64]) {
+    assert_eq!(
+        coeffs.len(),
+        vecs.len(),
+        "accumulate_scaled length mismatch"
+    );
+    let mut i = 0;
+    while i + 1 < coeffs.len() {
+        axpy2(coeffs[i], &vecs[i], coeffs[i + 1], &vecs[i + 1], y);
+        i += 2;
+    }
+    if i < coeffs.len() {
+        axpy(coeffs[i], &vecs[i], y);
+    }
+}
+
+/// Dot product with a 4-lane reassociated reduction — the auto-vectorizable
+/// shape. **Not** bit-identical to [`dot`] in general (the partial sums are
+/// combined in a different order); agreement is only up to rounding.
+///
+/// Always compiled so the tolerance-mode equivalence tests can exercise it;
+/// the hot paths reach it only through [`dot_hot`] under the
+/// `reassoc-fast` feature.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_reassoc(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut acc = [0.0f64; 4];
+    for (a, b) in x.chunks_exact(4).zip(y.chunks_exact(4)) {
+        acc[0] += a[0] * b[0];
+        acc[1] += a[1] * b[1];
+        acc[2] += a[2] * b[2];
+        acc[3] += a[3] * b[3];
+    }
+    let mut tail = 0.0;
+    for (a, b) in x
+        .chunks_exact(4)
+        .remainder()
+        .iter()
+        .zip(y.chunks_exact(4).remainder())
+    {
+        tail += a * b;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
+}
+
+/// Euclidean norm via [`dot_reassoc`]; same caveats.
+pub fn norm2_reassoc(x: &[f64]) -> f64 {
+    dot_reassoc(x, x).sqrt()
+}
+
+/// The dot product used on reduction hot paths (Lanczos `α`, `β`).
+///
+/// Sequential [`dot`] — bit-identical to the naive reference — by default;
+/// the 4-lane [`dot_reassoc`] under the `reassoc-fast` feature.
+pub fn dot_hot(x: &[f64], y: &[f64]) -> f64 {
+    #[cfg(feature = "reassoc-fast")]
+    {
+        dot_reassoc(x, y)
+    }
+    #[cfg(not(feature = "reassoc-fast"))]
+    {
+        dot(x, y)
+    }
+}
+
+/// The Euclidean norm used on reduction hot paths; dispatches like
+/// [`dot_hot`].
+pub fn norm2_hot(x: &[f64]) -> f64 {
+    dot_hot(x, x).sqrt()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +272,124 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_length_mismatch_panics() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    /// Deterministic pseudo-random vector for the fusion identities.
+    fn rand_vec(seed: u64, n: usize) -> Vec<f64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((s >> 11) as f64) / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn axpy_dot_bit_identical_to_axpy_then_dot() {
+        for n in [0usize, 1, 3, 64, 257] {
+            let x = rand_vec(1, n);
+            let z = rand_vec(2, n);
+            let y0 = rand_vec(3, n);
+            let mut fused = y0.clone();
+            let got = axpy_dot(0.731, &x, &mut fused, &z);
+            let mut plain = y0.clone();
+            axpy(0.731, &x, &mut plain);
+            let want = dot(&z, &plain);
+            assert_eq!(fused, plain, "n={n}");
+            assert_eq!(got.to_bits(), want.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn axpy2_bit_identical_to_two_axpys() {
+        for n in [0usize, 1, 5, 100] {
+            let x1 = rand_vec(4, n);
+            let x2 = rand_vec(5, n);
+            let y0 = rand_vec(6, n);
+            let mut fused = y0.clone();
+            axpy2(-1.25, &x1, 0.4, &x2, &mut fused);
+            let mut plain = y0;
+            axpy(-1.25, &x1, &mut plain);
+            axpy(0.4, &x2, &mut plain);
+            assert_eq!(fused, plain, "n={n}");
+        }
+    }
+
+    #[test]
+    fn orthogonalize_fused_matches_sequential_sweep() {
+        let n = 97;
+        let basis: Vec<Vec<f64>> = (0..5).map(|i| rand_vec(10 + i, n)).collect();
+        let deflate: Vec<Vec<f64>> = (0..2).map(|i| rand_vec(20 + i, n)).collect();
+        let x0 = rand_vec(30, n);
+
+        let mut fused = x0.clone();
+        orthogonalize_fused(&[&deflate, &basis, &basis], &mut fused);
+
+        let mut plain = x0;
+        for u in deflate.iter().chain(&basis).chain(&basis) {
+            orthogonalize_against(u, &mut plain);
+        }
+        assert_eq!(fused, plain);
+    }
+
+    #[test]
+    fn orthogonalize_fused_empty_sets_is_noop() {
+        let mut x = vec![1.0, 2.0];
+        orthogonalize_fused(&[], &mut x);
+        orthogonalize_fused(&[&[], &[]], &mut x);
+        assert_eq!(x, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn accumulate_scaled_matches_axpy_loop() {
+        let n = 61;
+        for m in [0usize, 1, 2, 5, 8] {
+            let vecs: Vec<Vec<f64>> = (0..m).map(|i| rand_vec(40 + i as u64, n)).collect();
+            let coeffs = rand_vec(50, m);
+            let mut fused = rand_vec(60, n);
+            let mut plain = fused.clone();
+            accumulate_scaled(&coeffs, &vecs, &mut fused);
+            for (c, v) in coeffs.iter().zip(&vecs) {
+                axpy(*c, v, &mut plain);
+            }
+            assert_eq!(fused, plain, "m={m}");
+        }
+    }
+
+    #[test]
+    fn dot_reassoc_agrees_within_tolerance() {
+        for n in [0usize, 1, 3, 4, 7, 128, 1001] {
+            let x = rand_vec(70, n);
+            let y = rand_vec(71, n);
+            let a = dot(&x, &y);
+            let b = dot_reassoc(&x, &y);
+            assert!(
+                (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+                "n={n}: {a} vs {b}"
+            );
+        }
+        assert_eq!(norm2_reassoc(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn hot_kernels_dispatch_per_feature() {
+        let x = rand_vec(80, 777);
+        let y = rand_vec(81, 777);
+        let want = if cfg!(feature = "reassoc-fast") {
+            dot_reassoc(&x, &y)
+        } else {
+            dot(&x, &y)
+        };
+        assert_eq!(dot_hot(&x, &y).to_bits(), want.to_bits());
+        // norm2_hot is sqrt of the self-dot under the same dispatch
+        let self_want = if cfg!(feature = "reassoc-fast") {
+            dot_reassoc(&x, &x).sqrt()
+        } else {
+            norm2(&x)
+        };
+        assert_eq!(norm2_hot(&x).to_bits(), self_want.to_bits());
     }
 }

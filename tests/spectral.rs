@@ -23,7 +23,9 @@ use ig_match_repro::core::ordering::{spectral_module_ordering_ctx, spectral_net_
 use ig_match_repro::core::IgWeighting;
 use ig_match_repro::eigen::{fiedler, LanczosOptions};
 use ig_match_repro::netlist::generate::mcnc_benchmark;
-use ig_match_repro::sparse::{BudgetMeter, Laplacian, LinearOperator as _};
+use ig_match_repro::sparse::{
+    shard_ranges, vecops, BudgetMeter, CsrMatrix, Laplacian, LinearOperator as _,
+};
 use np_testkit::{check_cases, degenerate_hypergraph};
 use std::sync::Arc;
 
@@ -112,6 +114,134 @@ fn shared_operator_cache_matches_fresh_builds() {
         &cache.clique_laplacian(&hg, 1),
         &cache.clique_laplacian(&hg, 8),
     ));
+}
+
+/// Deterministic LCG-filled vector in `[-1, 1)`.
+fn rand_vec(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+#[test]
+fn blocked_spmv_bit_identical_to_reference_across_thread_counts() {
+    let hg = mcnc_benchmark("bm1").expect("suite benchmark").hypergraph;
+    let a = clique_adjacency(&hg);
+    let n = a.dim();
+    let x = rand_vec(0xB10C, n);
+    let mut reference = vec![0.0; n];
+    a.apply_rows_unblocked(0, &x, &mut reference);
+    // The cache-blocked kernel must agree bit-for-bit at every block
+    // width, including widths far below the dispatch threshold.
+    for block in [1, 7, 64, 1000, CsrMatrix::SPMV_BLOCK_COLS] {
+        let mut out = vec![f64::NAN; n];
+        a.apply_rows_blocked(0, &x, &mut out, block);
+        assert!(
+            reference
+                .iter()
+                .zip(&out)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "blocked SpMV differs from the straight loop at block width {block}"
+        );
+    }
+    // Row-sharded application (the threaded operators' shape) agrees at
+    // every thread count, blocked or not.
+    for threads in THREAD_COUNTS {
+        for block in [None, Some(64), Some(CsrMatrix::SPMV_BLOCK_COLS)] {
+            let mut out = vec![f64::NAN; n];
+            for (lo, hi) in shard_ranges(n, threads) {
+                match block {
+                    None => a.apply_rows(lo, &x, &mut out[lo..hi]),
+                    Some(b) => a.apply_rows_blocked(lo, &x, &mut out[lo..hi], b),
+                }
+            }
+            assert!(
+                reference
+                    .iter()
+                    .zip(&out)
+                    .all(|(p, q)| p.to_bits() == q.to_bits()),
+                "sharded SpMV differs at {threads} threads (block {block:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_vecops_match_unfused_on_random_and_degenerate_vectors() {
+    // Random vectors of awkward lengths plus degenerate shapes: empty,
+    // singleton, all zeros, all negative zeros, constant.
+    let mut cases: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = [0usize, 1, 3, 64, 257, 1000]
+        .iter()
+        .map(|&n| (rand_vec(1, n), rand_vec(2, n), rand_vec(3, n)))
+        .collect();
+    cases.push((vec![0.0; 65], vec![0.0; 65], vec![0.0; 65]));
+    cases.push((vec![-0.0; 65], vec![-0.0; 65], vec![-0.0; 65]));
+    cases.push((vec![1.25; 33], vec![-2.5; 33], vec![0.5; 33]));
+    for (x, y, z) in &cases {
+        let n = x.len();
+        // axpy-then-dot vs fused axpy_dot: same vector, same scalar.
+        let mut plain = y.clone();
+        vecops::axpy(0.37, x, &mut plain);
+        let want = vecops::dot(z, &plain);
+        let mut fused = y.clone();
+        let got = vecops::axpy_dot(0.37, x, &mut fused, z);
+        assert_eq!(want.to_bits(), got.to_bits(), "axpy_dot scalar at n={n}");
+        assert!(
+            plain
+                .iter()
+                .zip(&fused)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "axpy_dot vector at n={n}"
+        );
+        // two axpys vs fused axpy2.
+        let mut plain = y.clone();
+        vecops::axpy(0.37, x, &mut plain);
+        vecops::axpy(-0.81, z, &mut plain);
+        let mut fused = y.clone();
+        vecops::axpy2(0.37, x, -0.81, z, &mut fused);
+        assert!(
+            plain
+                .iter()
+                .zip(&fused)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "axpy2 at n={n}"
+        );
+        // sequential projection sweep vs fused chain.
+        let basis = vec![x.clone(), z.clone()];
+        let mut plain = y.clone();
+        for b in &basis {
+            vecops::orthogonalize_against(b, &mut plain);
+        }
+        let mut fused = y.clone();
+        vecops::orthogonalize_fused(&[&basis], &mut fused);
+        assert!(
+            plain
+                .iter()
+                .zip(&fused)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "orthogonalize_fused at n={n}"
+        );
+        // The hot-dot dispatch: bit-identical to `dot` by default; under
+        // `reassoc-fast` it reassociates, so the contract weakens to a
+        // relative tolerance (DESIGN.md §16).
+        let exact = vecops::dot(x, y);
+        let hot = vecops::dot_hot(x, y);
+        if cfg!(feature = "reassoc-fast") {
+            let tol = (n as f64).max(1.0) * f64::EPSILON * 64.0 * exact.abs().max(1.0);
+            assert!(
+                (exact - hot).abs() <= tol,
+                "dot_hot out of tolerance at n={n}: {exact} vs {hot}"
+            );
+        } else {
+            assert_eq!(exact.to_bits(), hot.to_bits(), "dot_hot bits at n={n}");
+        }
+    }
 }
 
 #[test]
